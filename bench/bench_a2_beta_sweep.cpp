@@ -1,0 +1,40 @@
+// EA2 — ablation of the sampling probability p = beta·k_D·ln n / N.
+// Sweeps beta and reports the congestion/dilation tradeoff curve; beta >= 1
+// is the paper's w.h.p. regime, lower beta trades coverage for congestion.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/kp.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace lcs;
+  bench::banner("EA2", "ablation: sampling probability sweep (beta)");
+
+  Table t({"n", "beta", "p", "congestion", "dilation", "radius", "covered",
+           "quality"});
+  const std::uint32_t n = bench::quick_mode() ? 1024 : 4096;
+  const unsigned d = 4;
+  const graph::HardInstance hi = graph::hard_instance(n, d);
+  for (const double beta : {0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0}) {
+    core::KpOptions opt;
+    opt.diameter = d;
+    opt.seed = 53;
+    opt.beta = beta;
+    const auto rep = core::measure_kp_quality(hi.g, hi.paths, opt);
+    t.row()
+        .cell(hi.g.num_vertices())
+        .cell(beta, 2)
+        .cell(rep.params.sample_prob, 4)
+        .cell(std::uint64_t{rep.quality.congestion})
+        .cell(std::uint64_t{rep.quality.dilation_ub})
+        .cell(std::uint64_t{rep.quality.max_cover_radius})
+        .cell(rep.quality.all_covered ? "yes" : "NO")
+        .cell(static_cast<std::uint64_t>(rep.quality.quality()));
+  }
+  t.print(std::cout, "EA2: beta sweep on the hard instance (D=4)");
+  std::cout << "\nexpected: congestion ~ beta, dilation falls as beta grows and\n"
+               "saturates at the graph diameter once every edge is sampled;\n"
+               "the knee is the quality optimum the theory predicts at beta~1.\n";
+  return 0;
+}

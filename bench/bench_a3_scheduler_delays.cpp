@@ -1,0 +1,65 @@
+// EA3 — ablation of the random-delay range (DESIGN.md §6.4): delays drawn
+// from [0, f·C) for f ∈ {0, 1/4, 1, 2, 4}, where C is the actual max
+// per-edge instance load.  Too small a range serializes on hot edges; too
+// large just adds idle waiting — the theory's choice f ≈ 1 is the knee.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "congest/multibfs.hpp"
+#include "congest/simulator.hpp"
+#include "core/kp.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace lcs;
+  bench::banner("EA3", "ablation: random delay range in the scheduler");
+
+  const std::uint32_t n = bench::quick_mode() ? 1024 : 4096;
+  const graph::HardInstance hi = graph::hard_instance(n, 4);
+  core::KpOptions opt;
+  opt.diameter = 4;
+  opt.seed = 71;
+  const auto built = core::build_kp_shortcuts(hi.g, hi.paths, opt);
+
+  // Shared instance setup.
+  std::vector<congest::BfsInstanceSpec> base;
+  std::vector<std::uint32_t> load(hi.g.num_edges(), 0);
+  for (std::size_t i = 0; i < hi.paths.num_parts(); ++i) {
+    congest::BfsInstanceSpec s;
+    s.root = hi.paths.leader(i);
+    s.edges = core::augmented_edges(hi.g, hi.paths.parts[i], built.shortcuts.h[i]);
+    for (const graph::EdgeId e : s.edges) ++load[e];
+    base.push_back(std::move(s));
+  }
+  std::uint32_t c = 1;
+  for (const auto l : load) c = std::max(c, l);
+
+  Table t({"delay range", "rounds(mean)", "rounds(max)", "max edge load"});
+  for (const double f : {0.0, 0.25, 1.0, 2.0, 4.0}) {
+    const std::uint32_t range = std::max<std::uint32_t>(1, static_cast<std::uint32_t>(f * c));
+    Stats rounds;
+    std::uint64_t worst_load = 0;
+    for (unsigned trial = 0; trial < bench::trials(); ++trial) {
+      Rng rng(100 * trial + static_cast<std::uint64_t>(f * 16) + 1);
+      std::vector<congest::BfsInstanceSpec> specs = base;
+      for (auto& s : specs)
+        s.start_round = f == 0.0 ? 0 : static_cast<std::uint32_t>(rng.uniform(range));
+      congest::MultiBfsProgram prog(hi.g, std::move(specs));
+      congest::Simulator sim(hi.g, 1);
+      const congest::RunStats st = sim.run(prog, 64 * n);
+      rounds.add(st.rounds);
+      worst_load = std::max(worst_load, st.max_edge_load);
+    }
+    t.row()
+        .cell("[0, " + std::to_string(range) + ")")
+        .cell(rounds.mean(), 1)
+        .cell(rounds.max(), 0)
+        .cell(worst_load);
+  }
+  t.print(std::cout, "EA3: delay range sweep (C = " + std::to_string(c) + ")");
+  std::cout << "\nthe store-and-forward queues make even zero delay correct,\n"
+               "but rounds track C + depth once the range reaches ~C; larger\n"
+               "ranges only push the start of the last instance out.\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// E10 — Section 2, "omitting the assumption of knowing D": the guessing
+// variant sweeps D'' from the BFS eccentricity up to its double, stopping at
+// the first guess whose shortcuts verify.  Total rounds stay within a
+// constant factor of the known-D run (k_D'' is increasing in D'').
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/distributed.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace lcs;
+  bench::banner("E10", "diameter guessing terminates at quality of the true D");
+
+  Table t({"D", "n", "attempts", "rounds(guessing)", "rounds(known D)",
+           "overhead", "ok"});
+  for (const unsigned d : {4u, 5u, 6u}) {
+    for (const std::uint32_t n : bench::quick_mode()
+                                     ? std::vector<std::uint32_t>{512}
+                                     : std::vector<std::uint32_t>{512, 2048}) {
+      const graph::HardInstance hi = graph::hard_instance(n, d);
+      core::DistributedOptions opt;
+      opt.seed = 13;
+      const auto guess = core::build_distributed_guessing(hi.g, hi.paths, opt);
+      core::DistributedOptions known;
+      known.seed = 13;
+      known.diameter = d;
+      const auto exact = core::build_distributed(hi.g, hi.paths, known);
+      t.row()
+          .cell(d)
+          .cell(hi.g.num_vertices())
+          .cell(guess.attempts)
+          .cell(guess.rounds.total())
+          .cell(exact.rounds.total())
+          .cell(double(guess.rounds.total()) / double(exact.rounds.total()), 2)
+          .cell(guess.success && exact.success ? "yes" : "NO");
+    }
+  }
+  t.print(std::cout, "E10: guessing vs known-D construction");
+  std::cout << "\nclaim: overhead stays O(1) (geometric growth of k_D'' in the\n"
+               "guess sweep; the paper bounds the sum by O(k_D log^2 n)).\n";
+  return 0;
+}

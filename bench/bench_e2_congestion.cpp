@@ -1,0 +1,80 @@
+// E2 — Section 2 congestion argument: each edge lands in
+// O(D · k_D · log n) augmented subgraphs w.h.p. (Chernoff).
+//
+// Measures the max edge congestion across seeds and families and compares
+// it with the per-edge *expectation* 2 + 2·D·N·p (the quantity the Chernoff
+// bound concentrates around); the ratio max/mean must stay ~1+o(1).
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/kp.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace lcs;
+  bench::banner("E2", "congestion = O(D k_D log n) w.h.p. (Chernoff, Section 2)");
+
+  Table t({"family", "D", "n", "N", "p", "expected_load", "max_cong(seeds)",
+           "max/expected"});
+  for (const unsigned d : {3u, 4u, 5u, 6u}) {
+    for (const std::uint32_t n : bench::n_sweep()) {
+      const graph::HardInstance hi = graph::hard_instance(n, d);
+      Stats max_cong;
+      double expected = 0;
+      for (unsigned trial = 0; trial < bench::trials(); ++trial) {
+        core::KpOptions opt;
+        opt.diameter = d;
+        opt.seed = 100 + trial;
+        const auto rep = core::measure_kp_quality(hi.g, hi.paths, opt);
+        max_cong.add(rep.quality.congestion);
+        // Per-edge expected congestion: 2 (step 1) + per-part membership
+        // probability (an edge enters H_i if any of the 2*reps directed
+        // coins land) summed over the large parts.  The paper's
+        // 2*D*N*p counts sampling *events* and upper-bounds this union.
+        const double membership =
+            1.0 - std::pow(1.0 - rep.params.sample_prob, 2.0 * rep.params.repetitions);
+        expected = 2.0 + membership * static_cast<double>(rep.num_large);
+      }
+      t.row()
+          .cell("hard")
+          .cell(d)
+          .cell(hi.g.num_vertices())
+          .cell(std::uint64_t{ceil_div(hi.g.num_vertices(),
+                                       ShortcutParams::make(hi.g.num_vertices(), d)
+                                           .large_threshold)})
+          .cell(ShortcutParams::make(hi.g.num_vertices(), d).sample_prob, 3)
+          .cell(expected, 1)
+          .cell(max_cong.max(), 0)
+          .cell(max_cong.max() / std::max(1.0, expected), 3);
+    }
+  }
+
+  // A second family: layered random graphs with ball partitions.
+  Rng rng(7);
+  for (const std::uint32_t n : bench::n_sweep()) {
+    const graph::Graph g = graph::layered_random_graph(n, 5, 1.0, rng);
+    const graph::Partition parts = graph::ball_partition(g, std::max(4u, n / 64), rng);
+    core::KpOptions opt;
+    opt.diameter = 5;
+    opt.seed = 3;
+    const auto rep = core::measure_kp_quality(g, parts, opt);
+    const double membership =
+        1.0 - std::pow(1.0 - rep.params.sample_prob, 2.0 * rep.params.repetitions);
+    const double expected = 2.0 + membership * static_cast<double>(rep.num_large);
+    t.row()
+        .cell("layered")
+        .cell(5u)
+        .cell(g.num_vertices())
+        .cell(std::uint64_t{rep.num_large})
+        .cell(rep.params.sample_prob, 3)
+        .cell(expected, 1)
+        .cell(std::uint64_t{rep.quality.congestion})
+        .cell(rep.quality.congestion / std::max(1.0, expected), 3);
+  }
+  t.print(std::cout, "E2: max edge congestion vs Chernoff expectation");
+  std::cout << "\nclaim holds when max/expected stays O(1) as n grows "
+               "(concentration).\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// E5 — Corollary 1.2 (MST): Boruvka over KP shortcuts versus the
+// Ghaffari–Haeupler baseline and the no-shortcut baseline.  Correctness is
+// checked against Kruskal on every row; the reported rounds split into
+// measured aggregation (scheduled BFS, simulated) and charged construction.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "graph/generators.hpp"
+#include "mst/mst.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace lcs;
+  bench::banner("E5", "MST in O~(k_D) rounds via shortcuts (Cor 1.2)");
+
+  Table t({"n", "D", "scheme", "phases", "agg_rounds", "constr_rounds", "total",
+           "weight_ok"});
+  for (const std::uint32_t n : bench::n_sweep()) {
+    const unsigned d = 4;
+    const graph::HardInstance hi = graph::hard_instance(n, d);
+    Rng rng(5);
+    const graph::EdgeWeights w = graph::distinct_random_weights(hi.g, rng);
+    const mst::MstResult want = mst::kruskal(hi.g, w);
+
+    struct Row {
+      mst::ShortcutScheme scheme;
+      const char* name;
+      double beta;
+    };
+    for (const Row r : {Row{mst::ShortcutScheme::kKoganParter, "KP", 1.0},
+                        Row{mst::ShortcutScheme::kGhaffariHaeupler, "GH", 1.0},
+                        Row{mst::ShortcutScheme::kNone, "none", 1.0}}) {
+      mst::BoruvkaOptions opt;
+      opt.scheme = r.scheme;
+      opt.diameter = d;
+      opt.beta = r.beta;
+      opt.seed = 7;
+      const auto res = mst::boruvka_mst(hi.g, w, opt);
+      t.row()
+          .cell(hi.g.num_vertices())
+          .cell(d)
+          .cell(r.name)
+          .cell(res.phases)
+          .cell(res.aggregation_rounds)
+          .cell(res.construction_rounds)
+          .cell(res.total_rounds())
+          .cell(res.mst.weight == want.weight ? "yes" : "NO");
+    }
+  }
+  t.print(std::cout, "E5: Boruvka-over-shortcuts round comparison (hard family)");
+  std::cout << "\nshape: 'none' aggregation grows ~sqrt(n) per phase (bare paths);\n"
+               "KP keeps per-phase aggregation at the shortcut quality.  At\n"
+               "these sizes the KP sampling probability is near 1, so its\n"
+               "congestion-driven delays dominate — the crossover to clear KP\n"
+               "wins needs n >> 10^5 (see EXPERIMENTS.md).\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E6 — Corollary 1.2 (min cut): the tree-packing approximation against the
+// exact Stoer–Wagner referee.  The paper's (1+eps) machinery (2-respecting
+// cuts) is substituted by 1-respecting cuts (DESIGN.md §4): the *measured*
+// ratio is reported; rounds are #trees × one shortcut-MST invocation.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "graph/generators.hpp"
+#include "mincut/mincut.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace lcs;
+  bench::banner("E6", "(1+eps)-approx min cut via tree packing (Cor 1.2)");
+
+  Table t({"family", "n", "m", "exact", "packing", "ratio", "trees",
+           "sparsified(eps=.5)", "p_sample", "karger"});
+  Rng rng(3);
+  for (const std::uint32_t n : {64u, 128u, 256u}) {
+    const graph::Graph g = graph::layered_random_graph(n, 4, 2.0, rng);
+    const graph::EdgeWeights w = graph::random_weights(g, 10, rng);
+    const auto exact = mincut::stoer_wagner(g, w);
+    const auto tp = mincut::tree_packing_mincut(g, w);
+    Rng krng(n);
+    const auto karger = mincut::karger_mincut(g, w, 200, krng);
+    Rng sprng(n + 1);
+    const auto sp = mincut::sparsified_mincut(g, w, 0.5, sprng);
+    t.row()
+        .cell("layered-D4")
+        .cell(g.num_vertices())
+        .cell(g.num_edges())
+        .cell(static_cast<std::int64_t>(exact.value))
+        .cell(static_cast<std::int64_t>(tp.cut.value))
+        .cell(double(tp.cut.value) / double(exact.value), 3)
+        .cell(tp.num_trees)
+        .cell(static_cast<std::int64_t>(sp.cut.value))
+        .cell(sp.sample_prob, 3)
+        .cell(static_cast<std::int64_t>(karger.value));
+  }
+  // Heavy capacities push lambda high enough that the sampler actually
+  // sparsifies (p < 1) — the regime Karger's theorem is about.
+  for (const std::uint32_t n : {96u, 192u}) {
+    const graph::Graph g = graph::layered_random_graph(n, 4, 3.0, rng);
+    const graph::EdgeWeights w = graph::random_weights(g, 80, rng);
+    const auto exact = mincut::stoer_wagner(g, w);
+    const auto tp = mincut::tree_packing_mincut(g, w);
+    Rng sprng(n + 3);
+    const auto sp = mincut::sparsified_mincut(g, w, 0.5, sprng);
+    t.row()
+        .cell("layered-heavy")
+        .cell(g.num_vertices())
+        .cell(g.num_edges())
+        .cell(static_cast<std::int64_t>(exact.value))
+        .cell(static_cast<std::int64_t>(tp.cut.value))
+        .cell(double(tp.cut.value) / double(exact.value), 3)
+        .cell(tp.num_trees)
+        .cell(static_cast<std::int64_t>(sp.cut.value))
+        .cell(sp.sample_prob, 3)
+        .cell("-");
+  }
+  for (const std::uint32_t n : {300u, 400u}) {
+    const graph::HardInstance hi = graph::hard_instance(n, 4);
+    const graph::EdgeWeights w(hi.g.num_edges(), 1);
+    const auto exact = mincut::stoer_wagner(hi.g, w);
+    const auto tp = mincut::tree_packing_mincut(hi.g, w);
+    Rng sprng(n + 2);
+    const auto sp = mincut::sparsified_mincut(hi.g, w, 0.5, sprng);
+    t.row()
+        .cell("hard-D4")
+        .cell(hi.g.num_vertices())
+        .cell(hi.g.num_edges())
+        .cell(static_cast<std::int64_t>(exact.value))
+        .cell(static_cast<std::int64_t>(tp.cut.value))
+        .cell(double(tp.cut.value) / double(exact.value), 3)
+        .cell(tp.num_trees)
+        .cell(static_cast<std::int64_t>(sp.cut.value))
+        .cell(sp.sample_prob, 3)
+        .cell("-");
+  }
+  t.print(std::cout, "E6: min-cut approximation quality");
+  std::cout << "\nround complexity: trees x MST rounds (see E5).  The packing\n"
+               "ratio is ~1.0 (guarantee <= 2 with 1-respecting cuts); the\n"
+               "sparsified column is Karger's (1+eps) sampling mechanism —\n"
+               "together they bracket the paper's cited (1+eps) machinery.\n";
+  return 0;
+}

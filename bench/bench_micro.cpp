@@ -1,0 +1,84 @@
+// Micro-benchmarks of the core primitives (google-benchmark): coin flips,
+// per-part sampling, BFS, simulator round overhead, shortcut-tree build.
+#include <benchmark/benchmark.h>
+
+#include "congest/programs.hpp"
+#include "congest/simulator.hpp"
+#include "core/coin.hpp"
+#include "core/kp.hpp"
+#include "core/shortcut_tree.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lcs;
+
+void BM_CoinFlip(benchmark::State& state) {
+  const core::CoinFlipper coins(42, 0.3);
+  std::uint32_t e = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coins.flip(e++, 0, 7, 3));
+  }
+}
+BENCHMARK(BM_CoinFlip);
+
+void BM_RngUniform(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform(1000));
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_BfsHardInstance(benchmark::State& state) {
+  const graph::HardInstance hi =
+      graph::hard_instance(static_cast<std::uint32_t>(state.range(0)), 4);
+  for (auto _ : state) benchmark::DoNotOptimize(graph::bfs(hi.g, 0).reached);
+  state.SetItemsProcessed(state.iterations() * hi.g.num_edges());
+}
+BENCHMARK(BM_BfsHardInstance)->Arg(1024)->Arg(4096);
+
+void BM_KpSampleOnePart(benchmark::State& state) {
+  const graph::HardInstance hi =
+      graph::hard_instance(static_cast<std::uint32_t>(state.range(0)), 4);
+  const ShortcutParams params = ShortcutParams::make(hi.g.num_vertices(), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::kp_edges_for_part(hi.g, hi.paths, 0, params, 0, 1, params.repetitions)
+            .size());
+  }
+  state.SetItemsProcessed(state.iterations() * hi.g.num_edges() * params.repetitions);
+}
+BENCHMARK(BM_KpSampleOnePart)->Arg(1024)->Arg(4096);
+
+void BM_SimulatorBfsRound(benchmark::State& state) {
+  Rng rng(3);
+  const graph::Graph g =
+      graph::connected_gnm(static_cast<std::uint32_t>(state.range(0)),
+                           3 * static_cast<std::uint32_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    congest::BfsProgram prog(g.num_vertices(), 0);
+    congest::Simulator sim(g, 1);
+    benchmark::DoNotOptimize(sim.run(prog, 1 << 20).rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_SimulatorBfsRound)->Arg(512)->Arg(2048);
+
+void BM_ShortcutTreeBuild(benchmark::State& state) {
+  const graph::HardInstance hi =
+      graph::hard_instance(static_cast<std::uint32_t>(state.range(0)), 4);
+  const ShortcutParams params = ShortcutParams::make(hi.g.num_vertices(), 4);
+  std::vector<graph::VertexId> path(hi.paths.parts[0].begin(),
+                                    hi.paths.parts[0].begin() + 15);
+  const std::vector<graph::VertexId> q{hi.paths.leader(1)};
+  for (auto _ : state) {
+    const core::ShortcutTree st(hi.g, path, q, 4, 9, params.sample_prob, 0);
+    benchmark::DoNotOptimize(st.tree_complete());
+  }
+}
+BENCHMARK(BM_ShortcutTreeBuild)->Arg(512)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

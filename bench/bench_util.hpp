@@ -1,0 +1,41 @@
+// Shared helpers for the experiment harnesses.
+//
+// Every bench binary regenerates one experiment of EXPERIMENTS.md.  Running
+// with LCS_BENCH_QUICK=1 in the environment shrinks instance sizes and trial
+// counts (useful for smoke runs); the default sizes are what EXPERIMENTS.md
+// reports.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "util/math.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace lcs::bench {
+
+inline bool quick_mode() {
+  const char* v = std::getenv("LCS_BENCH_QUICK");
+  return v != nullptr && std::string(v) != "0";
+}
+
+/// Instance sizes for n-sweeps (smaller set under quick mode).
+inline std::vector<std::uint32_t> n_sweep() {
+  if (quick_mode()) return {512, 1024};
+  return {512, 1024, 2048, 4096};
+}
+
+inline unsigned trials() { return quick_mode() ? 1 : 3; }
+
+/// Header line every harness prints first.
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "\n### " << id << " — " << claim << "\n"
+            << "    (paper: Kogan & Parter, PODC 2021; sizes are test-scale,\n"
+            << "     shapes — ratios and exponents — are the reproduced claim)\n\n";
+}
+
+}  // namespace lcs::bench

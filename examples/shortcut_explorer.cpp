@@ -1,0 +1,87 @@
+// Shortcut-tree explorer: an ASCII rendering of the paper's Figure 1/2 on a
+// small instance — the layered auxiliary graph G_{P,Q,l}, the surviving
+// sampled tree T[p], and a maximal (i,k) walk with its level-k nodes.
+//
+//   $ ./shortcut_explorer
+#include <iomanip>
+#include <iostream>
+
+#include "core/shortcut_tree.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/math.hpp"
+
+int main() {
+  using namespace lcs;
+
+  const graph::HardInstance hi = graph::hard_instance(220, 4);
+  const ShortcutParams params = ShortcutParams::make(hi.g.num_vertices(), 4);
+
+  // P = first 9 vertices of path 0; Q = leader of path 1; l = D.
+  std::vector<graph::VertexId> path(hi.paths.parts[0].begin(),
+                                    hi.paths.parts[0].begin() + 9);
+  const std::vector<graph::VertexId> q{hi.paths.leader(1)};
+  const std::uint32_t ell = hi.diameter;
+
+  const core::ShortcutTree st(hi.g, path, q, ell, 7, params.sample_prob, 0);
+  std::cout << "auxiliary graph G_{P,Q,l}:  |P|=" << path.size() << "  |Q|=" << q.size()
+            << "  l=" << ell << "  layers=" << ell + 2 << "  aux nodes="
+            << st.num_aux_nodes() << "\n"
+            << "sampling p=" << params.sample_prob << " (the construction's own coins)\n"
+            << "tree complete (dist(P,Q) <= l): "
+            << (st.tree_complete() ? "yes" : "no") << "\n\n";
+
+  // Layer-by-layer view of the ancestor chains of the path positions —
+  // the content of Fig. 1: each position hangs at depth l+1 under r.
+  std::cout << "ancestor chains (columns = path positions; '·' = sampled away):\n";
+  for (std::uint32_t layer = ell + 2; layer >= 1; --layer) {
+    std::cout << "  L" << std::setw(2) << layer << (layer == ell + 2 ? " (r)" : "")
+              << (layer == ell + 1 ? " (Q)" : "") << (layer == 1 ? " (P)" : "    ")
+              << " | ";
+    for (std::uint32_t pos = 0; pos < path.size(); ++pos) {
+      // Climb from the position while edges survive.
+      graph::VertexId cur = st.path_node(pos);
+      bool alive = true;
+      while (alive && st.layer_of(cur) < layer) {
+        const graph::VertexId par = st.tree_parent(cur);
+        if (par == graph::kNoVertex || !st.tree_edge_survives(cur)) {
+          alive = false;
+        } else {
+          cur = par;
+        }
+      }
+      if (st.layer_of(cur) == layer && alive)
+        std::cout << std::setw(5) << st.g_vertex_of(cur) + 0;
+      else
+        std::cout << std::setw(5) << "·";
+    }
+    std::cout << '\n';
+    if (layer == 1) break;
+  }
+
+  // A maximal (1, k) walk per level — the content of Fig. 2.
+  std::cout << "\nmaximal (1,k) walks (Definition 3.1):\n";
+  for (std::uint32_t k = 2; k <= ell + 1; ++k) {
+    const auto w = st.maximal_walk(0, k);
+    std::cout << "  k=" << k << ": length " << (w.nodes.empty() ? 0 : w.nodes.size() - 1)
+              << ", level-k nodes " << w.level_k_nodes.size() << ", end position "
+              << w.end_pos << (w.reached_t ? " (= t)" : "") << "\n    walk:";
+    for (const graph::VertexId x : w.nodes) {
+      std::cout << " L" << st.layer_of(x) << ":"
+                << (st.g_vertex_of(x) == graph::kNoVertex
+                        ? std::string("r")
+                        : std::to_string(st.g_vertex_of(x)));
+    }
+    std::cout << '\n';
+  }
+
+  std::cout << "\ndistances in T* from p_1 to {t} ∪ L_k (Lemma 3.3's quantity):\n";
+  for (std::uint32_t k = 2; k <= ell + 1; ++k) {
+    const auto d = st.dist_to_level(0, k);
+    std::cout << "  k=" << k << ": "
+              << (d == graph::kUnreached ? std::string("unreachable")
+                                         : std::to_string(d))
+              << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// The CONGEST message type.
+//
+// In the CONGEST(B) model every edge carries one B = O(log n)-bit message
+// per direction per round.  We model a message as a small fixed struct —
+// two 32-bit tags plus two 64-bit payload words — which is O(log n) bits
+// for every instance size this library targets.  The simulator enforces
+// the per-edge-per-round budget; it does not inspect payloads.
+#pragma once
+
+#include <cstdint>
+
+namespace lcs::congest {
+
+struct Message {
+  std::uint32_t algo = 0;  ///< sub-algorithm tag (used by scheduled executions)
+  std::uint32_t kind = 0;  ///< program-defined message type
+  std::uint64_t a = 0;     ///< payload word 1
+  std::uint64_t b = 0;     ///< payload word 2
+};
+
+}  // namespace lcs::congest

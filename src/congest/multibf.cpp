@@ -1,0 +1,87 @@
+#include "congest/multibf.hpp"
+
+#include "util/check.hpp"
+
+namespace lcs::congest {
+
+namespace {
+constexpr std::uint32_t kDistToken = 30;
+
+std::size_t dir_of(const Graph& g, EdgeId e, VertexId from) {
+  const graph::Edge ed = g.edge(e);
+  LCS_CHECK(ed.u == from || ed.v == from, "sender not an endpoint");
+  return 2 * static_cast<std::size_t>(e) + (ed.u == from ? 0 : 1);
+}
+}  // namespace
+
+MultiBellmanFordProgram::MultiBellmanFordProgram(const Graph& g,
+                                                 const graph::EdgeWeights& w,
+                                                 std::vector<VertexId> sources)
+    : g_(&g), w_(&w), sources_(std::move(sources)) {
+  LCS_REQUIRE(w.size() == g.num_edges(), "weights do not match graph");
+  LCS_REQUIRE(!sources_.empty(), "need at least one source");
+  for (const graph::Weight x : w) LCS_REQUIRE(x >= 0, "negative weights unsupported");
+  const std::size_t n = g.num_vertices();
+  dist_.assign(sources_.size() * n, kInf);
+  parent_.assign(sources_.size() * n, graph::kNoVertex);
+  queue_.resize(2 * static_cast<std::size_t>(g.num_edges()));
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    LCS_REQUIRE(sources_[i] < n, "source out of range");
+    improve(i, sources_[i], 0, graph::kNoVertex);
+  }
+}
+
+void MultiBellmanFordProgram::improve(std::size_t i, VertexId v, std::uint64_t d,
+                                      VertexId par) {
+  const std::size_t idx = i * g_->num_vertices() + v;
+  if (d >= dist_[idx]) return;
+  dist_[idx] = d;
+  parent_[idx] = par;
+  for (const graph::HalfEdge he : g_->neighbors(v)) {
+    queue_[dir_of(*g_, he.edge, v)].push_back(
+        {static_cast<std::uint32_t>(i), v, d});
+    ++total_queued_;
+  }
+}
+
+void MultiBellmanFordProgram::on_round(NodeContext& ctx) {
+  const VertexId v = ctx.node();
+  for (const Message& m : ctx.inbox()) {
+    if (m.kind != kDistToken) continue;
+    const std::size_t i = m.algo;
+    const EdgeId via = static_cast<EdgeId>(m.b >> 32);
+    const std::uint64_t cand = m.a + static_cast<std::uint64_t>((*w_)[via]);
+    improve(i, v, cand, static_cast<VertexId>(m.b & 0xffffffffu));
+  }
+  for (const graph::HalfEdge he : ctx.topology().neighbors(v)) {
+    auto& q = queue_[dir_of(*g_, he.edge, v)];
+    while (!q.empty() && ctx.remaining_capacity(he.edge) > 0) {
+      const Pending p = q.front();
+      q.pop_front();
+      --total_queued_;
+      // Drop stale announcements: the sender has improved since enqueue,
+      // and a fresher entry is behind this one in some queue.
+      if (dist_[p.source * g_->num_vertices() + p.sender] != p.dist) continue;
+      Message m;
+      m.algo = p.source;
+      m.kind = kDistToken;
+      m.a = p.dist;
+      m.b = (static_cast<std::uint64_t>(he.edge) << 32) | p.sender;
+      ctx.send(he.edge, m);
+    }
+  }
+}
+
+std::uint64_t MultiBellmanFordProgram::dist_of(std::size_t i, VertexId v) const {
+  LCS_REQUIRE(i < sources_.size(), "source index out of range");
+  LCS_REQUIRE(v < g_->num_vertices(), "vertex out of range");
+  return dist_[i * g_->num_vertices() + v];
+}
+
+VertexId MultiBellmanFordProgram::parent_of(std::size_t i, VertexId v) const {
+  LCS_REQUIRE(i < sources_.size(), "source index out of range");
+  LCS_REQUIRE(v < g_->num_vertices(), "vertex out of range");
+  return parent_[i * g_->num_vertices() + v];
+}
+
+}  // namespace lcs::congest

@@ -1,0 +1,58 @@
+// Scheduled multi-source weighted SSSP: K Bellman–Ford executions (one per
+// source) sharing the CONGEST bandwidth with per-edge FIFO queues.
+//
+// This is the communication pattern behind the landmark-based approximate
+// SSSP of Corollary 4.2: every landmark grows its weighted Voronoi region
+// concurrently; the simulated round count replaces the analytic charge.
+// Unlike BFS, a vertex's distance can improve repeatedly; each improvement
+// re-enqueues its announcements (standard distributed Bellman–Ford, just
+// multiplexed).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "congest/simulator.hpp"
+#include "graph/weighted.hpp"
+
+namespace lcs::congest {
+
+class MultiBellmanFordProgram : public Program {
+ public:
+  static constexpr std::uint64_t kInf = static_cast<std::uint64_t>(-1);
+
+  /// One execution per source, all over the full graph with weights `w`.
+  MultiBellmanFordProgram(const Graph& g, const graph::EdgeWeights& w,
+                          std::vector<VertexId> sources);
+
+  void on_round(NodeContext& ctx) override;
+  bool idle() const override { return total_queued_ == 0; }
+
+  std::size_t num_sources() const { return sources_.size(); }
+  /// Distance of v from source i (valid after quiescence).
+  std::uint64_t dist_of(std::size_t i, VertexId v) const;
+  VertexId parent_of(std::size_t i, VertexId v) const;
+
+ private:
+  void improve(std::size_t i, VertexId v, std::uint64_t d, VertexId par);
+
+  const Graph* g_;
+  const graph::EdgeWeights* w_;
+  std::vector<VertexId> sources_;
+  // dist_[i * n + v] layout (K * n words; K is small: landmarks).
+  std::vector<std::uint64_t> dist_;
+  std::vector<VertexId> parent_;
+  // Pending announcements per directed edge; an entry is (source, dist of
+  // the sender at enqueue time).  Stale entries (already improved) are
+  // dropped at send time.
+  struct Pending {
+    std::uint32_t source;
+    VertexId sender;
+    std::uint64_t dist;
+  };
+  std::vector<std::deque<Pending>> queue_;
+  std::uint64_t total_queued_ = 0;
+};
+
+}  // namespace lcs::congest

@@ -1,0 +1,176 @@
+#include "congest/multibfs.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace lcs::congest {
+
+namespace {
+constexpr std::uint32_t kMultiBfsToken = 10;
+}
+
+MultiBfsProgram::MultiBfsProgram(const Graph& g, std::vector<BfsInstanceSpec> specs)
+    : g_(&g), specs_(std::move(specs)) {
+  inst_.resize(specs_.size());
+  instances_rooted_at_.resize(g.num_vertices());
+  queue_.resize(2 * static_cast<std::size_t>(g.num_edges()));
+
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const BfsInstanceSpec& spec = specs_[i];
+    LCS_REQUIRE(spec.root < g.num_vertices(), "instance root out of range");
+    Instance& in = inst_[i];
+    in.root = spec.root;
+    in.depth_cap = spec.depth_cap;
+    in.start_round = spec.start_round;
+
+    std::vector<EdgeId> edges = spec.edges;
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+    // Member set: edge endpoints plus the root.
+    in.members.push_back(spec.root);
+    for (const EdgeId e : edges) {
+      const graph::Edge ed = g.edge(e);
+      in.members.push_back(ed.u);
+      in.members.push_back(ed.v);
+    }
+    std::sort(in.members.begin(), in.members.end());
+    in.members.erase(std::unique(in.members.begin(), in.members.end()), in.members.end());
+    in.index.reserve(in.members.size());
+    for (std::uint32_t k = 0; k < in.members.size(); ++k) in.index[in.members[k]] = k;
+
+    // Local adjacency CSR over members.
+    std::vector<std::uint32_t> deg(in.members.size() + 1, 0);
+    for (const EdgeId e : edges) {
+      const graph::Edge ed = g.edge(e);
+      ++deg[in.index.at(ed.u) + 1];
+      ++deg[in.index.at(ed.v) + 1];
+    }
+    for (std::size_t k = 0; k < in.members.size(); ++k) deg[k + 1] += deg[k];
+    in.offsets = deg;
+    in.adj.resize(2 * edges.size());
+    for (const EdgeId e : edges) {
+      const graph::Edge ed = g.edge(e);
+      in.adj[deg[in.index.at(ed.u)]++] = graph::HalfEdge{ed.v, e};
+      in.adj[deg[in.index.at(ed.v)]++] = graph::HalfEdge{ed.u, e};
+    }
+
+    in.dist.assign(in.members.size(), graph::kUnreached);
+    in.parent.assign(in.members.size(), graph::kNoVertex);
+    in.parent_edge.assign(in.members.size(), graph::kNoEdge);
+
+    instances_rooted_at_[spec.root].push_back(i);
+  }
+}
+
+std::size_t MultiBfsProgram::dir_of(EdgeId e, VertexId from) const {
+  const graph::Edge ed = g_->edge(e);
+  LCS_CHECK(ed.u == from || ed.v == from, "sender not an endpoint");
+  return 2 * static_cast<std::size_t>(e) + (ed.u == from ? 0 : 1);
+}
+
+void MultiBfsProgram::adopt_and_enqueue(std::size_t i, VertexId v, std::uint32_t d,
+                                        VertexId par, EdgeId par_edge,
+                                        std::uint32_t round) {
+  Instance& in = inst_[i];
+  const auto it = in.index.find(v);
+  LCS_CHECK(it != in.index.end(), "token reached a non-member vertex");
+  const std::uint32_t local = it->second;
+  if (in.dist[local] != graph::kUnreached) return;
+  in.dist[local] = d;
+  in.parent[local] = par;
+  in.parent_edge[local] = par_edge;
+  in.last_adoption = round;
+  in.max_depth = std::max(in.max_depth, d);
+  if (d >= in.depth_cap) return;
+  // Enqueue forwarding tokens on every instance-local incident edge.
+  for (std::uint32_t k = in.offsets[local]; k < in.offsets[local + 1]; ++k) {
+    const graph::HalfEdge he = in.adj[k];
+    Message m;
+    m.algo = static_cast<std::uint32_t>(i);
+    m.kind = kMultiBfsToken;
+    m.a = (static_cast<std::uint64_t>(he.edge) << 32) | d;
+    m.b = v;
+    queue_[dir_of(he.edge, v)].push_back(m);
+    ++total_queued_;
+  }
+}
+
+void MultiBfsProgram::on_round(NodeContext& ctx) {
+  const VertexId v = ctx.node();
+  const std::uint32_t round = ctx.round();
+
+  // Delayed starts.
+  for (const std::size_t i : instances_rooted_at_[v]) {
+    if (inst_[i].start_round == round) {
+      adopt_and_enqueue(i, v, 0, graph::kNoVertex, graph::kNoEdge, round);
+      ++started_;
+    }
+  }
+
+  // Token receipt.
+  for (const Message& m : ctx.inbox()) {
+    if (m.kind != kMultiBfsToken) continue;
+    const std::size_t i = m.algo;
+    const std::uint32_t d = static_cast<std::uint32_t>(m.a) + 1;
+    const EdgeId via = static_cast<EdgeId>(m.a >> 32);
+    adopt_and_enqueue(i, v, d, static_cast<VertexId>(m.b), via, round);
+  }
+
+  // Drain queues: one message per incident edge direction per round.
+  for (const graph::HalfEdge he : ctx.topology().neighbors(v)) {
+    auto& q = queue_[dir_of(he.edge, v)];
+    while (!q.empty() && ctx.remaining_capacity(he.edge) > 0) {
+      ctx.send(he.edge, q.front());
+      q.pop_front();
+      --total_queued_;
+    }
+  }
+}
+
+std::uint32_t MultiBfsProgram::dist_of(std::size_t i, VertexId v) const {
+  LCS_REQUIRE(i < inst_.size(), "instance out of range");
+  const auto it = inst_[i].index.find(v);
+  if (it == inst_[i].index.end()) return graph::kUnreached;
+  return inst_[i].dist[it->second];
+}
+
+VertexId MultiBfsProgram::parent_of(std::size_t i, VertexId v) const {
+  LCS_REQUIRE(i < inst_.size(), "instance out of range");
+  const auto it = inst_[i].index.find(v);
+  if (it == inst_[i].index.end()) return graph::kNoVertex;
+  return inst_[i].parent[it->second];
+}
+
+EdgeId MultiBfsProgram::parent_edge_of(std::size_t i, VertexId v) const {
+  LCS_REQUIRE(i < inst_.size(), "instance out of range");
+  const auto it = inst_[i].index.find(v);
+  if (it == inst_[i].index.end()) return graph::kNoEdge;
+  return inst_[i].parent_edge[it->second];
+}
+
+std::uint32_t MultiBfsProgram::last_adoption_round(std::size_t i) const {
+  LCS_REQUIRE(i < inst_.size(), "instance out of range");
+  return inst_[i].last_adoption;
+}
+
+std::uint32_t MultiBfsProgram::max_depth(std::size_t i) const {
+  LCS_REQUIRE(i < inst_.size(), "instance out of range");
+  return inst_[i].max_depth;
+}
+
+const std::vector<VertexId>& MultiBfsProgram::members(std::size_t i) const {
+  LCS_REQUIRE(i < inst_.size(), "instance out of range");
+  return inst_[i].members;
+}
+
+MultiBfsOutcome run_multi_bfs(const Graph& g, MultiBfsProgram& program,
+                              std::uint32_t max_rounds) {
+  Simulator sim(g, 1);
+  MultiBfsOutcome out;
+  out.stats = sim.run(program, max_rounds);
+  return out;
+}
+
+}  // namespace lcs::congest

@@ -1,0 +1,99 @@
+// Scheduled parallel BFS — the engine behind Theorem 2.1 ([Gha15]) as the
+// paper uses it: N BFS algorithms, the i-th restricted to its own
+// sub-network (for shortcuts: G[S_i] ∪ H_i), all run together under the
+// 1-message-per-edge-per-round CONGEST budget.  Each instance starts after
+// a (random) delay and grows one hop per delivery opportunity; tokens that
+// find an edge busy wait in per-edge FIFO queues (store-and-forward).
+//
+// With delays drawn uniformly from [0, C) and per-edge congestion <= C,
+// dilation <= d, all instances complete in O(C + d log n) rounds w.h.p. —
+// exactly the bound the shortcut construction's final step relies on.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "congest/simulator.hpp"
+
+namespace lcs::congest {
+
+struct BfsInstanceSpec {
+  VertexId root = graph::kNoVertex;
+  /// Sub-network edges (parent-graph edge ids; duplicates tolerated).
+  std::vector<EdgeId> edges;
+  std::uint32_t depth_cap = graph::kUnreached;
+  std::uint32_t start_round = 0;
+};
+
+class MultiBfsProgram : public Program {
+ public:
+  MultiBfsProgram(const Graph& g, std::vector<BfsInstanceSpec> specs);
+
+  void on_round(NodeContext& ctx) override;
+  /// Busy while tokens are queued or any instance still awaits its delayed
+  /// start (otherwise the simulator would quiesce before the start round).
+  bool idle() const override {
+    return total_queued_ == 0 && started_ == inst_.size();
+  }
+
+  std::size_t num_instances() const { return specs_.size(); }
+
+  /// BFS distance of `v` in instance `i`, or kUnreached.
+  std::uint32_t dist_of(std::size_t i, VertexId v) const;
+
+  /// BFS parent of `v` in instance `i` (parent-graph vertex), or kNoVertex.
+  VertexId parent_of(std::size_t i, VertexId v) const;
+  /// Edge to the BFS parent, or kNoEdge.
+  EdgeId parent_edge_of(std::size_t i, VertexId v) const;
+
+  /// Round at which instance i adopted its last vertex (0 if it never grew).
+  std::uint32_t last_adoption_round(std::size_t i) const;
+
+  /// Largest BFS depth reached by instance i.
+  std::uint32_t max_depth(std::size_t i) const;
+
+  /// Members (vertices incident to the instance's edges, plus its root).
+  const std::vector<VertexId>& members(std::size_t i) const;
+
+ private:
+  struct Instance {
+    VertexId root;
+    std::uint32_t depth_cap;
+    std::uint32_t start_round;
+    std::vector<VertexId> members;                       // sorted
+    std::unordered_map<VertexId, std::uint32_t> index;   // vertex -> local id
+    // Local CSR adjacency: (neighbour vertex, parent edge id).
+    std::vector<std::uint32_t> offsets;
+    std::vector<graph::HalfEdge> adj;
+    // Per-member BFS state.
+    std::vector<std::uint32_t> dist;
+    std::vector<VertexId> parent;
+    std::vector<EdgeId> parent_edge;
+    std::uint32_t last_adoption = 0;
+    std::uint32_t max_depth = 0;
+  };
+
+  void adopt_and_enqueue(std::size_t i, VertexId v, std::uint32_t d, VertexId par,
+                         EdgeId par_edge, std::uint32_t round);
+  std::size_t dir_of(EdgeId e, VertexId from) const;
+
+  const Graph* g_;
+  std::vector<BfsInstanceSpec> specs_;
+  std::vector<Instance> inst_;
+  std::vector<std::vector<std::size_t>> instances_rooted_at_;  // by root vertex
+  std::vector<std::deque<Message>> queue_;                     // by directed edge
+  std::uint64_t total_queued_ = 0;
+  std::size_t started_ = 0;
+};
+
+/// Convenience runner: simulate until every instance stops growing, then
+/// report the global round count and message totals.
+struct MultiBfsOutcome {
+  RunStats stats;
+};
+MultiBfsOutcome run_multi_bfs(const Graph& g, MultiBfsProgram& program,
+                              std::uint32_t max_rounds);
+
+}  // namespace lcs::congest

@@ -1,0 +1,217 @@
+#include "congest/multitree.hpp"
+
+#include <algorithm>
+
+#include "congest/multibfs.hpp"
+#include "util/check.hpp"
+
+namespace lcs::congest {
+
+namespace {
+constexpr std::uint32_t kAggToken = 20;
+constexpr std::uint32_t kCastToken = 21;
+
+std::size_t dir_of(const Graph& g, EdgeId e, VertexId from) {
+  const graph::Edge ed = g.edge(e);
+  LCS_CHECK(ed.u == from || ed.v == from, "sender not an endpoint");
+  return 2 * static_cast<std::size_t>(e) + (ed.u == from ? 0 : 1);
+}
+
+void validate_spec(const Graph& g, const TreeInstanceSpec& s) {
+  LCS_REQUIRE(s.root < g.num_vertices(), "tree root out of range");
+  LCS_REQUIRE(s.members.size() == s.parent.size() &&
+                  s.members.size() == s.parent_edge.size(),
+              "tree spec arrays must be parallel");
+  bool root_seen = false;
+  for (std::size_t k = 0; k < s.members.size(); ++k) {
+    if (s.members[k] == s.root) {
+      root_seen = true;
+      LCS_REQUIRE(s.parent[k] == graph::kNoVertex, "root must have no parent");
+    } else {
+      LCS_REQUIRE(s.parent[k] != graph::kNoVertex, "non-root member needs a parent");
+      LCS_REQUIRE(s.parent_edge[k] < g.num_edges(), "parent edge out of range");
+    }
+  }
+  LCS_REQUIRE(root_seen, "members must include the root");
+}
+
+}  // namespace
+
+// --- MultiConvergecastProgram -------------------------------------------------
+
+MultiConvergecastProgram::MultiConvergecastProgram(const Graph& g,
+                                                   std::vector<TreeInstanceSpec> specs,
+                                                   Op op)
+    : g_(&g), op_(std::move(op)) {
+  queue_.resize(2 * static_cast<std::size_t>(g.num_edges()));
+  inst_.resize(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    TreeInstanceSpec& s = specs[i];
+    validate_spec(g, s);
+    LCS_REQUIRE(s.value.size() == s.members.size(), "convergecast needs a value per member");
+    Instance& in = inst_[i];
+    in.root = s.root;
+    in.parent = s.parent;
+    in.parent_edge = s.parent_edge;
+    in.acc = s.value;
+    in.pending_children.assign(s.members.size(), 0);
+    in.sent.assign(s.members.size(), false);
+    in.index.reserve(s.members.size());
+    for (std::uint32_t k = 0; k < s.members.size(); ++k) in.index[s.members[k]] = k;
+    for (std::uint32_t k = 0; k < s.members.size(); ++k) {
+      if (s.parent[k] == graph::kNoVertex) continue;
+      const auto it = in.index.find(s.parent[k]);
+      LCS_REQUIRE(it != in.index.end(), "parent must be a member");
+      ++in.pending_children[it->second];
+    }
+    // Leaves enqueue immediately (round 0 drains them).
+    for (std::uint32_t k = 0; k < s.members.size(); ++k) maybe_enqueue_up(i, k);
+  }
+}
+
+void MultiConvergecastProgram::maybe_enqueue_up(std::size_t i, std::uint32_t local) {
+  Instance& in = inst_[i];
+  if (in.sent[local] || in.pending_children[local] > 0) return;
+  if (in.parent[local] == graph::kNoVertex) return;  // the root never sends
+  Message m;
+  m.algo = static_cast<std::uint32_t>(i);
+  m.kind = kAggToken;
+  m.a = in.acc[local];
+  // Own vertex id = the parent edge's endpoint that is not the parent.
+  const graph::Edge ed = g_->edge(in.parent_edge[local]);
+  const VertexId self = ed.u == in.parent[local] ? ed.v : ed.u;
+  queue_[dir_of(*g_, in.parent_edge[local], self)].push_back(m);
+  ++total_queued_;
+  in.sent[local] = true;
+}
+
+void MultiConvergecastProgram::on_round(NodeContext& ctx) {
+  const VertexId v = ctx.node();
+  for (const Message& m : ctx.inbox()) {
+    if (m.kind != kAggToken) continue;
+    const std::size_t i = m.algo;
+    Instance& in = inst_[i];
+    const auto it = in.index.find(v);
+    LCS_CHECK(it != in.index.end(), "aggregation token reached a non-member");
+    const std::uint32_t local = it->second;
+    in.acc[local] = op_(in.acc[local], m.a);
+    LCS_CHECK(in.pending_children[local] > 0, "more reports than children");
+    --in.pending_children[local];
+    maybe_enqueue_up(i, local);
+  }
+  for (const graph::HalfEdge he : ctx.topology().neighbors(v)) {
+    auto& q = queue_[dir_of(*g_, he.edge, v)];
+    while (!q.empty() && ctx.remaining_capacity(he.edge) > 0) {
+      ctx.send(he.edge, q.front());
+      q.pop_front();
+      --total_queued_;
+    }
+  }
+}
+
+std::uint64_t MultiConvergecastProgram::result(std::size_t i) const {
+  LCS_REQUIRE(i < inst_.size(), "instance out of range");
+  const Instance& in = inst_[i];
+  return in.acc[in.index.at(in.root)];
+}
+
+bool MultiConvergecastProgram::complete(std::size_t i) const {
+  LCS_REQUIRE(i < inst_.size(), "instance out of range");
+  const Instance& in = inst_[i];
+  return in.pending_children[in.index.at(in.root)] == 0;
+}
+
+// --- MultiBroadcastProgram ------------------------------------------------------
+
+MultiBroadcastProgram::MultiBroadcastProgram(const Graph& g,
+                                             std::vector<TreeInstanceSpec> specs,
+                                             std::vector<std::uint64_t> root_values)
+    : g_(&g) {
+  LCS_REQUIRE(root_values.size() == specs.size(), "one root value per instance");
+  queue_.resize(2 * static_cast<std::size_t>(g.num_edges()));
+  inst_.resize(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    TreeInstanceSpec& s = specs[i];
+    validate_spec(g, s);
+    Instance& in = inst_[i];
+    in.root = s.root;
+    in.members = s.members;
+    in.index.reserve(s.members.size());
+    for (std::uint32_t k = 0; k < s.members.size(); ++k) in.index[s.members[k]] = k;
+    in.children.assign(s.members.size(), {});
+    in.got.assign(s.members.size(), kMissing);
+    for (std::uint32_t k = 0; k < s.members.size(); ++k) {
+      if (s.parent[k] == graph::kNoVertex) continue;
+      in.children[in.index.at(s.parent[k])].emplace_back(k, s.parent_edge[k]);
+    }
+    deliver(i, in.index.at(s.root), root_values[i]);
+  }
+}
+
+void MultiBroadcastProgram::deliver(std::size_t i, std::uint32_t local,
+                                    std::uint64_t value) {
+  Instance& in = inst_[i];
+  if (in.got[local] != kMissing) return;
+  in.got[local] = value;
+  ++in.received;
+  for (const auto& [child_local, edge] : in.children[local]) {
+    Message m;
+    m.algo = static_cast<std::uint32_t>(i);
+    m.kind = kCastToken;
+    m.a = value;
+    // Sender = the parent-side endpoint of the child's parent edge.
+    const graph::Edge ed = g_->edge(edge);
+    const VertexId child_vertex = in.members[child_local];
+    const VertexId sender = ed.u == child_vertex ? ed.v : ed.u;
+    queue_[dir_of(*g_, edge, sender)].push_back(m);
+    ++total_queued_;
+  }
+}
+
+void MultiBroadcastProgram::on_round(NodeContext& ctx) {
+  const VertexId v = ctx.node();
+  for (const Message& m : ctx.inbox()) {
+    if (m.kind != kCastToken) continue;
+    const std::size_t i = m.algo;
+    Instance& in = inst_[i];
+    const auto it = in.index.find(v);
+    LCS_CHECK(it != in.index.end(), "broadcast token reached a non-member");
+    deliver(i, it->second, m.a);
+  }
+  for (const graph::HalfEdge he : ctx.topology().neighbors(v)) {
+    auto& q = queue_[dir_of(*g_, he.edge, v)];
+    while (!q.empty() && ctx.remaining_capacity(he.edge) > 0) {
+      ctx.send(he.edge, q.front());
+      q.pop_front();
+      --total_queued_;
+    }
+  }
+}
+
+std::uint64_t MultiBroadcastProgram::value_at(std::size_t i, VertexId v) const {
+  LCS_REQUIRE(i < inst_.size(), "instance out of range");
+  const auto it = inst_[i].index.find(v);
+  if (it == inst_[i].index.end()) return kMissing;
+  return inst_[i].got[it->second];
+}
+
+bool MultiBroadcastProgram::complete(std::size_t i) const {
+  LCS_REQUIRE(i < inst_.size(), "instance out of range");
+  return inst_[i].received == inst_[i].got.size();
+}
+
+TreeInstanceSpec tree_spec_from_multibfs(const MultiBfsProgram& prog, std::size_t i) {
+  TreeInstanceSpec s;
+  s.members.reserve(prog.members(i).size());
+  for (const VertexId v : prog.members(i)) {
+    if (prog.dist_of(i, v) == graph::kUnreached) continue;  // outside the tree
+    s.members.push_back(v);
+    s.parent.push_back(prog.parent_of(i, v));
+    s.parent_edge.push_back(prog.parent_edge_of(i, v));
+    if (prog.dist_of(i, v) == 0) s.root = v;
+  }
+  s.value.assign(s.members.size(), 0);
+  return s;
+}
+
+}  // namespace lcs::congest

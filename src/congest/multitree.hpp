@@ -1,0 +1,106 @@
+// Scheduled multi-instance tree aggregation: N convergecasts (and
+// broadcasts) over N trees — typically the BFS trees that MultiBfsProgram
+// just built over the augmented subgraphs — sharing the CONGEST bandwidth
+// with per-edge FIFO queues, exactly like the multi-BFS stage.
+//
+// This is the communication pattern behind the shortcut framework's
+// applications: "every fragment aggregates its minimum-weight outgoing
+// edge over G[S_i] ∪ H_i" is one MultiConvergecast (min) followed by one
+// MultiBroadcast of the result.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "congest/simulator.hpp"
+
+namespace lcs::congest {
+
+/// A rooted tree over a subset of vertices, given by parent pointers.
+/// members must include the root; parent/parent_edge are parallel to
+/// members (kNoVertex/kNoEdge at the root).
+struct TreeInstanceSpec {
+  VertexId root = graph::kNoVertex;
+  std::vector<VertexId> members;
+  std::vector<VertexId> parent;
+  std::vector<EdgeId> parent_edge;
+  /// Per-member input value (used by the convergecast).
+  std::vector<std::uint64_t> value;
+};
+
+class MultiConvergecastProgram : public Program {
+ public:
+  using Op = std::function<std::uint64_t(std::uint64_t, std::uint64_t)>;
+
+  /// `op` must be associative and commutative.
+  MultiConvergecastProgram(const Graph& g, std::vector<TreeInstanceSpec> specs, Op op);
+
+  void on_round(NodeContext& ctx) override;
+  bool idle() const override { return total_queued_ == 0; }
+
+  /// Aggregate over instance i's members (valid after quiescence).
+  std::uint64_t result(std::size_t i) const;
+  /// True when the root of instance i received all child reports.
+  bool complete(std::size_t i) const;
+
+ private:
+  struct Instance {
+    VertexId root;
+    std::unordered_map<VertexId, std::uint32_t> index;
+    std::vector<VertexId> parent;
+    std::vector<EdgeId> parent_edge;
+    std::vector<std::uint64_t> acc;
+    std::vector<std::uint32_t> pending_children;
+    std::vector<bool> sent;
+  };
+
+  void maybe_enqueue_up(std::size_t i, std::uint32_t local);
+
+  const Graph* g_;
+  Op op_;
+  std::vector<Instance> inst_;
+  std::vector<std::deque<Message>> queue_;
+  std::uint64_t total_queued_ = 0;
+};
+
+class MultiBroadcastProgram : public Program {
+ public:
+  /// Broadcast `root_value[i]` down tree i.
+  MultiBroadcastProgram(const Graph& g, std::vector<TreeInstanceSpec> specs,
+                        std::vector<std::uint64_t> root_values);
+
+  void on_round(NodeContext& ctx) override;
+  bool idle() const override { return total_queued_ == 0; }
+
+  /// Value received by `v` in instance i (valid after quiescence); the
+  /// root's value when v participates, nullopt-like kMissing otherwise.
+  static constexpr std::uint64_t kMissing = static_cast<std::uint64_t>(-1);
+  std::uint64_t value_at(std::size_t i, VertexId v) const;
+  bool complete(std::size_t i) const;
+
+ private:
+  struct Instance {
+    VertexId root;
+    std::vector<VertexId> members;
+    std::unordered_map<VertexId, std::uint32_t> index;
+    std::vector<std::vector<std::pair<std::uint32_t, EdgeId>>> children;  // local ids
+    std::vector<std::uint64_t> got;
+    std::uint32_t received = 0;
+  };
+
+  void deliver(std::size_t i, std::uint32_t local, std::uint64_t value);
+
+  const Graph* g_;
+  std::vector<Instance> inst_;
+  std::vector<std::deque<Message>> queue_;
+  std::uint64_t total_queued_ = 0;
+};
+
+/// Convenience: derive a TreeInstanceSpec from a MultiBfs result.
+class MultiBfsProgram;
+TreeInstanceSpec tree_spec_from_multibfs(const MultiBfsProgram& prog, std::size_t i);
+
+}  // namespace lcs::congest

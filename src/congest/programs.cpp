@@ -1,0 +1,280 @@
+#include "congest/programs.hpp"
+
+#include <algorithm>
+
+namespace lcs::congest {
+
+namespace {
+// Message kinds shared by the building-block programs.
+constexpr std::uint32_t kBfsToken = 1;
+constexpr std::uint32_t kAggUp = 2;
+constexpr std::uint32_t kCastDown = 3;
+constexpr std::uint32_t kDistUpdate = 4;
+}  // namespace
+
+RootedTree RootedTree::from_bfs(const Graph& g, const graph::BfsResult& r, VertexId root) {
+  LCS_REQUIRE(root < g.num_vertices(), "root out of range");
+  LCS_REQUIRE(r.dist.size() == g.num_vertices(), "BFS result does not match graph");
+  LCS_REQUIRE(r.dist[root] == 0, "root must be a BFS source");
+  RootedTree t;
+  t.root = root;
+  t.parent = r.parent;
+  t.parent_edge = r.parent_edge;
+  t.member.assign(g.num_vertices(), false);
+  t.child_edges.resize(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!r.reached_vertex(v)) continue;
+    t.member[v] = true;
+    if (r.parent[v] != graph::kNoVertex)
+      t.child_edges[r.parent[v]].push_back(r.parent_edge[v]);
+  }
+  for (auto& ce : t.child_edges) std::sort(ce.begin(), ce.end());
+  return t;
+}
+
+std::uint32_t RootedTree::num_members() const {
+  return static_cast<std::uint32_t>(std::count(member.begin(), member.end(), true));
+}
+
+// --- BfsProgram -------------------------------------------------------------
+
+BfsProgram::BfsProgram(std::uint32_t n, VertexId source, std::uint32_t depth_cap)
+    : source_(source),
+      depth_cap_(depth_cap),
+      dist_(n, graph::kUnreached),
+      parent_(n, graph::kNoVertex),
+      parent_edge_(n, graph::kNoEdge) {
+  LCS_REQUIRE(source < n, "source out of range");
+}
+
+void BfsProgram::on_round(NodeContext& ctx) {
+  const VertexId v = ctx.node();
+  bool adopted = false;
+  if (ctx.round() == 0 && v == source_) {
+    dist_[v] = 0;
+    adopted = true;
+  }
+  for (const Message& m : ctx.inbox()) {
+    if (m.kind != kBfsToken) continue;
+    const std::uint32_t cand = static_cast<std::uint32_t>(m.a) + 1;
+    if (dist_[v] != graph::kUnreached) continue;
+    dist_[v] = cand;
+    parent_[v] = static_cast<VertexId>(m.b);
+    parent_edge_[v] = static_cast<EdgeId>(m.a >> 32);
+    adopted = true;
+  }
+  if (adopted && dist_[v] < depth_cap_) {
+    for (const graph::HalfEdge he : ctx.topology().neighbors(v)) {
+      Message m;
+      m.kind = kBfsToken;
+      m.a = (static_cast<std::uint64_t>(he.edge) << 32) | dist_[v];
+      m.b = v;
+      ctx.send(he.edge, m);
+    }
+  }
+}
+
+// --- ConvergecastProgram ----------------------------------------------------
+
+ConvergecastProgram::ConvergecastProgram(const RootedTree& tree,
+                                         std::vector<std::uint64_t> values, Op op)
+    : tree_(&tree), op_(std::move(op)), acc_(std::move(values)) {
+  const std::size_t n = tree_->member.size();
+  LCS_REQUIRE(acc_.size() == n, "value vector does not match tree size");
+  pending_children_.resize(n);
+  sent_.assign(n, false);
+  for (std::size_t v = 0; v < n; ++v)
+    pending_children_[v] = static_cast<std::uint32_t>(tree_->child_edges[v].size());
+}
+
+void ConvergecastProgram::maybe_send_up(NodeContext& ctx) {
+  const VertexId v = ctx.node();
+  if (sent_[v] || pending_children_[v] > 0) return;
+  if (v == tree_->root || !tree_->member[v]) return;
+  Message m;
+  m.kind = kAggUp;
+  m.a = acc_[v];
+  ctx.send(tree_->parent_edge[v], m);
+  sent_[v] = true;
+}
+
+void ConvergecastProgram::on_round(NodeContext& ctx) {
+  const VertexId v = ctx.node();
+  if (!tree_->member[v]) return;
+  for (const Message& m : ctx.inbox()) {
+    if (m.kind != kAggUp) continue;
+    acc_[v] = op_(acc_[v], m.a);
+    LCS_CHECK(pending_children_[v] > 0, "more child reports than children");
+    --pending_children_[v];
+  }
+  maybe_send_up(ctx);
+}
+
+std::uint64_t ConvergecastProgram::result() const {
+  LCS_REQUIRE(tree_->root != graph::kNoVertex, "tree has no root");
+  return acc_[tree_->root];
+}
+
+// --- BroadcastProgram ---------------------------------------------------------
+
+BroadcastProgram::BroadcastProgram(const RootedTree& tree, std::uint64_t value)
+    : tree_(&tree), root_value_(value) {
+  const std::size_t n = tree_->member.size();
+  has_value_.assign(n, false);
+  value_.assign(n, 0);
+}
+
+void BroadcastProgram::on_round(NodeContext& ctx) {
+  const VertexId v = ctx.node();
+  if (!tree_->member[v]) return;
+  bool fresh = false;
+  if (ctx.round() == 0 && v == tree_->root) {
+    has_value_[v] = true;
+    value_[v] = root_value_;
+    fresh = true;
+  }
+  for (const Message& m : ctx.inbox()) {
+    if (m.kind != kCastDown || has_value_[v]) continue;
+    has_value_[v] = true;
+    value_[v] = m.a;
+    fresh = true;
+  }
+  if (fresh) {
+    for (const EdgeId ce : tree_->child_edges[v]) {
+      Message m;
+      m.kind = kCastDown;
+      m.a = value_[v];
+      ctx.send(ce, m);
+    }
+  }
+}
+
+std::uint64_t BroadcastProgram::value_at(VertexId v) const {
+  LCS_REQUIRE(has_value_[v], "node did not receive the broadcast");
+  return value_[v];
+}
+
+// --- PrefixAssignProgram -----------------------------------------------------
+
+PrefixAssignProgram::PrefixAssignProgram(const RootedTree& tree, std::vector<bool> flagged)
+    : tree_(&tree), flagged_(std::move(flagged)) {
+  const std::size_t n = tree_->member.size();
+  LCS_REQUIRE(flagged_.size() == n, "flag vector does not match tree size");
+  count_.assign(n, 0);
+  pending_children_.resize(n);
+  sent_up_.assign(n, false);
+  rank_.assign(n, graph::kUnreached);
+  for (std::size_t v = 0; v < n; ++v) {
+    pending_children_[v] = static_cast<std::uint32_t>(tree_->child_edges[v].size());
+    if (tree_->member[v] && flagged_[v]) count_[v] = 1;
+  }
+  std::size_t max_edge = 0;
+  for (std::size_t v = 0; v < n; ++v)
+    for (const EdgeId e : tree_->child_edges[v])
+      max_edge = std::max<std::size_t>(max_edge, e + 1);
+  child_count_.assign(max_edge, 0);
+}
+
+void PrefixAssignProgram::assign_and_forward(NodeContext& ctx, std::uint64_t base) {
+  const VertexId v = ctx.node();
+  std::uint64_t running = base;
+  if (flagged_[v]) {
+    rank_[v] = static_cast<std::uint32_t>(running);
+    ++running;
+  }
+  for (const EdgeId ce : tree_->child_edges[v]) {
+    Message m;
+    m.kind = kCastDown;
+    m.a = running;
+    ctx.send(ce, m);
+    running += child_count_[ce];
+  }
+}
+
+void PrefixAssignProgram::on_round(NodeContext& ctx) {
+  const VertexId v = ctx.node();
+  if (!tree_->member[v]) return;
+  for (const Message& m : ctx.inbox()) {
+    if (m.kind == kAggUp) {
+      // Identify which child edge delivered this (the only child edge whose
+      // count is still unset and whose subtree just reported).  The message
+      // itself tells us: sender is the child; we recover the edge by
+      // scanning child edges for the one matching the sender's report
+      // ordering — instead, encode the edge id in the payload.
+      const EdgeId ce = static_cast<EdgeId>(m.a >> 40);
+      const std::uint64_t cnt = m.a & ((1ULL << 40) - 1);
+      LCS_CHECK(ce < child_count_.size(), "child edge id out of range");
+      child_count_[ce] = cnt;
+      count_[v] += cnt;
+      LCS_CHECK(pending_children_[v] > 0, "more child reports than children");
+      --pending_children_[v];
+    } else if (m.kind == kCastDown) {
+      assign_and_forward(ctx, m.a);
+    }
+  }
+  if (!sent_up_[v] && pending_children_[v] == 0) {
+    if (v == tree_->root) {
+      assign_and_forward(ctx, 0);
+      sent_up_[v] = true;
+    } else {
+      // Upward report carries (parent edge id, subtree count) packed into one
+      // word: 24 bits of edge id, 40 bits of count.
+      LCS_CHECK(tree_->parent_edge[v] < (1u << 24), "edge id exceeds packing width");
+      Message m;
+      m.kind = kAggUp;
+      m.a = (static_cast<std::uint64_t>(tree_->parent_edge[v]) << 40) | count_[v];
+      ctx.send(tree_->parent_edge[v], m);
+      sent_up_[v] = true;
+    }
+  }
+}
+
+std::uint32_t PrefixAssignProgram::total() const {
+  LCS_REQUIRE(tree_->root != graph::kNoVertex, "tree has no root");
+  return static_cast<std::uint32_t>(count_[tree_->root]);
+}
+
+// --- BellmanFordProgram -------------------------------------------------------
+
+BellmanFordProgram::BellmanFordProgram(const Graph& g, const graph::EdgeWeights& w,
+                                       VertexId source)
+    : w_(&w), source_(source) {
+  LCS_REQUIRE(w.size() == g.num_edges(), "weights do not match graph");
+  LCS_REQUIRE(source < g.num_vertices(), "source out of range");
+  for (const graph::Weight x : w) LCS_REQUIRE(x >= 0, "negative weights unsupported");
+  dist_.assign(g.num_vertices(), kInf);
+  parent_.assign(g.num_vertices(), graph::kNoVertex);
+  parent_edge_.assign(g.num_vertices(), graph::kNoEdge);
+  dirty_.assign(g.num_vertices(), false);
+}
+
+void BellmanFordProgram::on_round(NodeContext& ctx) {
+  const VertexId v = ctx.node();
+  if (ctx.round() == 0 && v == source_) {
+    dist_[v] = 0;
+    dirty_[v] = true;
+  }
+  for (const Message& m : ctx.inbox()) {
+    if (m.kind != kDistUpdate) continue;
+    const EdgeId via = static_cast<EdgeId>(m.b);
+    const std::uint64_t cand = m.a + static_cast<std::uint64_t>((*w_)[via]);
+    if (cand < dist_[v]) {
+      dist_[v] = cand;
+      parent_[v] = ctx.topology().other_endpoint(via, v);
+      parent_edge_[v] = via;
+      dirty_[v] = true;
+    }
+  }
+  if (dirty_[v]) {
+    for (const graph::HalfEdge he : ctx.topology().neighbors(v)) {
+      Message m;
+      m.kind = kDistUpdate;
+      m.a = dist_[v];
+      m.b = he.edge;
+      ctx.send(he.edge, m);
+    }
+    dirty_[v] = false;
+  }
+}
+
+}  // namespace lcs::congest

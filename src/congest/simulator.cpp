@@ -1,0 +1,85 @@
+#include "congest/simulator.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace lcs::congest {
+
+std::uint32_t NodeContext::round() const { return sim_.round_; }
+const Graph& NodeContext::topology() const { return *sim_.g_; }
+
+std::span<const Message> NodeContext::inbox() const { return sim_.inbox_[node_]; }
+
+void NodeContext::send(EdgeId via_edge, const Message& m) {
+  const std::size_t d = sim_.dir_index(via_edge, node_);
+  LCS_REQUIRE(sim_.sent_this_round_[d] < sim_.capacity_,
+              "edge capacity exceeded; CONGEST programs must queue");
+  ++sim_.sent_this_round_[d];
+  sim_.outbox_[d].push_back(m);
+}
+
+std::uint32_t NodeContext::remaining_capacity(EdgeId via_edge) const {
+  const std::size_t d = sim_.dir_index(via_edge, node_);
+  return sim_.capacity_ - sim_.sent_this_round_[d];
+}
+
+Simulator::Simulator(const Graph& g, std::uint32_t edge_capacity)
+    : g_(&g), capacity_(edge_capacity) {
+  LCS_REQUIRE(edge_capacity >= 1, "edge capacity must be positive");
+  const std::size_t dirs = 2 * static_cast<std::size_t>(g.num_edges());
+  outbox_.resize(dirs);
+  inbox_.resize(g.num_vertices());
+  sent_this_round_.assign(dirs, 0);
+  cumulative_load_.assign(dirs, 0);
+}
+
+std::size_t Simulator::dir_index(EdgeId e, VertexId from) const {
+  const graph::Edge ed = g_->edge(e);
+  LCS_REQUIRE(ed.u == from || ed.v == from, "sender is not an endpoint of the edge");
+  return 2 * static_cast<std::size_t>(e) + (ed.u == from ? 0 : 1);
+}
+
+RunStats Simulator::run(Program& p, std::uint32_t max_rounds) {
+  RunStats stats;
+  for (std::uint32_t r = 0; r < max_rounds; ++r) {
+    round_ = r;
+    std::fill(sent_this_round_.begin(), sent_this_round_.end(), 0);
+
+    for (VertexId v = 0; v < g_->num_vertices(); ++v) {
+      NodeContext ctx(*this, v);
+      p.on_round(ctx);
+    }
+    ++stats.rounds;
+
+    // Deliver: move outboxes into the receivers' inboxes for next round.
+    bool in_flight = false;
+    for (auto& box : inbox_) box.clear();
+    for (EdgeId e = 0; e < g_->num_edges(); ++e) {
+      const graph::Edge ed = g_->edge(e);
+      for (int dir = 0; dir < 2; ++dir) {
+        const std::size_t d = 2 * static_cast<std::size_t>(e) + dir;
+        if (outbox_[d].empty()) continue;
+        in_flight = true;
+        const VertexId to = dir == 0 ? ed.v : ed.u;
+        cumulative_load_[d] += outbox_[d].size();
+        messages_ += outbox_[d].size();
+        stats.messages += outbox_[d].size();
+        auto& box = inbox_[to];
+        box.insert(box.end(), outbox_[d].begin(), outbox_[d].end());
+        outbox_[d].clear();
+      }
+    }
+
+    if (!in_flight && p.idle()) {
+      stats.completed = true;
+      break;
+    }
+  }
+  stats.max_edge_load = cumulative_load_.empty()
+                            ? 0
+                            : *std::max_element(cumulative_load_.begin(), cumulative_load_.end());
+  return stats;
+}
+
+}  // namespace lcs::congest

@@ -1,0 +1,120 @@
+#include "core/dilation_argument.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "util/check.hpp"
+
+namespace lcs::core {
+
+namespace {
+
+/// BFS distance between two parent-graph vertices inside the subgraph.
+std::uint32_t sub_dist(const graph::EdgeInducedSubgraph& sub, VertexId a, VertexId b) {
+  const auto la = sub.to_local(a);
+  const auto lb = sub.to_local(b);
+  if (!la.has_value() || !lb.has_value()) return graph::kUnreached;
+  const graph::BfsResult r = graph::bfs(sub.local_graph(), *la);
+  return r.dist[*lb];
+}
+
+/// Shortest path between two part vertices inside G[S] (vertex sequence).
+std::vector<VertexId> part_path(const Graph& g, const std::vector<VertexId>& part,
+                                VertexId s, VertexId t) {
+  const std::vector<EdgeId> induced = induced_part_edges(g, part);
+  const graph::EdgeInducedSubgraph sub(g, induced);
+  const auto ls = sub.to_local(s);
+  const auto lt = sub.to_local(t);
+  LCS_REQUIRE(ls.has_value() && lt.has_value(),
+              "s and t must have induced edges inside the part");
+  const graph::BfsResult r = graph::bfs(sub.local_graph(), *ls);
+  LCS_REQUIRE(r.reached_vertex(*lt), "part must connect s and t");
+  std::vector<VertexId> local = graph::extract_path(r, *lt);
+  std::vector<VertexId> out;
+  out.reserve(local.size());
+  for (const VertexId lv : local) out.push_back(sub.to_parent(lv));
+  return out;
+}
+
+}  // namespace
+
+DilationCertificate certify_dilation(const Graph& g, const std::vector<VertexId>& part,
+                                     const std::vector<EdgeId>& h_edges, VertexId s,
+                                     VertexId t, double k_d, const CertifyOptions& opt) {
+  LCS_REQUIRE(k_d >= 1.0, "k_d must be at least 1");
+  LCS_REQUIRE(opt.budget_factor > 0.0, "budget factor must be positive");
+
+  DilationCertificate cert;
+  cert.budget = opt.budget_factor * k_d;
+  const std::uint32_t budget = static_cast<std::uint32_t>(std::ceil(cert.budget));
+  const std::uint32_t base_case = opt.base_case > 0 ? opt.base_case : budget;
+
+  // The augmented subgraph H = G[S] ∪ h_edges; referee distance first.
+  const std::vector<EdgeId> aug = augmented_edges(g, part, h_edges);
+  const graph::EdgeInducedSubgraph sub(g, aug);
+  cert.actual = sub_dist(sub, s, t);
+  LCS_REQUIRE(cert.actual != graph::kUnreached, "H does not connect s and t");
+
+  // The recursion of Theorem 3.1 over the G[S]-shortest path.
+  std::vector<VertexId> path = part_path(g, part, s, t);
+  cert.success = true;
+  while (true) {
+    RecursionLevel level;
+    level.path_length = static_cast<std::uint32_t>(path.size());
+
+    // O3 first — the direct shortcut gives the tightest certificate.
+    const VertexId v1 = path.front();
+    const VertexId vlast = path.back();
+    const std::uint32_t whole = sub_dist(sub, v1, vlast);
+    if (whole <= budget) {
+      level.event = HalfEvent::kWholePair;
+      level.shortcut_length = whole;
+      cert.certified += whole;
+      cert.levels.push_back(level);
+      break;
+    }
+    if (path.size() <= base_case) {
+      // Base case: the remaining sub-path is itself within one budget
+      // (its edges are in G[S] ⊆ H).
+      level.event = HalfEvent::kBaseCase;
+      level.shortcut_length = static_cast<std::uint32_t>(path.size() - 1);
+      cert.certified += level.shortcut_length;
+      cert.levels.push_back(level);
+      break;
+    }
+    const std::size_t d = path.size() / 2;  // path = [v_1 .. v_{2d-1}] roughly
+    const VertexId vd = path[d];
+    const std::uint32_t first = sub_dist(sub, v1, vd);
+    const std::uint32_t second = sub_dist(sub, vd, vlast);
+
+    if (first <= budget || second <= budget) {
+      // One half shortcuts within budget; recurse on the other half.
+      const bool first_half_done = first <= second;
+      level.event = first_half_done ? HalfEvent::kFirstHalf : HalfEvent::kSecondHalf;
+      level.shortcut_length = std::min(first, second);
+      cert.certified += level.shortcut_length;
+      cert.levels.push_back(level);
+      if (first_half_done) {
+        path.erase(path.begin(), path.begin() + static_cast<std::ptrdiff_t>(d));
+      } else {
+        path.resize(d + 1);
+      }
+      ++cert.depth;
+      continue;
+    }
+    // None of the three events within budget: the w.h.p. failure branch.
+    level.event = HalfEvent::kFailed;
+    cert.levels.push_back(level);
+    cert.success = false;
+    // Fall back to the referee so the certificate stays sound.
+    cert.certified += sub_dist(sub, v1, vlast);
+    break;
+  }
+
+  LCS_CHECK(cert.certified >= cert.actual || !cert.success,
+            "certificate must upper-bound the true distance");
+  return cert;
+}
+
+}  // namespace lcs::core

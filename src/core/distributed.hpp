@@ -1,0 +1,79 @@
+// Distributed implementation of the shortcut construction (Section 2),
+// executed on the CONGEST simulator:
+//
+//   1. BFS from an arbitrary node: n, a 2-approximation of D, and a global
+//      tree for aggregation (O(D) rounds).
+//   2. Truncated BFS inside every part from its leader, depth k_D: detects
+//      the "large" parts (those whose leader-BFS cannot span them within
+//      k_D hops) — O(k_D) rounds, parts are disjoint so they run in
+//      parallel with congestion 1.
+//   3. Numbering of the large parts in [0, N) by a convergecast/downcast on
+//      the global tree (O(D) rounds), plus broadcast of N and of the shared
+//      randomness SR (charged O(D + log n) rounds, as in the paper).
+//   4. Local sampling: every node flips the CoinFlipper coins (no rounds).
+//   5. All N (truncated) BFS trees of G[S_i] ∪ H_i are grown in parallel
+//      under random start delays with per-edge FIFO queues — the [Gha15]
+//      random-delay scheduler — and each leader verifies its tree spans S_i.
+//
+// The variant that does not know D (Section 2, "omitting the assumption")
+// sweeps guesses D'' = D'/2 .. D' and stops at the first success.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/kp.hpp"
+#include "core/shortcut.hpp"
+
+namespace lcs::core {
+
+struct DistributedOptions {
+  double beta = 1.0;
+  std::uint64_t seed = 1;
+  /// Exact diameter, when known.  Otherwise stage 1's 2-approximation
+  /// drives the parameters (or the guessing variant sweeps it).
+  std::optional<unsigned> diameter;
+  /// BFS depth cap for stage 5, as a multiple of k_D * ln n.
+  double depth_cap_factor = 4.0;
+  /// Hard cap on stage-5 rounds, as a multiple of k_D * ln^2 n.
+  double round_cap_factor = 24.0;
+};
+
+struct StageRounds {
+  std::uint32_t global_bfs = 0;     ///< stage 1
+  std::uint32_t part_detection = 0; ///< stage 2 (incl. spanning verification)
+  std::uint32_t numbering = 0;      ///< stage 3a
+  std::uint32_t sr_broadcast = 0;   ///< stage 3b (charged, not simulated)
+  std::uint32_t multi_bfs = 0;      ///< stage 5
+  std::uint32_t verification = 0;   ///< stage 5 spanning convergecast (charged)
+
+  std::uint32_t total() const {
+    return global_bfs + part_detection + numbering + sr_broadcast + multi_bfs +
+           verification;
+  }
+};
+
+struct DistributedOutcome {
+  bool success = false;            ///< every large part spanned within the caps
+  ShortcutParams params;
+  ShortcutSet shortcuts;           ///< the H_i actually constructed
+  std::vector<bool> is_large;
+  std::uint32_t num_large = 0;
+  std::uint32_t diameter_estimate = 0;  ///< 2-approx from stage 1 (eccentricity * 2)
+  StageRounds rounds;
+  std::uint64_t messages = 0;
+  std::uint32_t depth_cap = 0;     ///< stage-5 BFS truncation depth
+  std::uint32_t delay_range = 0;   ///< random start delays drawn from [0, this)
+  unsigned attempts = 1;           ///< > 1 only for the guessing variant
+};
+
+/// Run the full pipeline with D known (from opt.diameter) or estimated.
+DistributedOutcome build_distributed(const Graph& g, const Partition& parts,
+                                     const DistributedOptions& opt = {});
+
+/// The guessing variant: sweep D'' from max(3, ecc) upwards to 2*ecc until
+/// a sweep succeeds; round counts accumulate over failed attempts.
+DistributedOutcome build_distributed_guessing(const Graph& g, const Partition& parts,
+                                              DistributedOptions opt = {});
+
+}  // namespace lcs::core

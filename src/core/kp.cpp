@@ -1,0 +1,222 @@
+#include "core/kp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/coin.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+
+namespace lcs::core {
+
+namespace {
+
+unsigned effective_diameter(const Graph& g, const KpOptions& opt) {
+  if (opt.diameter.has_value()) return *opt.diameter;
+  // Double sweep is exact on our generator families and never above the
+  // true diameter, matching what a BFS-based 2-approximation would allow.
+  return std::max(1u, graph::diameter_double_sweep(g));
+}
+
+ShortcutParams make_params(const Graph& g, const KpOptions& opt) {
+  const unsigned d = effective_diameter(g, opt);
+  ShortcutParams p = ShortcutParams::make(g.num_vertices(), d, opt.beta);
+  if (opt.repetitions.has_value()) p.repetitions = std::max(1u, *opt.repetitions);
+  if (opt.probability_override.has_value())
+    p.sample_prob = std::clamp(*opt.probability_override, 0.0, 1.0);
+  return p;
+}
+
+struct Classification {
+  std::vector<bool> is_large;
+  std::vector<std::uint32_t> large_index;
+  std::uint32_t num_large = 0;
+};
+
+Classification classify(const Partition& parts, const ShortcutParams& params) {
+  Classification c;
+  c.is_large.resize(parts.parts.size());
+  c.large_index.assign(parts.parts.size(), graph::kUnreached);
+  for (std::size_t i = 0; i < parts.parts.size(); ++i) {
+    c.is_large[i] = parts.parts[i].size() > params.large_threshold;
+    if (c.is_large[i]) c.large_index[i] = c.num_large++;
+  }
+  return c;
+}
+
+}  // namespace
+
+ShortcutParams kp_params(const Graph& g, const Partition& parts, const KpOptions& opt) {
+  (void)parts;
+  return make_params(g, opt);
+}
+
+std::vector<EdgeId> kp_edges_for_part(const Graph& g, const Partition& parts,
+                                      std::size_t part, const ShortcutParams& params,
+                                      std::uint32_t large_idx, std::uint64_t seed,
+                                      unsigned repetitions) {
+  LCS_REQUIRE(part < parts.parts.size(), "part out of range");
+  const CoinFlipper coins(seed, params.sample_prob);
+  std::vector<bool> in_part(g.num_vertices(), false);
+  for (const VertexId v : parts.parts[part]) in_part[v] = true;
+
+  std::vector<EdgeId> h;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const graph::Edge ed = g.edge(e);
+    const bool u_in = in_part[ed.u];
+    const bool v_in = in_part[ed.v];
+    if (u_in || v_in) {
+      // Step 1: all edges incident to S_i, with probability 1.
+      h.push_back(e);
+      continue;
+    }
+    // Step 2: both endpoints sample the directed edge, `repetitions` times.
+    bool taken = false;
+    for (unsigned rep = 0; rep < repetitions && !taken; ++rep)
+      taken = coins.flip(e, 0, large_idx, rep) || coins.flip(e, 1, large_idx, rep);
+    if (taken) h.push_back(e);
+  }
+  return h;
+}
+
+KpBuildResult build_kp_shortcuts(const Graph& g, const Partition& parts,
+                                 const KpOptions& opt) {
+  KpBuildResult out;
+  out.params = make_params(g, opt);
+  Classification c = classify(parts, out.params);
+  out.is_large = std::move(c.is_large);
+  out.large_index = std::move(c.large_index);
+  out.num_large = c.num_large;
+
+  out.shortcuts.h.resize(parts.parts.size());
+  for (std::size_t i = 0; i < parts.parts.size(); ++i) {
+    if (!out.is_large[i]) continue;  // small parts get no shortcut
+    out.shortcuts.h[i] = kp_edges_for_part(g, parts, i, out.params, out.large_index[i],
+                                           opt.seed, out.params.repetitions);
+  }
+  return out;
+}
+
+KpStreamReport measure_kp_quality(const Graph& g, const Partition& parts,
+                                  const KpOptions& opt, const QualityOptions& qopt) {
+  KpStreamReport out;
+  out.params = make_params(g, opt);
+  const Classification c = classify(parts, out.params);
+  out.num_large = c.num_large;
+
+  std::vector<std::uint32_t> load(g.num_edges(), 0);
+  QualityReport& rep = out.quality;
+  for (std::size_t i = 0; i < parts.parts.size(); ++i) {
+    std::vector<EdgeId> h_i;
+    if (c.is_large[i]) {
+      h_i = kp_edges_for_part(g, parts, i, out.params, c.large_index[i], opt.seed,
+                              out.params.repetitions);
+      out.total_shortcut_edges += h_i.size();
+    }
+    for (const EdgeId e : augmented_edges(g, parts.parts[i], h_i)) ++load[e];
+    PartDilation pd =
+        measure_part_dilation(g, parts.parts[i], parts.leader(i), h_i, qopt);
+    rep.all_covered = rep.all_covered && pd.covered;
+    rep.dilation_lb = std::max(rep.dilation_lb, pd.diameter_lb);
+    rep.dilation_ub = std::max(rep.dilation_ub, pd.diameter_ub);
+    rep.max_cover_radius = std::max(rep.max_cover_radius, pd.cover_radius);
+    rep.parts.push_back(std::move(pd));
+  }
+  if (!load.empty()) rep.congestion = *std::max_element(load.begin(), load.end());
+  return out;
+}
+
+ShortcutSet build_gh_shortcuts(const Graph& g, const Partition& parts) {
+  const double threshold = std::sqrt(static_cast<double>(g.num_vertices()));
+  ShortcutSet sc;
+  sc.h.resize(parts.parts.size());
+  std::vector<EdgeId> all;
+  for (std::size_t i = 0; i < parts.parts.size(); ++i) {
+    if (static_cast<double>(parts.parts[i].size()) < threshold) continue;
+    if (all.empty()) {
+      all.resize(g.num_edges());
+      for (EdgeId e = 0; e < g.num_edges(); ++e) all[e] = e;
+    }
+    sc.h[i] = all;
+  }
+  return sc;
+}
+
+ShortcutSet build_trivial_shortcuts(const Partition& parts) {
+  ShortcutSet sc;
+  sc.h.resize(parts.parts.size());
+  return sc;
+}
+
+KpBuildResult build_kp_shortcuts_odd(const Graph& g, const Partition& parts,
+                                     const KpOptions& opt) {
+  KpBuildResult out;
+  out.params = make_params(g, opt);
+  LCS_REQUIRE(out.params.diameter % 2 == 1, "odd-diameter construction needs odd D");
+  Classification c = classify(parts, out.params);
+  out.is_large = std::move(c.is_large);
+  out.large_index = std::move(c.large_index);
+  out.num_large = c.num_large;
+
+  const graph::Subdivision sub = graph::subdivide(g);
+  const double p_half = std::sqrt(out.params.sample_prob);
+  const CoinFlipper coins(opt.seed, p_half);
+
+  out.shortcuts.h.resize(parts.parts.size());
+  std::vector<bool> in_part(g.num_vertices(), false);
+  for (std::size_t i = 0; i < parts.parts.size(); ++i) {
+    if (!out.is_large[i]) continue;
+    for (const VertexId v : parts.parts[i]) in_part[v] = true;
+    const std::uint32_t li = out.large_index[i];
+    auto& h = out.shortcuts.h[i];
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const graph::Edge ed = g.edge(e);
+      if (in_part[ed.u] || in_part[ed.v]) {
+        h.push_back(e);  // step 1: the two-edge path with probability 1
+        continue;
+      }
+      bool taken = false;
+      for (unsigned rep = 0; rep < out.params.repetitions && !taken; ++rep) {
+        // Both halves must be sampled in the same repetition: probability
+        // sqrt(p)^2 = p per repetition, exactly as in the paper.
+        taken = coins.flip(sub.half_a[e], 0, li, rep) &&
+                coins.flip(sub.half_b[e], 0, li, rep);
+      }
+      if (taken) h.push_back(e);
+    }
+    for (const VertexId v : parts.parts[i]) in_part[v] = false;
+  }
+  return out;
+}
+
+KpBuildResult build_kkoi_d3(const Graph& g, const Partition& parts, std::uint64_t seed,
+                            double beta) {
+  KpOptions opt;
+  opt.beta = beta;
+  opt.seed = seed;
+  opt.diameter = 3;
+  opt.repetitions = 1;
+  return build_kp_shortcuts(g, parts, opt);
+}
+
+ShortcutSet build_deterministic_tree_shortcuts(const Graph& g, const Partition& parts,
+                                               std::uint32_t depth_cap) {
+  if (depth_cap == 0) depth_cap = std::max(1u, graph::diameter_double_sweep(g));
+  const ShortcutParams params =
+      ShortcutParams::make(std::max<std::uint64_t>(2, g.num_vertices()),
+                           std::max(1u, depth_cap));
+  ShortcutSet sc;
+  sc.h.resize(parts.parts.size());
+  for (std::size_t i = 0; i < parts.parts.size(); ++i) {
+    if (parts.parts[i].size() <= params.large_threshold) continue;
+    const graph::BfsResult r = graph::bfs_truncated(g, parts.leader(i), depth_cap);
+    auto& h = sc.h[i];
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      if (r.parent_edge[v] != graph::kNoEdge) h.push_back(r.parent_edge[v]);
+    std::sort(h.begin(), h.end());
+  }
+  return sc;
+}
+
+}  // namespace lcs::core

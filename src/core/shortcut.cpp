@@ -1,0 +1,92 @@
+#include "core/shortcut.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace lcs::core {
+
+std::vector<EdgeId> induced_part_edges(const Graph& g, const std::vector<VertexId>& part) {
+  std::vector<bool> in_part(g.num_vertices(), false);
+  for (const VertexId v : part) {
+    LCS_REQUIRE(v < g.num_vertices(), "part vertex out of range");
+    in_part[v] = true;
+  }
+  std::vector<EdgeId> out;
+  for (const VertexId v : part) {
+    for (const graph::HalfEdge he : g.neighbors(v)) {
+      // Count each induced edge once (from its smaller endpoint).
+      if (in_part[he.to] && v < he.to) out.push_back(he.edge);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<EdgeId> augmented_edges(const Graph& g, const std::vector<VertexId>& part,
+                                    const std::vector<EdgeId>& h_i) {
+  std::vector<EdgeId> edges = induced_part_edges(g, part);
+  edges.insert(edges.end(), h_i.begin(), h_i.end());
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+PartDilation measure_part_dilation(const Graph& g, const std::vector<VertexId>& part,
+                                   VertexId leader, const std::vector<EdgeId>& h_i,
+                                   const QualityOptions& opt) {
+  PartDilation out;
+  const std::vector<EdgeId> edges = augmented_edges(g, part, h_i);
+  if (edges.empty()) {
+    // Singleton part with no shortcut edges: trivially covered, diameter 0.
+    out.covered = part.size() == 1;
+    out.exact = true;
+    return out;
+  }
+  const graph::EdgeInducedSubgraph sub(g, edges);
+  const auto radius = graph::cover_radius(sub, leader, part);
+  if (!radius.has_value()) return out;  // not covered
+  out.covered = true;
+  out.cover_radius = *radius;
+  const Graph& local = sub.local_graph();
+  if (local.num_vertices() <= opt.exact_diameter_max_vertices && graph::is_connected(local)) {
+    out.diameter_lb = out.diameter_ub = graph::diameter_exact(local);
+    out.exact = true;
+  } else {
+    // The augmented subgraph may be disconnected away from S_i (stray
+    // sampled edges); measure from the leader's component via sweeps.
+    out.diameter_lb = graph::diameter_double_sweep(local);
+    out.diameter_ub = std::max(out.diameter_lb, 2 * out.cover_radius);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> edge_congestion(const Graph& g, const Partition& parts,
+                                           const ShortcutSet& sc) {
+  LCS_REQUIRE(sc.h.size() == parts.parts.size(), "shortcut/partition size mismatch");
+  std::vector<std::uint32_t> load(g.num_edges(), 0);
+  for (std::size_t i = 0; i < parts.parts.size(); ++i) {
+    for (const EdgeId e : augmented_edges(g, parts.parts[i], sc.h[i])) ++load[e];
+  }
+  return load;
+}
+
+QualityReport measure_quality(const Graph& g, const Partition& parts, const ShortcutSet& sc,
+                              const QualityOptions& opt) {
+  LCS_REQUIRE(sc.h.size() == parts.parts.size(), "shortcut/partition size mismatch");
+  QualityReport rep;
+  std::vector<std::uint32_t> load(g.num_edges(), 0);
+  for (std::size_t i = 0; i < parts.parts.size(); ++i) {
+    for (const EdgeId e : augmented_edges(g, parts.parts[i], sc.h[i])) ++load[e];
+    PartDilation pd = measure_part_dilation(g, parts.parts[i], parts.leader(i), sc.h[i], opt);
+    rep.all_covered = rep.all_covered && pd.covered;
+    rep.dilation_lb = std::max(rep.dilation_lb, pd.diameter_lb);
+    rep.dilation_ub = std::max(rep.dilation_ub, pd.diameter_ub);
+    rep.max_cover_radius = std::max(rep.max_cover_radius, pd.cover_radius);
+    rep.parts.push_back(std::move(pd));
+  }
+  if (!load.empty()) rep.congestion = *std::max_element(load.begin(), load.end());
+  return rep;
+}
+
+}  // namespace lcs::core

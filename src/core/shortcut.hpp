@@ -1,0 +1,81 @@
+// Low-congestion shortcuts: the central data type and its quality metrics.
+//
+// Definition 1.1 (Ghaffari–Haeupler): given G and vertex-disjoint connected
+// parts S_1..S_l, a (c, d)-shortcut assigns each part a subgraph H_i ⊆ G
+// such that diam(G[S_i] ∪ H_i) <= d and no edge lies in more than c of the
+// augmented subgraphs.  Here H_i is simply a set of edge ids of G.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+
+namespace lcs::core {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::Partition;
+using graph::VertexId;
+
+/// A shortcut assignment: H_i per part (parallel to partition.parts).
+struct ShortcutSet {
+  std::vector<std::vector<EdgeId>> h;
+
+  std::size_t num_parts() const { return h.size(); }
+};
+
+/// Edge ids of G[S]: edges with both endpoints inside the part.
+std::vector<EdgeId> induced_part_edges(const Graph& g, const std::vector<VertexId>& part);
+
+/// Edge ids of the augmented subgraph G[S_i] ∪ H_i (deduplicated).
+std::vector<EdgeId> augmented_edges(const Graph& g, const std::vector<VertexId>& part,
+                                    const std::vector<EdgeId>& h_i);
+
+/// Per-part dilation measurements.
+struct PartDilation {
+  bool covered = false;            ///< augmented subgraph connects all of S_i
+  std::uint32_t cover_radius = 0;  ///< BFS depth from the leader covering S_i
+  std::uint32_t diameter_lb = 0;   ///< double-sweep lower bound on diam(G[S_i] ∪ H_i)
+  std::uint32_t diameter_ub = 0;   ///< upper bound (exact when small, else 2*radius)
+  bool exact = false;              ///< lb == ub == exact diameter
+};
+
+struct QualityReport {
+  std::uint32_t congestion = 0;        ///< max over edges of #augmented subgraphs containing it
+  std::uint32_t dilation_lb = 0;       ///< max over parts of diameter_lb
+  std::uint32_t dilation_ub = 0;       ///< max over parts of diameter_ub
+  std::uint32_t max_cover_radius = 0;  ///< max over parts of cover_radius
+  bool all_covered = true;
+  std::vector<PartDilation> parts;
+
+  /// Headline quality c + d, using the upper-bound dilation.
+  std::uint64_t quality() const {
+    return static_cast<std::uint64_t>(congestion) + dilation_ub;
+  }
+};
+
+struct QualityOptions {
+  /// Exact diameter is computed for augmented subgraphs with at most this
+  /// many vertices; larger ones get the double-sweep / 2*radius bracket.
+  std::uint32_t exact_diameter_max_vertices = 700;
+};
+
+/// Measure congestion and dilation of a shortcut assignment, by definition.
+QualityReport measure_quality(const Graph& g, const Partition& parts,
+                              const ShortcutSet& sc, const QualityOptions& opt = {});
+
+/// Dilation of one augmented subgraph.
+PartDilation measure_part_dilation(const Graph& g, const std::vector<VertexId>& part,
+                                   VertexId leader, const std::vector<EdgeId>& h_i,
+                                   const QualityOptions& opt = {});
+
+/// Exact congestion vector: for each edge, the number of augmented
+/// subgraphs containing it.  (measure_quality reports its max.)
+std::vector<std::uint32_t> edge_congestion(const Graph& g, const Partition& parts,
+                                           const ShortcutSet& sc);
+
+}  // namespace lcs::core

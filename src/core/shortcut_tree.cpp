@@ -1,0 +1,315 @@
+#include "core/shortcut_tree.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace lcs::core {
+
+namespace {
+inline std::uint64_t pair_key(VertexId a, VertexId b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+}  // namespace
+
+ShortcutTree::ShortcutTree(const Graph& g, std::vector<VertexId> path,
+                           std::vector<VertexId> q, std::uint32_t ell,
+                           std::uint64_t seed, double sample_prob,
+                           std::uint32_t part_for_coins)
+    : g_(&g), path_(std::move(path)), q_(std::move(q)), ell_(ell), n_g_(g.num_vertices()) {
+  LCS_REQUIRE(!path_.empty(), "path must be non-empty");
+  LCS_REQUIRE(!q_.empty(), "Q must be non-empty");
+  LCS_REQUIRE(ell_ >= 1, "l must be at least 1");
+  for (std::size_t i = 0; i + 1 < path_.size(); ++i) {
+    bool adjacent = false;
+    for (const graph::HalfEdge he : g.neighbors(path_[i]))
+      if (he.to == path_[i + 1]) adjacent = true;
+    LCS_REQUIRE(adjacent, "path positions must be adjacent in G");
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const graph::Edge ed = g.edge(e);
+    g_edge_lookup_[pair_key(ed.u, ed.v)] = e;
+    g_edge_lookup_[pair_key(ed.v, ed.u)] = e;
+  }
+  build_aux_graph(g);
+  run_tree_bfs();
+  sample_tree_edges(g, seed, sample_prob, part_for_coins);
+  build_tstar();
+}
+
+// Aux node layout:
+//   [0, |P|)                              layer 1 (path positions)
+//   |P| + (k-2)*n + v  for k in [2, l]    layer k copy of G-vertex v
+//   base_q + j                            layer l+1 (Q entries)
+//   root                                  layer l+2
+VertexId ShortcutTree::path_node(std::uint32_t pos) const {
+  LCS_REQUIRE(pos < path_.size(), "path position out of range");
+  return pos;
+}
+
+VertexId ShortcutTree::aux_of_copy(std::uint32_t layer, VertexId g_vertex) const {
+  LCS_CHECK(layer >= 2 && layer <= ell_, "copy layers are 2..l");
+  return static_cast<VertexId>(path_.size() + (layer - 2) * static_cast<std::size_t>(n_g_) +
+                               g_vertex);
+}
+
+std::uint32_t ShortcutTree::layer_of(VertexId aux) const {
+  LCS_REQUIRE(aux < layer_.size(), "aux node out of range");
+  return layer_[aux];
+}
+
+VertexId ShortcutTree::g_vertex_of(VertexId aux) const {
+  LCS_REQUIRE(aux < g_vertex_.size(), "aux node out of range");
+  return g_vertex_[aux];
+}
+
+void ShortcutTree::build_aux_graph(const Graph& g) {
+  const std::uint32_t p_count = static_cast<std::uint32_t>(path_.size());
+  const std::uint32_t copies = ell_ >= 2 ? (ell_ - 1) * n_g_ : 0;
+  const std::uint32_t q_base = p_count + copies;
+  const std::uint32_t total = q_base + static_cast<std::uint32_t>(q_.size()) + 1;
+  root_ = total - 1;
+
+  layer_.assign(total, 0);
+  g_vertex_.assign(total, graph::kNoVertex);
+  for (std::uint32_t pos = 0; pos < p_count; ++pos) {
+    layer_[pos] = 1;
+    g_vertex_[pos] = path_[pos];
+  }
+  for (std::uint32_t k = 2; k <= ell_; ++k)
+    for (VertexId v = 0; v < n_g_; ++v) {
+      const VertexId id = aux_of_copy(k, v);
+      layer_[id] = k;
+      g_vertex_[id] = v;
+    }
+  for (std::uint32_t j = 0; j < q_.size(); ++j) {
+    layer_[q_base + j] = ell_ + 1;
+    g_vertex_[q_base + j] = q_[j];
+  }
+  layer_[root_] = ell_ + 2;
+
+  graph::GraphBuilder b(total);
+  // Root to every Q node.
+  for (std::uint32_t j = 0; j < q_.size(); ++j) b.add_edge(root_, q_base + j);
+
+  // "Next layer" resolver: aux id of G-vertex v in layer k+1 (or Q match).
+  // Q may contain duplicates of a vertex only once (Q is a set).
+  std::unordered_map<VertexId, std::uint32_t> q_index;
+  for (std::uint32_t j = 0; j < q_.size(); ++j) q_index[q_[j]] = q_base + j;
+
+  auto upper_of = [&](std::uint32_t upper_layer, VertexId v) -> VertexId {
+    if (upper_layer == ell_ + 1) {
+      const auto it = q_index.find(v);
+      return it == q_index.end() ? graph::kNoVertex : it->second;
+    }
+    return aux_of_copy(upper_layer, v);
+  };
+
+  // E(L_k, L_{k+1}) for k = 1..l: self edge + copies of G-edges.
+  for (std::uint32_t k = 1; k <= ell_; ++k) {
+    const std::uint32_t up = k + 1;
+    if (k == 1) {
+      for (std::uint32_t pos = 0; pos < p_count; ++pos) {
+        const VertexId v = path_[pos];
+        const VertexId self_up = upper_of(up, v);
+        if (self_up != graph::kNoVertex) b.add_edge(pos, self_up);
+        for (const graph::HalfEdge he : g.neighbors(v)) {
+          const VertexId nb_up = upper_of(up, he.to);
+          if (nb_up != graph::kNoVertex) b.add_edge(pos, nb_up);
+        }
+      }
+    } else {
+      for (VertexId v = 0; v < n_g_; ++v) {
+        const VertexId me = aux_of_copy(k, v);
+        const VertexId self_up = upper_of(up, v);
+        if (self_up != graph::kNoVertex) b.add_edge(me, self_up);
+        for (const graph::HalfEdge he : g.neighbors(v)) {
+          const VertexId nb_up = upper_of(up, he.to);
+          if (nb_up != graph::kNoVertex) b.add_edge(me, nb_up);
+        }
+      }
+    }
+  }
+  aux_ = std::move(b).build();
+}
+
+void ShortcutTree::run_tree_bfs() {
+  // Layered BFS from the root: a node in layer k may only be discovered
+  // from a node in layer k+1, so every tree path ascends monotonically
+  // through the layers (the tree of Fig. 1: each leaf p_i hangs at depth
+  // exactly l+1).  A plain BFS would also reach copies through zig-zag
+  // routes, which the paper's construction does not use.
+  parent_.assign(aux_.num_vertices(), graph::kNoVertex);
+  std::vector<bool> reached(aux_.num_vertices(), false);
+  reached[root_] = true;
+  std::vector<VertexId> frontier{root_};
+  while (!frontier.empty()) {
+    std::vector<VertexId> next;
+    for (const VertexId u : frontier) {
+      for (const graph::HalfEdge he : aux_.neighbors(u)) {
+        if (reached[he.to] || layer_[he.to] + 1 != layer_[u]) continue;
+        reached[he.to] = true;
+        parent_[he.to] = u;
+        next.push_back(he.to);
+      }
+    }
+    frontier.swap(next);
+  }
+  tree_complete_ = true;
+  for (std::uint32_t pos = 0; pos < path_.size(); ++pos)
+    if (!reached[path_node(pos)]) tree_complete_ = false;
+}
+
+void ShortcutTree::sample_tree_edges(const Graph& g, std::uint64_t seed,
+                                     double sample_prob, std::uint32_t part) {
+  const CoinFlipper coins(seed, sample_prob);
+  survives_.assign(aux_.num_vertices(), false);
+  children_.assign(aux_.num_vertices(), {});
+  for (VertexId x = 0; x < aux_.num_vertices(); ++x) {
+    const VertexId par = parent_[x];
+    if (par == graph::kNoVertex) continue;
+    const std::uint32_t k = layer_[x];  // child layer; parent is k+1
+    bool keep = false;
+    if (k == 1 || layer_[par] == ell_ + 2) {
+      keep = true;  // E(L1, L2) and root edges survive with probability 1
+    } else if (g_vertex_[x] == g_vertex_[par]) {
+      keep = true;  // self-copy edge
+    } else {
+      // Non-self edge between L_k and L_{k+1}: kept iff the directed G-edge
+      // (child vertex -> parent vertex) was sampled in repetition k-1.
+      const auto it = g_edge_lookup_.find(pair_key(g_vertex_[x], g_vertex_[par]));
+      LCS_CHECK(it != g_edge_lookup_.end(), "aux edge without G counterpart");
+      const graph::Edge ed = g.edge(it->second);
+      const int dir = ed.u == g_vertex_[x] ? 0 : 1;
+      keep = coins.flip(it->second, dir, part, k - 1);
+    }
+    survives_[x] = keep;
+    if (keep) children_[par].push_back(x);
+  }
+  for (auto& c : children_) std::sort(c.begin(), c.end());
+}
+
+void ShortcutTree::build_tstar() {
+  graph::GraphBuilder b(aux_.num_vertices());
+  for (VertexId x = 0; x < aux_.num_vertices(); ++x)
+    if (parent_[x] != graph::kNoVertex && survives_[x]) b.add_edge(x, parent_[x]);
+  for (std::uint32_t pos = 0; pos + 1 < path_.size(); ++pos)
+    b.add_edge(path_node(pos), path_node(pos + 1));
+  tstar_ = std::move(b).build();
+}
+
+VertexId ShortcutTree::tree_parent(VertexId aux) const {
+  LCS_REQUIRE(aux < parent_.size(), "aux node out of range");
+  return parent_[aux];
+}
+
+bool ShortcutTree::tree_edge_survives(VertexId aux) const {
+  LCS_REQUIRE(aux < survives_.size(), "aux node out of range");
+  return survives_[aux];
+}
+
+std::vector<std::uint32_t> ShortcutTree::tstar_dist_from(std::uint32_t pos) const {
+  return graph::bfs(tstar_, path_node(pos)).dist;
+}
+
+std::uint32_t ShortcutTree::dist_to_level(std::uint32_t pos, std::uint32_t k) const {
+  LCS_REQUIRE(k >= 2 && k <= ell_ + 1, "level out of range");
+  const auto dist = tstar_dist_from(pos);
+  std::uint32_t best = graph::kUnreached;
+  for (VertexId x = 0; x < aux_.num_vertices(); ++x) {
+    if (layer_[x] == k && dist[x] != graph::kUnreached) best = std::min(best, dist[x]);
+  }
+  const VertexId t = path_node(static_cast<std::uint32_t>(path_.size()) - 1);
+  if (dist[t] != graph::kUnreached) best = std::min(best, dist[t]);
+  return best;
+}
+
+ShortcutTree::Unit ShortcutTree::unit(std::uint32_t pos, std::uint32_t k) const {
+  LCS_REQUIRE(pos < path_.size(), "path position out of range");
+  LCS_REQUIRE(k >= 2 && k <= ell_ + 1, "level out of range");
+  Unit u;
+  VertexId cur = path_node(pos);
+  if (parent_[cur] == graph::kNoVertex) return u;  // tree incomplete at p_i
+  // Climb the surviving ancestor chain from p_i while layers stay <= k.
+  // The first step (layer 1 -> 2) always survives, so the apex reaches at
+  // least layer 2.
+  std::vector<VertexId> up{cur};
+  while (true) {
+    const VertexId par = parent_[cur];
+    if (par == graph::kNoVertex || layer_[par] > k) break;
+    if (!survives_[cur]) break;
+    cur = par;
+    up.push_back(cur);
+  }
+  u.valid = true;
+  u.apex = cur;
+  u.apex_layer = layer_[cur];
+
+  // Right-most path position in the surviving subtree of the apex.
+  std::uint32_t best_pos = pos;
+  VertexId best_node = path_node(pos);
+  std::vector<VertexId> stack{u.apex};
+  while (!stack.empty()) {
+    const VertexId x = stack.back();
+    stack.pop_back();
+    if (layer_[x] == 1 && x >= best_node) {
+      best_node = x;
+      best_pos = x;  // layer-1 aux id == position
+    }
+    for (const VertexId c : children_[x]) stack.push_back(c);
+  }
+  u.end_pos = best_pos;
+
+  // Assemble the walk: p_i up to apex, then apex down to p_j (tree path).
+  u.walk = up;
+  std::vector<VertexId> down;
+  VertexId walker = best_node;
+  while (walker != u.apex) {
+    down.push_back(walker);
+    walker = parent_[walker];
+    LCS_CHECK(walker != graph::kNoVertex, "descent escaped the apex subtree");
+  }
+  std::reverse(down.begin(), down.end());
+  u.walk.insert(u.walk.end(), down.begin(), down.end());
+  return u;
+}
+
+ShortcutTree::Walk ShortcutTree::maximal_walk(std::uint32_t pos, std::uint32_t k) const {
+  Walk w;
+  const std::uint32_t last = static_cast<std::uint32_t>(path_.size()) - 1;
+  std::uint32_t at = pos;
+  bool first = true;
+  while (true) {
+    const Unit u = unit(at, k);
+    if (!u.valid) break;
+    if (first) {
+      w.nodes = u.walk;
+    } else {
+      // Path edge from p_{prev_end} into p_at, then the unit (skipping its
+      // leading p_at which the path edge already contributed).
+      w.nodes.push_back(path_node(at));
+      w.nodes.insert(w.nodes.end(), u.walk.begin() + 1, u.walk.end());
+    }
+    if (u.apex_layer == k) w.level_k_nodes.push_back(u.apex);
+    w.end_pos = u.end_pos;
+    if (u.end_pos == last) {
+      w.reached_t = true;
+      break;
+    }
+    at = u.end_pos + 1;
+    first = false;
+  }
+  return w;
+}
+
+std::vector<VertexId> ShortcutTree::project_to_g(const std::vector<VertexId>& aux_walk) const {
+  std::vector<VertexId> out;
+  for (const VertexId x : aux_walk) {
+    const VertexId gv = g_vertex_[x];
+    if (gv == graph::kNoVertex) continue;  // root has no projection
+    if (out.empty() || out.back() != gv) out.push_back(gv);
+  }
+  return out;
+}
+
+}  // namespace lcs::core

@@ -1,0 +1,128 @@
+// Shortcut trees (Section 3.1 of the paper) — the analytical device behind
+// the dilation bound, implemented concretely so that Lemma 3.3 and
+// Observation 3.1 can be validated empirically.
+//
+// For a path P = [p_1..p_{2d-1}] (a shortest path inside a part), a node
+// set Q, and a bound l >= dist_G(P, Q), the auxiliary graph G_{P,Q,l} is a
+// layered graph:
+//
+//   L_1     = the path positions (one aux node per position),
+//   L_2..L_l = one copy of V(G) per layer,
+//   L_{l+1} = Q,
+//   L_{l+2} = {r},
+//
+// with "self-copy" edges between consecutive copies of the same G-vertex,
+// copies of every G-edge between consecutive layers, and r joined to all
+// of Q.  T_{P,Q,l} is the BFS tree from r; T[p] keeps the L_1-L_2 edges,
+// the r edges and the self edges, and keeps a non-self tree edge between
+// L_k and L_{k+1} iff its directed G-edge was sampled in repetition k-1 of
+// Step (2) — the *same* coins as the shortcut construction itself.
+// Finally T* = T[p] ∪ E(P).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/coin.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+
+namespace lcs::core {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::VertexId;
+
+class ShortcutTree {
+ public:
+  /// `path` must be a path in G (consecutive vertices adjacent); `q` must be
+  /// non-empty.  `part_for_coins` is the large-part index whose Step-2 coins
+  /// the sampling replays; `sample_prob` is p.
+  ShortcutTree(const Graph& g, std::vector<VertexId> path, std::vector<VertexId> q,
+               std::uint32_t ell, std::uint64_t seed, double sample_prob,
+               std::uint32_t part_for_coins);
+
+  std::uint32_t ell() const { return ell_; }
+  std::uint32_t path_length() const { return static_cast<std::uint32_t>(path_.size()); }
+
+  /// True when the BFS tree attaches every path position to the root,
+  /// i.e. dist_G(P, Q) <= l.
+  bool tree_complete() const { return tree_complete_; }
+
+  // --- aux graph structure ---------------------------------------------------
+  std::uint32_t num_aux_nodes() const { return aux_.num_vertices(); }
+  /// Layer of an aux node, in [1, l+2].
+  std::uint32_t layer_of(VertexId aux) const;
+  /// The G-vertex an aux node copies (kNoVertex for the root).
+  VertexId g_vertex_of(VertexId aux) const;
+  /// Aux id of path position `pos` (0-based).
+  VertexId path_node(std::uint32_t pos) const;
+  /// Aux id of the root.
+  VertexId root() const { return root_; }
+
+  /// BFS-tree parent of an aux node (kNoVertex for the root / unreached).
+  VertexId tree_parent(VertexId aux) const;
+  /// Whether the tree edge (aux -> parent) survived the sampling into T[p].
+  bool tree_edge_survives(VertexId aux) const;
+
+  // --- T* queries --------------------------------------------------------
+  /// BFS distances in T* from path position `pos` (indexed by aux id).
+  std::vector<std::uint32_t> tstar_dist_from(std::uint32_t pos) const;
+
+  /// min distance in T* from position `pos` to {t} ∪ L_k  (Lemma 3.3's
+  /// quantity); kUnreached when unreachable.
+  std::uint32_t dist_to_level(std::uint32_t pos, std::uint32_t k) const;
+
+  // --- (i, k) units and walks (Definition 3.1) -------------------------------
+  struct Unit {
+    bool valid = false;                 ///< u_{i,k} exists (always true when complete)
+    std::vector<VertexId> walk;         ///< aux ids: p_i .. u_{i,k} .. p_j
+    std::uint32_t apex = 0;             ///< aux id of u_{i,k}
+    std::uint32_t apex_layer = 0;
+    std::uint32_t end_pos = 0;          ///< j (0-based position of p_j)
+  };
+  Unit unit(std::uint32_t pos, std::uint32_t k) const;
+
+  struct Walk {
+    std::vector<VertexId> nodes;        ///< aux ids of the full walk
+    std::vector<VertexId> level_k_nodes;///< the w_j sequence of Obs. 3.1
+    std::uint32_t end_pos = 0;
+    bool reached_t = false;
+  };
+  /// The maximal (i,k) walk of Definition 3.1.
+  Walk maximal_walk(std::uint32_t pos, std::uint32_t k) const;
+
+  /// Project a T*-walk to parent-graph vertices (Observation 3.2: every
+  /// aux step maps to a G-edge or stays on the same G-vertex).
+  std::vector<VertexId> project_to_g(const std::vector<VertexId>& aux_walk) const;
+
+ private:
+  VertexId aux_of_copy(std::uint32_t layer, VertexId g_vertex) const;
+  void build_aux_graph(const Graph& g);
+  void run_tree_bfs();
+  void sample_tree_edges(const Graph& g, std::uint64_t seed, double sample_prob,
+                         std::uint32_t part);
+  void build_tstar();
+
+  const Graph* g_;
+  std::vector<VertexId> path_;
+  std::vector<VertexId> q_;
+  std::uint32_t ell_;
+
+  Graph aux_;                           // the layered graph G_{P,Q,l}
+  std::vector<std::uint32_t> layer_;    // per aux node
+  std::vector<VertexId> g_vertex_;      // per aux node; kNoVertex for root
+  VertexId root_ = graph::kNoVertex;
+  std::uint32_t n_g_ = 0;
+
+  std::vector<VertexId> parent_;        // BFS tree parent per aux node
+  std::vector<bool> survives_;          // per aux node: edge to parent kept in T[p]
+  std::vector<std::vector<VertexId>> children_;  // surviving-children lists
+  bool tree_complete_ = false;
+
+  Graph tstar_;                         // T[p] ∪ E(P) over aux ids
+  std::unordered_map<std::uint64_t, EdgeId> g_edge_lookup_;
+};
+
+}  // namespace lcs::core

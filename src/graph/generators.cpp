@@ -1,0 +1,327 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "util/math.hpp"
+
+namespace lcs::graph {
+
+Graph path_graph(std::uint32_t n) {
+  LCS_REQUIRE(n >= 1, "path needs a vertex");
+  GraphBuilder b(n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return std::move(b).build();
+}
+
+Graph cycle_graph(std::uint32_t n) {
+  LCS_REQUIRE(n >= 3, "cycle needs at least three vertices");
+  GraphBuilder b(n);
+  for (VertexId v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);
+  return std::move(b).build();
+}
+
+Graph complete_graph(std::uint32_t n) {
+  LCS_REQUIRE(n >= 1, "complete graph needs a vertex");
+  GraphBuilder b(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  return std::move(b).build();
+}
+
+Graph star_graph(std::uint32_t n) {
+  LCS_REQUIRE(n >= 1, "star needs a vertex");
+  GraphBuilder b(n);
+  for (VertexId v = 1; v < n; ++v) b.add_edge(0, v);
+  return std::move(b).build();
+}
+
+Graph grid_graph(std::uint32_t rows, std::uint32_t cols) {
+  LCS_REQUIRE(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+  GraphBuilder b(rows * cols);
+  auto id = [cols](std::uint32_t r, std::uint32_t c) { return r * cols + c; };
+  for (std::uint32_t r = 0; r < rows; ++r)
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  return std::move(b).build();
+}
+
+Graph dumbbell_graph(std::uint32_t clique, std::uint32_t path_len) {
+  LCS_REQUIRE(clique >= 2, "dumbbell cliques need at least two vertices");
+  const std::uint32_t n = 2 * clique + (path_len > 0 ? path_len - 1 : 0);
+  GraphBuilder b(n);
+  auto add_clique = [&](VertexId first) {
+    for (VertexId u = 0; u < clique; ++u)
+      for (VertexId v = u + 1; v < clique; ++v) b.add_edge(first + u, first + v);
+  };
+  add_clique(0);
+  add_clique(clique);
+  if (path_len == 0) {
+    b.add_edge(0, clique);  // touching cliques
+  } else {
+    VertexId prev = 0;
+    for (std::uint32_t i = 0; i + 1 < path_len; ++i) {
+      const VertexId mid = 2 * clique + i;
+      b.add_edge(prev, mid);
+      prev = mid;
+    }
+    b.add_edge(prev, clique);
+  }
+  return std::move(b).build();
+}
+
+Graph erdos_renyi(std::uint32_t n, double p, Rng& rng) {
+  LCS_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+  GraphBuilder b(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v)
+      if (rng.bernoulli(p)) b.add_edge(u, v);
+  return std::move(b).build();
+}
+
+Graph random_tree(std::uint32_t n, Rng& rng) {
+  LCS_REQUIRE(n >= 1, "tree needs a vertex");
+  GraphBuilder b(n);
+  for (VertexId v = 1; v < n; ++v)
+    b.add_edge(v, static_cast<VertexId>(rng.uniform(v)));
+  return std::move(b).build();
+}
+
+Graph connected_gnm(std::uint32_t n, std::uint32_t m, Rng& rng) {
+  LCS_REQUIRE(m + 1 >= n, "too few edges for a connected graph");
+  const std::uint64_t max_edges = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  LCS_REQUIRE(m <= max_edges, "too many edges for a simple graph");
+  GraphBuilder b(n);
+  for (VertexId v = 1; v < n; ++v)
+    b.add_edge(v, static_cast<VertexId>(rng.uniform(v)));
+  // Extra random edges; duplicates get merged at build, so top up afterwards.
+  std::uint32_t want = m;
+  Graph g = std::move(b).build();
+  while (g.num_edges() < want) {
+    GraphBuilder b2(n);
+    for (const Edge& e : g.edges()) b2.add_edge(e.u, e.v);
+    const std::uint32_t missing = want - g.num_edges();
+    for (std::uint32_t i = 0; i < missing; ++i) {
+      const VertexId u = static_cast<VertexId>(rng.uniform(n));
+      VertexId v = static_cast<VertexId>(rng.uniform(n));
+      if (u == v) v = (v + 1) % n;
+      b2.add_edge(u, v);
+    }
+    g = std::move(b2).build();
+  }
+  return g;
+}
+
+Graph preferential_attachment(std::uint32_t n, std::uint32_t edges_per_vertex, Rng& rng) {
+  LCS_REQUIRE(edges_per_vertex >= 1, "need at least one edge per vertex");
+  LCS_REQUIRE(n > edges_per_vertex + 1, "n too small for the seed clique");
+  GraphBuilder b(n);
+  // Seed: a small clique of m0 = edges_per_vertex + 1 vertices.
+  const std::uint32_t m0 = edges_per_vertex + 1;
+  // `stubs` holds one entry per edge endpoint: sampling uniformly from it
+  // is exactly degree-proportional sampling.
+  std::vector<VertexId> stubs;
+  for (VertexId u = 0; u < m0; ++u)
+    for (VertexId v = u + 1; v < m0; ++v) {
+      b.add_edge(u, v);
+      stubs.push_back(u);
+      stubs.push_back(v);
+    }
+  for (VertexId v = m0; v < n; ++v) {
+    // Choose distinct targets degree-proportionally (retry on repeats).
+    std::vector<VertexId> targets;
+    while (targets.size() < edges_per_vertex) {
+      const VertexId u = stubs[static_cast<std::size_t>(rng.uniform(stubs.size()))];
+      if (std::find(targets.begin(), targets.end(), u) == targets.end())
+        targets.push_back(u);
+    }
+    for (const VertexId u : targets) {
+      b.add_edge(v, u);
+      stubs.push_back(v);
+      stubs.push_back(u);
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph layered_random_graph(std::uint32_t n, std::uint32_t diameter, double avg_extra,
+                           Rng& rng) {
+  LCS_REQUIRE(diameter >= 1, "diameter must be positive");
+  LCS_REQUIRE(n >= diameter + 1, "need at least one vertex per layer");
+  const std::uint32_t layers = diameter + 1;
+  // Layer assignment: both ends singleton; middle layers get one guaranteed
+  // vertex each, the rest spread uniformly.
+  std::vector<std::uint32_t> layer(n);
+  layer[0] = 0;
+  layer[n - 1] = diameter;
+  std::uint32_t next = 1;
+  for (std::uint32_t l = 1; l + 1 < layers; ++l) layer[next++] = l;
+  for (VertexId v = next; v + 1 < n; ++v)
+    layer[v] = 1 + static_cast<std::uint32_t>(rng.uniform(diameter - 1));
+
+  std::vector<std::vector<VertexId>> by_layer(layers);
+  for (VertexId v = 0; v < n; ++v) by_layer[layer[v]].push_back(v);
+
+  GraphBuilder b(n);
+  auto random_in_layer = [&](std::uint32_t l) {
+    const auto& vec = by_layer[l];
+    return vec[static_cast<std::size_t>(rng.uniform(vec.size()))];
+  };
+  for (VertexId v = 0; v < n; ++v) {
+    const std::uint32_t l = layer[v];
+    // One guaranteed edge to the previous and to the next layer keeps every
+    // vertex within l hops of the left end and diameter-l of the right end,
+    // so the graph diameter is exactly `diameter` (realised by the ends).
+    if (l > 0) b.add_edge(v, random_in_layer(l - 1));
+    if (l < diameter) b.add_edge(v, random_in_layer(l + 1));
+    const std::uint32_t extras = static_cast<std::uint32_t>(avg_extra * rng.uniform_real() * 2.0);
+    for (std::uint32_t i = 0; i < extras; ++i) {
+      const std::uint32_t delta = static_cast<std::uint32_t>(rng.uniform(3));  // {-1,0,+1}
+      const std::uint32_t tl = std::min<std::uint32_t>(diameter, std::max<int>(0, static_cast<int>(l) + static_cast<int>(delta) - 1));
+      const VertexId u = random_in_layer(tl);
+      if (u != v) b.add_edge(v, u);
+    }
+  }
+  return std::move(b).build();
+}
+
+namespace {
+
+/// Builds a hub subtree of exact depth `depth` whose leaves are the given
+/// (already existing) vertices; returns the subtree root.  Group sizes are
+/// chosen so that every leaf sits exactly `depth` levels below the root and
+/// the first/last leaf diverge at the root whenever there are >= 2 leaves.
+VertexId build_hub_subtree(GraphBuilder& b, const std::vector<VertexId>& leaves,
+                           std::size_t lo, std::size_t hi, std::uint32_t depth) {
+  LCS_CHECK(hi > lo, "empty leaf range");
+  if (depth == 0) {
+    LCS_CHECK(hi - lo == 1, "depth exhausted with multiple leaves");
+    return leaves[lo];
+  }
+  const VertexId me = b.add_vertices(1);
+  const std::size_t count = hi - lo;
+  if (count == 1) {
+    // Unary chain keeps the leaf at exact depth.
+    const VertexId child = build_hub_subtree(b, leaves, lo, hi, depth - 1);
+    b.add_edge(me, child);
+    return me;
+  }
+  // Number of children ~ count^(1/depth), at least 2, at most count.
+  const double ideal = std::pow(static_cast<double>(count), 1.0 / static_cast<double>(depth));
+  std::size_t groups = std::max<std::size_t>(2, static_cast<std::size_t>(std::ceil(ideal)));
+  groups = std::min(groups, count);
+  const std::size_t base = count / groups;
+  std::size_t rem = count % groups;
+  std::size_t at = lo;
+  for (std::size_t gi = 0; gi < groups; ++gi) {
+    const std::size_t take = base + (gi < rem ? 1 : 0);
+    const VertexId child = build_hub_subtree(b, leaves, at, at + take, depth - 1);
+    b.add_edge(me, child);
+    at += take;
+  }
+  LCS_CHECK(at == hi, "leaf ranges must tile");
+  return me;
+}
+
+}  // namespace
+
+HardInstance hard_instance(std::uint32_t n, std::uint32_t diameter) {
+  LCS_REQUIRE(diameter >= 3, "hard instances need diameter >= 3");
+  const bool even = diameter % 2 == 0;
+  const std::uint32_t t = even ? diameter / 2 - 1 : (diameter - 3) / 2;
+
+  // Paths of length ~sqrt(n) (the classic MST-hardness shape), at least
+  // long enough that the hub route realises the diameter.
+  const std::uint32_t min_len = std::max<std::uint32_t>(4, diameter + 2);
+  std::uint32_t path_len =
+      std::max(min_len, static_cast<std::uint32_t>(std::llround(std::sqrt(double(n)))));
+  if (path_len % 2 == 1) ++path_len;  // even column count, splits cleanly in half
+  LCS_REQUIRE(n >= 3 * path_len, "n too small for this diameter");
+  const std::uint32_t num_paths =
+      std::max<std::uint32_t>(2, (n - 2 * path_len) / path_len);
+
+  GraphBuilder b(num_paths * path_len);
+  HardInstance out;
+  out.paths.parts.resize(num_paths);
+  for (std::uint32_t i = 0; i < num_paths; ++i) {
+    out.paths.parts[i].reserve(path_len);
+    for (std::uint32_t j = 0; j < path_len; ++j) {
+      const VertexId v = i * path_len + j;
+      out.paths.parts[i].push_back(v);
+      if (j > 0) b.add_edge(v - 1, v);
+    }
+  }
+
+  const std::uint32_t before_hubs = b.num_vertices();
+  if (!even && t == 0) {
+    // D == 3: two directly-connected hubs, one per column half, attached to
+    // every column of their half on every path.  node -> hub -> hub' ->
+    // node' realises distance exactly 3 across halves.
+    const VertexId r1 = b.add_vertices(1);
+    const VertexId r2 = b.add_vertices(1);
+    b.add_edge(r1, r2);
+    const std::uint32_t half = path_len / 2;
+    for (std::uint32_t i = 0; i < num_paths; ++i)
+      for (std::uint32_t j = 0; j < path_len; ++j)
+        b.add_edge(j < half ? r1 : r2, i * path_len + j);
+  } else {
+    // One hub leaf per column, attached to that column on every path, with
+    // a depth-t tree (even D) or two depth-t trees joined by an edge (odd D)
+    // above the leaf layer.
+    std::vector<VertexId> leaves;
+    leaves.reserve(path_len);
+    for (std::uint32_t j = 0; j < path_len; ++j) {
+      const VertexId leaf = b.add_vertices(1);
+      leaves.push_back(leaf);
+      for (std::uint32_t i = 0; i < num_paths; ++i) b.add_edge(leaf, i * path_len + j);
+    }
+    if (even) {
+      build_hub_subtree(b, leaves, 0, leaves.size(), t);
+    } else {
+      const std::size_t half = leaves.size() / 2;
+      const VertexId r1 = build_hub_subtree(b, leaves, 0, half, t);
+      const VertexId r2 = build_hub_subtree(b, leaves, half, leaves.size(), t);
+      b.add_edge(r1, r2);
+    }
+  }
+
+  out.tree_nodes = b.num_vertices() - before_hubs;
+  out.path_length = path_len;
+  out.num_paths = num_paths;
+  out.diameter = diameter;
+  out.g = std::move(b).build();
+  return out;
+}
+
+Subdivision subdivide(const Graph& g) {
+  const std::uint32_t n = g.num_vertices();
+  const std::uint32_t m = g.num_edges();
+  GraphBuilder b(n + m);
+  for (EdgeId e = 0; e < m; ++e) {
+    const Edge ed = g.edge(e);
+    const VertexId xe = n + e;
+    b.add_edge(ed.u, xe);
+    b.add_edge(xe, ed.v);
+  }
+  Subdivision s;
+  s.g2 = std::move(b).build();
+  s.half_a.assign(m, kNoEdge);
+  s.half_b.assign(m, kNoEdge);
+  s.original.assign(s.g2.num_edges(), kNoEdge);
+  for (EdgeId e = 0; e < m; ++e) {
+    const Edge ed = g.edge(e);
+    const VertexId xe = n + e;
+    for (const HalfEdge he : s.g2.neighbors(xe)) {
+      LCS_CHECK(he.to == ed.u || he.to == ed.v, "dummy vertex with foreign neighbour");
+      (he.to == ed.u ? s.half_a[e] : s.half_b[e]) = he.edge;
+      s.original[he.edge] = e;
+    }
+    LCS_CHECK(s.half_a[e] != kNoEdge && s.half_b[e] != kNoEdge, "missing half edge");
+  }
+  return s;
+}
+
+}  // namespace lcs::graph

@@ -1,0 +1,80 @@
+// Graph families used by tests, examples and the experiment harnesses.
+//
+// The centerpiece is `hard_instance`, the Elkin/Lotker-style constant-
+// diameter family: many long vertex-disjoint paths (the parts) whose only
+// low-diameter interconnection is a shallow hub tree.  On this family the
+// trivial and Ghaffari–Haeupler constructions pay ~sqrt(n) while the
+// Kogan–Parter construction pays ~k_D = n^((D-2)/(2D-2)).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "util/rng.hpp"
+
+namespace lcs::graph {
+
+Graph path_graph(std::uint32_t n);
+Graph cycle_graph(std::uint32_t n);
+Graph complete_graph(std::uint32_t n);
+Graph star_graph(std::uint32_t n);  ///< vertex 0 is the hub
+Graph grid_graph(std::uint32_t rows, std::uint32_t cols);
+/// Two cliques of `clique` vertices joined by a path of `path_len` edges.
+Graph dumbbell_graph(std::uint32_t clique, std::uint32_t path_len);
+
+/// G(n, p) Erdos–Renyi.
+Graph erdos_renyi(std::uint32_t n, double p, Rng& rng);
+/// Uniform random tree (random attachment).
+Graph random_tree(std::uint32_t n, Rng& rng);
+/// Connected G(n, m): random spanning tree plus (m - n + 1) random extras.
+Graph connected_gnm(std::uint32_t n, std::uint32_t m, Rng& rng);
+
+/// Preferential attachment (Barabasi–Albert style): each new vertex
+/// attaches `edges_per_vertex` edges to existing vertices chosen with
+/// probability proportional to degree.  These are the "six degrees of
+/// separation" networks the paper's introduction motivates: diameter
+/// O(log n / log log n), heavy-tailed degrees.  Requires n > seed size.
+Graph preferential_attachment(std::uint32_t n, std::uint32_t edges_per_vertex, Rng& rng);
+
+/// Random connected graph with diameter exactly `diameter`: vertices are
+/// spread over `diameter + 1` layers (two singleton end layers), and each
+/// vertex connects to >= 1 vertex of the previous layer plus ~avg_extra
+/// random same/adjacent-layer edges.  Distance between the two singleton
+/// ends is exactly `diameter`.
+Graph layered_random_graph(std::uint32_t n, std::uint32_t diameter, double avg_extra,
+                           Rng& rng);
+
+/// The hard instance family.
+struct HardInstance {
+  Graph g;
+  Partition paths;           ///< the parts: P vertex-disjoint paths
+  std::uint32_t diameter = 0;    ///< exact unweighted diameter (== requested D)
+  std::uint32_t path_length = 0; ///< vertices per path (L)
+  std::uint32_t num_paths = 0;   ///< P
+  std::uint32_t tree_nodes = 0;  ///< size of the hub structure
+};
+
+/// Build a hard instance with ~n vertices and diameter exactly D >= 3.
+/// Paths have length ~sqrt(n); a hub tree of depth (D-2)/2 (even D) or a
+/// two-root hub forest of depth (D-3)/2 (odd D) attaches to every column.
+HardInstance hard_instance(std::uint32_t n, std::uint32_t diameter);
+
+// --- odd-diameter support (Section 3.2 of the paper) -----------------------
+
+/// Subdivision of every edge by a fresh dummy vertex x_e = n + e.
+struct Subdivision {
+  Graph g2;  ///< 2D'-diameter graph on n + m vertices
+  /// For each original edge e: the two g2 edge ids (u, x_e) and (x_e, v).
+  std::vector<EdgeId> half_a;
+  std::vector<EdgeId> half_b;
+  /// For each g2 edge: the original edge it derives from.
+  std::vector<EdgeId> original;
+
+  VertexId dummy_of(EdgeId original_edge, std::uint32_t n) const {
+    return n + original_edge;
+  }
+};
+Subdivision subdivide(const Graph& g);
+
+}  // namespace lcs::graph

@@ -1,0 +1,51 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace lcs::graph {
+
+Graph Graph::from_edges(std::uint32_t n, std::vector<std::pair<VertexId, VertexId>> edge_list) {
+  for (auto& [u, v] : edge_list) {
+    LCS_REQUIRE(u < n && v < n, "edge endpoint out of range");
+    LCS_REQUIRE(u != v, "self-loops are not allowed");
+    if (u > v) std::swap(u, v);
+  }
+  std::sort(edge_list.begin(), edge_list.end());
+  edge_list.erase(std::unique(edge_list.begin(), edge_list.end()), edge_list.end());
+
+  Graph g;
+  g.edges_.reserve(edge_list.size());
+  for (const auto& [u, v] : edge_list) g.edges_.push_back(Edge{u, v});
+
+  // Counting sort into CSR.
+  std::vector<std::uint64_t> counts(n + 1, 0);
+  for (const Edge& e : g.edges_) {
+    ++counts[e.u + 1];
+    ++counts[e.v + 1];
+  }
+  for (std::uint32_t v = 0; v < n; ++v) counts[v + 1] += counts[v];
+  g.offsets_ = counts;
+  g.adj_.resize(2 * g.edges_.size());
+  for (EdgeId e = 0; e < g.edges_.size(); ++e) {
+    const Edge ed = g.edges_[e];
+    g.adj_[counts[ed.u]++] = HalfEdge{ed.v, e};
+    g.adj_[counts[ed.v]++] = HalfEdge{ed.u, e};
+  }
+  return g;
+}
+
+void GraphBuilder::add_edge(VertexId u, VertexId v) {
+  LCS_REQUIRE(u < n_ && v < n_, "edge endpoint out of range");
+  LCS_REQUIRE(u != v, "self-loops are not allowed");
+  edges_.emplace_back(u, v);
+}
+
+VertexId GraphBuilder::add_vertices(std::uint32_t count) {
+  const VertexId first = n_;
+  n_ += count;
+  return first;
+}
+
+Graph GraphBuilder::build() && { return Graph::from_edges(n_, std::move(edges_)); }
+
+}  // namespace lcs::graph

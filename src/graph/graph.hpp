@@ -1,0 +1,100 @@
+// Immutable undirected simple graph in CSR form.
+//
+// Vertices are dense ids [0, n); undirected edges have dense ids [0, m).
+// Each adjacency entry carries the edge id so that algorithms operating on
+// edge subsets (shortcut subgraphs are *sets of edge ids*) never need any
+// lookup structure.  The graph is immutable after construction; use
+// GraphBuilder to assemble one.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace lcs::graph {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr VertexId kNoVertex = static_cast<VertexId>(-1);
+inline constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+inline constexpr std::uint32_t kUnreached = static_cast<std::uint32_t>(-1);
+
+/// One adjacency entry: the neighbour and the undirected edge connecting to it.
+struct HalfEdge {
+  VertexId to;
+  EdgeId edge;
+};
+
+/// Endpoints of an undirected edge, stored with u < v.
+struct Edge {
+  VertexId u;
+  VertexId v;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  std::uint32_t num_vertices() const { return static_cast<std::uint32_t>(offsets_.size()) - 1; }
+  std::uint32_t num_edges() const { return static_cast<std::uint32_t>(edges_.size()); }
+
+  std::span<const HalfEdge> neighbors(VertexId v) const {
+    LCS_REQUIRE(v < num_vertices(), "vertex out of range");
+    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+  }
+
+  std::uint32_t degree(VertexId v) const {
+    LCS_REQUIRE(v < num_vertices(), "vertex out of range");
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  Edge edge(EdgeId e) const {
+    LCS_REQUIRE(e < num_edges(), "edge out of range");
+    return edges_[e];
+  }
+
+  /// The endpoint of `e` that is not `v`; requires `v` to be an endpoint.
+  VertexId other_endpoint(EdgeId e, VertexId v) const {
+    const Edge ed = edge(e);
+    LCS_REQUIRE(ed.u == v || ed.v == v, "vertex is not an endpoint of the edge");
+    return ed.u == v ? ed.v : ed.u;
+  }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Build from an explicit edge list.  Self-loops are rejected; duplicate
+  /// edges are merged.  Vertices not mentioned still exist as isolated ids.
+  static Graph from_edges(std::uint32_t n, std::vector<std::pair<VertexId, VertexId>> edge_list);
+
+ private:
+  friend class GraphBuilder;
+  std::vector<std::uint64_t> offsets_;  // size n+1
+  std::vector<HalfEdge> adj_;           // size 2m, grouped by vertex
+  std::vector<Edge> edges_;             // size m
+};
+
+/// Incremental construction helper; deduplicates at build() time.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::uint32_t n) : n_(n) {}
+
+  /// Add an undirected edge (duplicates allowed; merged at build()).
+  void add_edge(VertexId u, VertexId v);
+
+  /// Add `count` fresh vertices; returns the id of the first one.
+  VertexId add_vertices(std::uint32_t count);
+
+  std::uint32_t num_vertices() const { return n_; }
+
+  Graph build() &&;
+
+ private:
+  std::uint32_t n_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+}  // namespace lcs::graph

@@ -1,0 +1,138 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "graph/union_find.hpp"
+
+namespace lcs::graph {
+
+std::vector<std::int32_t> Partition::assignment(std::uint32_t n) const {
+  std::vector<std::int32_t> a(n, -1);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    for (const VertexId v : parts[i]) {
+      LCS_REQUIRE(v < n, "partition vertex out of range");
+      LCS_REQUIRE(a[v] == -1, "vertex appears in two parts");
+      a[v] = static_cast<std::int32_t>(i);
+    }
+  }
+  return a;
+}
+
+VertexId Partition::leader(std::size_t i) const {
+  LCS_REQUIRE(i < parts.size(), "part index out of range");
+  LCS_REQUIRE(!parts[i].empty(), "empty part has no leader");
+  return *std::max_element(parts[i].begin(), parts[i].end());
+}
+
+std::string validate_partition(const Graph& g, const Partition& p) {
+  const std::uint32_t n = g.num_vertices();
+  std::vector<bool> seen(n, false);
+  for (std::size_t i = 0; i < p.parts.size(); ++i) {
+    const auto& part = p.parts[i];
+    if (part.empty()) return "part " + std::to_string(i) + " is empty";
+    for (const VertexId v : part) {
+      if (v >= n) return "part " + std::to_string(i) + " has out-of-range vertex";
+      if (seen[v])
+        return "vertex " + std::to_string(v) + " appears in more than one part";
+      seen[v] = true;
+    }
+    // Connectivity of G[S_i]: BFS restricted to the part.
+    std::vector<bool> in_part(n, false);
+    for (const VertexId v : part) in_part[v] = true;
+    std::vector<VertexId> stack{part.front()};
+    std::vector<bool> visited(n, false);
+    visited[part.front()] = true;
+    std::size_t reached = 1;
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      for (const HalfEdge he : g.neighbors(u)) {
+        if (in_part[he.to] && !visited[he.to]) {
+          visited[he.to] = true;
+          ++reached;
+          stack.push_back(he.to);
+        }
+      }
+    }
+    if (reached != part.size())
+      return "part " + std::to_string(i) + " is not connected in G";
+  }
+  return {};
+}
+
+Partition ball_partition(const Graph& g, std::uint32_t num_seeds, Rng& rng) {
+  const std::uint32_t n = g.num_vertices();
+  LCS_REQUIRE(n > 0, "ball_partition of empty graph");
+  LCS_REQUIRE(num_seeds >= 1 && num_seeds <= n, "seed count out of range");
+  const auto seeds64 = rng.sample_distinct(n, num_seeds);
+  std::vector<VertexId> seeds(seeds64.begin(), seeds64.end());
+  const BfsResult r = bfs_multi(g, seeds);
+
+  // Cell of a vertex = cell of its BFS parent; seeds root their own cell.
+  std::vector<std::int32_t> cell(n, -1);
+  for (std::size_t i = 0; i < seeds.size(); ++i) cell[seeds[i]] = static_cast<std::int32_t>(i);
+  // Resolve in order of increasing BFS distance so parents are resolved first.
+  std::vector<VertexId> order;
+  order.reserve(n);
+  for (VertexId v = 0; v < n; ++v)
+    if (r.reached_vertex(v)) order.push_back(v);
+  std::sort(order.begin(), order.end(),
+            [&](VertexId a, VertexId b) { return r.dist[a] < r.dist[b]; });
+  Partition p;
+  p.parts.resize(seeds.size());
+  for (const VertexId v : order) {
+    if (cell[v] == -1) {
+      LCS_CHECK(r.parent[v] != kNoVertex, "non-seed vertex with no BFS parent");
+      cell[v] = cell[r.parent[v]];
+    }
+    p.parts[static_cast<std::size_t>(cell[v])].push_back(v);
+  }
+  // Drop empty cells (possible when a seed set is larger than a component).
+  std::erase_if(p.parts, [](const auto& part) { return part.empty(); });
+  return p;
+}
+
+Partition forest_partition(const Graph& g, std::uint32_t max_part_size, Rng& rng) {
+  LCS_REQUIRE(max_part_size >= 1, "max_part_size must be positive");
+  const std::uint32_t n = g.num_vertices();
+  std::vector<EdgeId> order(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) order[e] = e;
+  rng.shuffle(order);
+  UnionFind uf(n);
+  for (const EdgeId e : order) {
+    const Edge ed = g.edge(e);
+    const VertexId ra = uf.find(ed.u);
+    const VertexId rb = uf.find(ed.v);
+    if (ra == rb) continue;
+    if (uf.set_size(ra) + uf.set_size(rb) <= max_part_size) uf.unite(ra, rb);
+  }
+  std::vector<std::int32_t> root_to_part(n, -1);
+  Partition p;
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId r = uf.find(v);
+    if (root_to_part[r] == -1) {
+      root_to_part[r] = static_cast<std::int32_t>(p.parts.size());
+      p.parts.emplace_back();
+    }
+    p.parts[static_cast<std::size_t>(root_to_part[r])].push_back(v);
+  }
+  return p;
+}
+
+Partition singleton_partition(const Graph& g) {
+  Partition p;
+  p.parts.reserve(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) p.parts.push_back({v});
+  return p;
+}
+
+Partition component_partition(const Graph& g) {
+  const Components c = connected_components(g);
+  Partition p;
+  p.parts.resize(c.count);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) p.parts[c.id[v]].push_back(v);
+  return p;
+}
+
+}  // namespace lcs::graph

@@ -1,0 +1,36 @@
+#include "graph/union_find.hpp"
+
+namespace lcs::graph {
+
+UnionFind::UnionFind(std::uint32_t n)
+    : parent_(n), rank_(n, 0), size_(n, 1), num_sets_(n) {
+  for (std::uint32_t i = 0; i < n; ++i) parent_[i] = i;
+}
+
+VertexId UnionFind::find(VertexId x) {
+  LCS_REQUIRE(x < parent_.size(), "element out of range");
+  VertexId root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    const VertexId next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::unite(VertexId a, VertexId b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (rank_[a] < rank_[b]) std::swap(a, b);
+  parent_[b] = a;
+  size_[a] += size_[b];
+  if (rank_[a] == rank_[b]) ++rank_[a];
+  --num_sets_;
+  return true;
+}
+
+std::uint32_t UnionFind::set_size(VertexId x) { return size_[find(x)]; }
+
+}  // namespace lcs::graph

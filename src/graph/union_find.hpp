@@ -1,0 +1,35 @@
+// Disjoint-set forest with union by rank and path compression.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lcs::graph {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::uint32_t n);
+
+  VertexId find(VertexId x);
+
+  /// Returns true iff the two elements were in different sets.
+  bool unite(VertexId a, VertexId b);
+
+  bool same(VertexId a, VertexId b) { return find(a) == find(b); }
+
+  std::uint32_t num_sets() const { return num_sets_; }
+  std::uint32_t size() const { return static_cast<std::uint32_t>(parent_.size()); }
+
+  /// Size of the set containing x.
+  std::uint32_t set_size(VertexId x);
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<std::uint32_t> rank_;
+  std::vector<std::uint32_t> size_;
+  std::uint32_t num_sets_;
+};
+
+}  // namespace lcs::graph

@@ -1,0 +1,28 @@
+#include "graph/weighted.hpp"
+
+namespace lcs::graph {
+
+EdgeWeights random_weights(const Graph& g, Weight max_weight, Rng& rng) {
+  LCS_REQUIRE(max_weight >= 1, "max_weight must be positive");
+  EdgeWeights w(g.num_edges());
+  for (auto& x : w) x = 1 + static_cast<Weight>(rng.uniform(static_cast<std::uint64_t>(max_weight)));
+  return w;
+}
+
+EdgeWeights distinct_random_weights(const Graph& g, Rng& rng) {
+  EdgeWeights w(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) w[e] = static_cast<Weight>(e) + 1;
+  rng.shuffle(w);
+  return w;
+}
+
+Weight total_weight(const EdgeWeights& w, const std::vector<EdgeId>& edges) {
+  Weight total = 0;
+  for (const EdgeId e : edges) {
+    LCS_REQUIRE(e < w.size(), "edge id out of range");
+    total += w[e];
+  }
+  return total;
+}
+
+}  // namespace lcs::graph

@@ -1,0 +1,25 @@
+// Edge weights, kept as a parallel array indexed by EdgeId.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace lcs::graph {
+
+using Weight = std::int64_t;
+using EdgeWeights = std::vector<Weight>;
+
+/// Uniform random weights in [1, max_weight].
+EdgeWeights random_weights(const Graph& g, Weight max_weight, Rng& rng);
+
+/// A random permutation of 1..m — all-distinct weights, so the MST is
+/// unique and cross-implementation comparisons can match edge sets exactly.
+EdgeWeights distinct_random_weights(const Graph& g, Rng& rng);
+
+/// Sum of the weights of the given edges.
+Weight total_weight(const EdgeWeights& w, const std::vector<EdgeId>& edges);
+
+}  // namespace lcs::graph

@@ -1,0 +1,343 @@
+#include "mincut/mincut.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/algorithms.hpp"
+#include "graph/union_find.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace lcs::mincut {
+
+Weight cut_value(const Graph& g, const EdgeWeights& w, const std::vector<VertexId>& side) {
+  LCS_REQUIRE(w.size() == g.num_edges(), "weights do not match graph");
+  std::vector<bool> in_side(g.num_vertices(), false);
+  for (const VertexId v : side) {
+    LCS_REQUIRE(v < g.num_vertices(), "vertex out of range");
+    in_side[v] = true;
+  }
+  Weight total = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const graph::Edge ed = g.edge(e);
+    if (in_side[ed.u] != in_side[ed.v]) total += w[e];
+  }
+  return total;
+}
+
+CutResult stoer_wagner(const Graph& g, const EdgeWeights& w) {
+  const std::uint32_t n = g.num_vertices();
+  LCS_REQUIRE(n >= 2, "min cut needs at least two vertices");
+  LCS_REQUIRE(graph::is_connected(g), "min cut of a disconnected graph is zero");
+  for (const Weight x : w) LCS_REQUIRE(x > 0, "weights must be positive");
+
+  // Dense adjacency over supernodes; merged[i] lists the original vertices.
+  std::vector<std::vector<Weight>> a(n, std::vector<Weight>(n, 0));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const graph::Edge ed = g.edge(e);
+    a[ed.u][ed.v] += w[e];
+    a[ed.v][ed.u] += w[e];
+  }
+  std::vector<std::vector<VertexId>> merged(n);
+  for (VertexId v = 0; v < n; ++v) merged[v] = {v};
+  std::vector<bool> gone(n, false);
+
+  CutResult best;
+  best.value = std::numeric_limits<Weight>::max();
+  for (std::uint32_t phase = 0; phase + 1 < n; ++phase) {
+    // Maximum adjacency (minimum cut phase) sweep.
+    std::vector<Weight> key(n, 0);
+    std::vector<bool> in_a(n, false);
+    VertexId prev = graph::kNoVertex;
+    VertexId last = graph::kNoVertex;
+    for (std::uint32_t step = 0; step + phase < n; ++step) {
+      VertexId sel = graph::kNoVertex;
+      for (VertexId v = 0; v < n; ++v) {
+        if (gone[v] || in_a[v]) continue;
+        if (sel == graph::kNoVertex || key[v] > key[sel]) sel = v;
+      }
+      LCS_CHECK(sel != graph::kNoVertex, "sweep ran out of vertices");
+      in_a[sel] = true;
+      prev = last;
+      last = sel;
+      for (VertexId v = 0; v < n; ++v)
+        if (!gone[v] && !in_a[v]) key[v] += a[sel][v];
+    }
+    // Cut-of-the-phase: `last` versus the rest.
+    const Weight phase_cut = key[last];
+    if (phase_cut < best.value) {
+      best.value = phase_cut;
+      best.side = merged[last];
+    }
+    // Merge `last` into `prev`.
+    LCS_CHECK(prev != graph::kNoVertex, "phase needs two vertices");
+    gone[last] = true;
+    merged[prev].insert(merged[prev].end(), merged[last].begin(), merged[last].end());
+    for (VertexId v = 0; v < n; ++v) {
+      if (gone[v] || v == prev) continue;
+      a[prev][v] += a[last][v];
+      a[v][prev] = a[prev][v];
+    }
+  }
+  if (best.side.size() > g.num_vertices() / 2) {
+    // Report the smaller side for readability.
+    std::vector<bool> in_side(n, false);
+    for (const VertexId v : best.side) in_side[v] = true;
+    std::vector<VertexId> other;
+    for (VertexId v = 0; v < n; ++v)
+      if (!in_side[v]) other.push_back(v);
+    best.side = std::move(other);
+  }
+  std::sort(best.side.begin(), best.side.end());
+  return best;
+}
+
+namespace {
+
+CutResult contract_once(const Graph& g, const EdgeWeights& w, Rng& rng) {
+  const std::uint32_t n = g.num_vertices();
+  // Exponential-clock keys give weighted sampling without replacement.
+  std::vector<std::pair<double, EdgeId>> order;
+  order.reserve(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const double u = std::max(1e-18, rng.uniform_real());
+    order.emplace_back(-std::log(u) / static_cast<double>(w[e]), e);
+  }
+  std::sort(order.begin(), order.end());
+  graph::UnionFind uf(n);
+  for (const auto& [key, e] : order) {
+    (void)key;
+    if (uf.num_sets() == 2) break;
+    const graph::Edge ed = g.edge(e);
+    uf.unite(ed.u, ed.v);
+  }
+  CutResult out;
+  const VertexId root0 = uf.find(0);
+  for (VertexId v = 0; v < n; ++v)
+    if (uf.find(v) == root0) out.side.push_back(v);
+  out.value = cut_value(g, w, out.side);
+  return out;
+}
+
+}  // namespace
+
+CutResult karger_mincut(const Graph& g, const EdgeWeights& w, std::uint32_t trials,
+                        Rng& rng) {
+  LCS_REQUIRE(g.num_vertices() >= 2, "min cut needs at least two vertices");
+  LCS_REQUIRE(trials >= 1, "need at least one trial");
+  CutResult best;
+  best.value = std::numeric_limits<Weight>::max();
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    CutResult cur = contract_once(g, w, rng);
+    if (cur.value < best.value) best = std::move(cur);
+  }
+  std::sort(best.side.begin(), best.side.end());
+  return best;
+}
+
+namespace {
+
+/// Minimum spanning tree keyed by per-edge load (greedy packing step).
+std::vector<EdgeId> load_mst(const Graph& g, const std::vector<double>& load) {
+  std::vector<EdgeId> order(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) order[e] = e;
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    return std::make_pair(load[a], a) < std::make_pair(load[b], b);
+  });
+  graph::UnionFind uf(g.num_vertices());
+  std::vector<EdgeId> tree;
+  for (const EdgeId e : order) {
+    const graph::Edge ed = g.edge(e);
+    if (uf.unite(ed.u, ed.v)) tree.push_back(e);
+  }
+  return tree;
+}
+
+struct RootedForest {
+  std::vector<VertexId> parent;
+  std::vector<std::uint32_t> depth;
+  std::vector<VertexId> bfs_order;  // root first
+};
+
+RootedForest root_tree(const Graph& g, const std::vector<EdgeId>& tree_edges) {
+  // Adjacency restricted to the tree.
+  std::vector<std::vector<VertexId>> adj(g.num_vertices());
+  for (const EdgeId e : tree_edges) {
+    const graph::Edge ed = g.edge(e);
+    adj[ed.u].push_back(ed.v);
+    adj[ed.v].push_back(ed.u);
+  }
+  RootedForest f;
+  f.parent.assign(g.num_vertices(), graph::kNoVertex);
+  f.depth.assign(g.num_vertices(), 0);
+  std::vector<bool> seen(g.num_vertices(), false);
+  seen[0] = true;
+  f.bfs_order.push_back(0);
+  for (std::size_t head = 0; head < f.bfs_order.size(); ++head) {
+    const VertexId u = f.bfs_order[head];
+    for (const VertexId v : adj[u]) {
+      if (seen[v]) continue;
+      seen[v] = true;
+      f.parent[v] = u;
+      f.depth[v] = f.depth[u] + 1;
+      f.bfs_order.push_back(v);
+    }
+  }
+  return f;
+}
+
+VertexId lca_walk(const RootedForest& f, VertexId a, VertexId b) {
+  while (a != b) {
+    if (f.depth[a] < f.depth[b]) std::swap(a, b);
+    a = f.parent[a];
+  }
+  return a;
+}
+
+}  // namespace
+
+TreePackingResult tree_packing_mincut(const Graph& g, const EdgeWeights& w,
+                                      std::uint32_t num_trees) {
+  const std::uint32_t n = g.num_vertices();
+  LCS_REQUIRE(n >= 2, "min cut needs at least two vertices");
+  LCS_REQUIRE(graph::is_connected(g), "tree packing requires a connected graph");
+  if (num_trees == 0)
+    num_trees = static_cast<std::uint32_t>(std::ceil(3.0 * ln_clamped(n)));
+
+  TreePackingResult out;
+  out.num_trees = num_trees;
+  out.cut.value = std::numeric_limits<Weight>::max();
+
+  std::vector<double> load(g.num_edges(), 0.0);
+  std::vector<Weight> wdeg(n, 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const graph::Edge ed = g.edge(e);
+    wdeg[ed.u] += w[e];
+    wdeg[ed.v] += w[e];
+  }
+
+  for (std::uint32_t t = 0; t < num_trees; ++t) {
+    const std::vector<EdgeId> tree = load_mst(g, load);
+    LCS_CHECK(tree.size() + 1 == n, "packing tree is not spanning");
+    for (const EdgeId e : tree) load[e] += 1.0 / static_cast<double>(w[e]);
+
+    const RootedForest f = root_tree(g, tree);
+    // crossing(subtree(v)) = sum_{x in sub} wdeg(x) - 2 * sum_{x in sub} P(x),
+    // with P(x) = total weight of edges whose tree-LCA is x.
+    std::vector<Weight> val(n);
+    for (VertexId v = 0; v < n; ++v) val[v] = wdeg[v];
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const graph::Edge ed = g.edge(e);
+      val[lca_walk(f, ed.u, ed.v)] -= 2 * w[e];
+    }
+    // Accumulate bottom-up (reverse BFS order).
+    std::vector<Weight> sub = val;
+    for (auto it = f.bfs_order.rbegin(); it != f.bfs_order.rend(); ++it) {
+      const VertexId v = *it;
+      if (f.parent[v] != graph::kNoVertex) sub[f.parent[v]] += sub[v];
+    }
+    for (VertexId v = 1; v < n; ++v) {  // every non-root subtree = 1-respecting cut
+      if (sub[v] < out.cut.value) {
+        out.cut.value = sub[v];
+        out.best_tree = t;
+        // Collect the subtree of v.
+        out.cut.side.clear();
+        std::vector<VertexId> stack{v};
+        std::vector<std::vector<VertexId>> kids(n);
+        for (VertexId x = 0; x < n; ++x)
+          if (f.parent[x] != graph::kNoVertex) kids[f.parent[x]].push_back(x);
+        while (!stack.empty()) {
+          const VertexId x = stack.back();
+          stack.pop_back();
+          out.cut.side.push_back(x);
+          for (const VertexId c : kids[x]) stack.push_back(c);
+        }
+      }
+    }
+  }
+  std::sort(out.cut.side.begin(), out.cut.side.end());
+  if (out.cut.side.size() > n / 2) {
+    std::vector<bool> in_side(n, false);
+    for (const VertexId v : out.cut.side) in_side[v] = true;
+    std::vector<VertexId> other;
+    for (VertexId v = 0; v < n; ++v)
+      if (!in_side[v]) other.push_back(v);
+    out.cut.side = std::move(other);
+  }
+  return out;
+}
+
+SparsifiedResult sparsified_mincut(const Graph& g, const EdgeWeights& w, double eps,
+                                   Rng& rng) {
+  LCS_REQUIRE(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+  LCS_REQUIRE(graph::is_connected(g), "min cut of a disconnected graph is zero");
+  const std::uint32_t n = g.num_vertices();
+
+  // Cheap 2-approximate lambda from a small tree packing.
+  const Weight lambda_hat = tree_packing_mincut(g, w, 3).cut.value;
+  LCS_REQUIRE(lambda_hat > 0, "lambda estimate must be positive");
+
+  SparsifiedResult out;
+  const double c = 3.0;
+  out.sample_prob =
+      std::min(1.0, c * ln_clamped(n) / (eps * eps * static_cast<double>(lambda_hat)));
+
+  // Skeleton: binomial thinning of each edge's capacity (w[e] unit trials
+  // at probability p); multigraph multiplicities become skeleton weights.
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> kept_edges;
+  std::vector<Weight> kept_weight;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    Weight units = 0;
+    if (out.sample_prob >= 1.0) {
+      units = w[e];
+    } else {
+      for (Weight t = 0; t < w[e]; ++t)
+        if (rng.bernoulli(out.sample_prob)) ++units;
+    }
+    if (units > 0) {
+      kept_edges.emplace_back(g.edge(e).u, g.edge(e).v);
+      kept_weight.push_back(units);
+    }
+  }
+  const Graph skeleton = Graph::from_edges(n, kept_edges);
+  // from_edges may merge nothing here (inputs are already unique edges),
+  // but keep the mapping robust by re-accumulating weights by endpoints.
+  EdgeWeights sw(skeleton.num_edges(), 0);
+  for (std::size_t i = 0; i < kept_edges.size(); ++i) {
+    // Find the skeleton edge id by scanning the (sorted) edge list via
+    // binary search on endpoints.
+    const auto [a, b] = kept_edges[i];
+    const graph::VertexId u = std::min(a, b);
+    const graph::VertexId v = std::max(a, b);
+    // Skeleton edges are sorted by (u, v): binary search.
+    std::uint32_t lo = 0, hi = skeleton.num_edges();
+    while (lo < hi) {
+      const std::uint32_t mid = (lo + hi) / 2;
+      const graph::Edge ed = skeleton.edge(mid);
+      if (std::make_pair(ed.u, ed.v) < std::make_pair(u, v))
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    LCS_CHECK(lo < skeleton.num_edges(), "skeleton edge lookup failed");
+    sw[lo] += kept_weight[i];
+  }
+
+  if (!graph::is_connected(skeleton)) {
+    // Over-aggressive sampling disconnected the skeleton (possible at tiny
+    // lambda); fall back to the full graph.
+    out.cut = stoer_wagner(g, w);
+    out.sample_prob = 1.0;
+    out.skeleton_cut = out.cut.value;
+    return out;
+  }
+  const CutResult sk_cut = stoer_wagner(skeleton, sw);
+  out.skeleton_cut = sk_cut.value;
+  // The *side* transfers to G; report its exact value there.
+  out.cut.side = sk_cut.side;
+  out.cut.value = cut_value(g, w, out.cut.side);
+  return out;
+}
+
+}  // namespace lcs::mincut

@@ -1,0 +1,71 @@
+// Minimum cut: exact references and the tree-packing approximation that
+// backs Corollary 1.2's (1+eps) min-cut claim.
+//
+// The distributed (1+eps) algorithm the paper cites ([Gha17, Thm 7.6.1],
+// following Karger) packs O(log n) spanning trees and finds the best cut
+// that 2-respects one of them; every tree computation and aggregation is a
+// shortcut-accelerated MST-like step.  We implement the packing with
+// 1-respecting cuts (ratio <= 2 in theory, ~1 in practice on these
+// families; see DESIGN.md §4) and account rounds as #trees x MST rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/weighted.hpp"
+#include "util/rng.hpp"
+
+namespace lcs::mincut {
+
+using graph::EdgeId;
+using graph::EdgeWeights;
+using graph::Graph;
+using graph::VertexId;
+using graph::Weight;
+
+struct CutResult {
+  Weight value = 0;
+  /// Vertices on one side of the cut (the smaller side).
+  std::vector<VertexId> side;
+};
+
+/// Exact global minimum cut (Stoer–Wagner).  O(n^3); use n <= ~500.
+/// Requires a connected graph with >= 2 vertices and positive weights.
+CutResult stoer_wagner(const Graph& g, const EdgeWeights& w);
+
+/// Karger's randomized contraction, `trials` independent repetitions.
+/// Weighted sampling via exponential clocks.  Monte Carlo: result is an
+/// upper bound that equals the min cut w.h.p. for trials = Omega(n^2 log n).
+CutResult karger_mincut(const Graph& g, const EdgeWeights& w, std::uint32_t trials,
+                        Rng& rng);
+
+struct TreePackingResult {
+  CutResult cut;
+  std::uint32_t num_trees = 0;
+  /// Index of the tree (and its edge) realising the best 1-respecting cut.
+  std::uint32_t best_tree = 0;
+};
+
+/// Greedy spanning-tree packing + minimum 1-respecting cut per tree.
+/// `num_trees = 0` selects ceil(3 ln n) trees.
+TreePackingResult tree_packing_mincut(const Graph& g, const EdgeWeights& w,
+                                      std::uint32_t num_trees = 0);
+
+/// Karger's sampling estimator — the (1±eps) mechanism behind the
+/// corollary's epsilon dependence: sample each unit of capacity with
+/// probability p = min(1, c·ln n / (eps^2 · lambda_hat)) (lambda_hat from a
+/// quick tree packing), find the skeleton's minimum cut, rescale by 1/p.
+/// Monte Carlo: the returned *side* realises a (1+eps)-near-minimum cut of
+/// G w.h.p.; `value` is that side's exact cut value in G.
+struct SparsifiedResult {
+  CutResult cut;          ///< side + exact value in G
+  double sample_prob = 1.0;
+  Weight skeleton_cut = 0;  ///< the (unscaled) cut value in the skeleton
+};
+SparsifiedResult sparsified_mincut(const Graph& g, const EdgeWeights& w, double eps,
+                                   Rng& rng);
+
+/// Cut value of a vertex subset (sum of crossing edge weights).
+Weight cut_value(const Graph& g, const EdgeWeights& w, const std::vector<VertexId>& side);
+
+}  // namespace lcs::mincut

@@ -1,0 +1,233 @@
+#include "sssp/sssp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "congest/multibf.hpp"
+#include "congest/programs.hpp"
+#include "congest/simulator.hpp"
+#include "graph/algorithms.hpp"
+#include "util/check.hpp"
+
+namespace lcs::sssp {
+
+SsspResult dijkstra(const Graph& g, const EdgeWeights& w, VertexId source) {
+  LCS_REQUIRE(w.size() == g.num_edges(), "weights do not match graph");
+  LCS_REQUIRE(source < g.num_vertices(), "source out of range");
+  for (const Weight x : w) LCS_REQUIRE(x >= 0, "negative weights unsupported");
+
+  SsspResult r;
+  r.dist.assign(g.num_vertices(), kInfDist);
+  r.parent.assign(g.num_vertices(), graph::kNoVertex);
+  r.parent_edge.assign(g.num_vertices(), graph::kNoEdge);
+  using Item = std::pair<std::uint64_t, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  r.dist[source] = 0;
+  pq.emplace(0, source);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != r.dist[u]) continue;
+    for (const graph::HalfEdge he : g.neighbors(u)) {
+      const std::uint64_t cand = d + static_cast<std::uint64_t>(w[he.edge]);
+      if (cand < r.dist[he.to]) {
+        r.dist[he.to] = cand;
+        r.parent[he.to] = u;
+        r.parent_edge[he.to] = he.edge;
+        pq.emplace(cand, he.to);
+      }
+    }
+  }
+  return r;
+}
+
+DistributedSsspResult distributed_bellman_ford(const Graph& g, const EdgeWeights& w,
+                                               VertexId source) {
+  congest::BellmanFordProgram prog(g, w, source);
+  congest::Simulator sim(g, 1);
+  const congest::RunStats st = sim.run(prog, 4 * g.num_vertices() + 16);
+  LCS_CHECK(st.completed, "Bellman-Ford did not quiesce");
+  DistributedSsspResult out;
+  out.rounds = st.rounds;
+  out.messages = st.messages;
+  out.sssp.dist = prog.dist();
+  out.sssp.parent = prog.parent();
+  out.sssp.parent_edge = prog.parent_edge();
+  for (auto& d : out.sssp.dist)
+    if (d == congest::BellmanFordProgram::kInf) d = kInfDist;
+  return out;
+}
+
+ApproxTreeResult approx_sssp_tree(const Graph& g, const EdgeWeights& w, VertexId source,
+                                  const ApproxTreeOptions& opt) {
+  const std::uint32_t n = g.num_vertices();
+  LCS_REQUIRE(n >= 1, "empty graph");
+  LCS_REQUIRE(graph::is_connected(g), "approx SSSP tree requires a connected graph");
+  ApproxTreeResult out;
+  std::uint32_t k = opt.num_landmarks;
+  if (k == 0) k = static_cast<std::uint32_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  k = std::min(k, n);
+
+  // Landmarks: the source plus k-1 random vertices.
+  Rng rng(hash64(opt.seed ^ 0x55559ULL));
+  std::vector<VertexId> landmarks{source};
+  {
+    std::vector<bool> chosen(n, false);
+    chosen[source] = true;
+    while (landmarks.size() < k) {
+      const VertexId v = static_cast<VertexId>(rng.uniform(n));
+      if (!chosen[v]) {
+        chosen[v] = true;
+        landmarks.push_back(v);
+      }
+    }
+  }
+  out.num_landmarks = static_cast<std::uint32_t>(landmarks.size());
+
+  // Weighted Voronoi diagram: multi-source Dijkstra (virtual super-source).
+  std::vector<std::uint64_t> vdist(n, kInfDist);
+  std::vector<VertexId> vparent(n, graph::kNoVertex);
+  std::vector<EdgeId> vparent_edge(n, graph::kNoEdge);
+  std::vector<std::uint32_t> cell(n, graph::kUnreached);
+  using Item = std::pair<std::uint64_t, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  for (std::uint32_t i = 0; i < landmarks.size(); ++i) {
+    vdist[landmarks[i]] = 0;
+    cell[landmarks[i]] = i;
+    pq.emplace(0, landmarks[i]);
+  }
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != vdist[u]) continue;
+    for (const graph::HalfEdge he : g.neighbors(u)) {
+      const std::uint64_t cand = d + static_cast<std::uint64_t>(w[he.edge]);
+      if (cand < vdist[he.to]) {
+        vdist[he.to] = cand;
+        vparent[he.to] = u;
+        vparent_edge[he.to] = he.edge;
+        cell[he.to] = cell[u];
+        pq.emplace(cand, he.to);
+      }
+    }
+  }
+
+  // Landmark overlay: for every G-edge crossing two cells, an overlay edge
+  // of length vdist(u) + w(e) + vdist(v); Dijkstra from the source's cell.
+  const std::uint32_t L = out.num_landmarks;
+  struct OverlayEdge {
+    std::uint32_t to;
+    std::uint64_t len;
+    EdgeId via;
+  };
+  std::vector<std::vector<OverlayEdge>> overlay(L);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const graph::Edge ed = g.edge(e);
+    const std::uint32_t ca = cell[ed.u];
+    const std::uint32_t cb = cell[ed.v];
+    if (ca == cb) continue;
+    const std::uint64_t len = vdist[ed.u] + static_cast<std::uint64_t>(w[e]) + vdist[ed.v];
+    overlay[ca].push_back({cb, len, e});
+    overlay[cb].push_back({ca, len, e});
+  }
+  std::vector<std::uint64_t> odist(L, kInfDist);
+  std::vector<EdgeId> ovia(L, graph::kNoEdge);  // realising G-edge toward the root cell
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> opq;
+  odist[0] = 0;  // cell 0 = source's cell
+  opq.emplace(0, 0);
+  while (!opq.empty()) {
+    const auto [d, c] = opq.top();
+    opq.pop();
+    if (d != odist[c]) continue;
+    for (const OverlayEdge& oe : overlay[c]) {
+      const std::uint64_t cand = d + oe.len;
+      if (cand < odist[oe.to]) {
+        odist[oe.to] = cand;
+        ovia[oe.to] = oe.via;
+        opq.emplace(cand, oe.to);
+      }
+    }
+  }
+
+  // Spanning tree: Voronoi forest + one realising edge per non-root cell.
+  std::vector<bool> in_tree_edge(g.num_edges(), false);
+  for (VertexId v = 0; v < n; ++v)
+    if (vparent_edge[v] != graph::kNoEdge) in_tree_edge[vparent_edge[v]] = true;
+  for (std::uint32_t c = 1; c < L; ++c) {
+    LCS_CHECK(ovia[c] != graph::kNoEdge, "overlay is disconnected on a connected graph");
+    in_tree_edge[ovia[c]] = true;
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    if (in_tree_edge[e]) out.tree_edges.push_back(e);
+  LCS_CHECK(out.tree_edges.size() == n - 1, "overlay construction must yield a tree");
+
+  // Distances inside the tree from the source.
+  {
+    std::vector<std::vector<graph::HalfEdge>> tadj(n);
+    for (const EdgeId e : out.tree_edges) {
+      const graph::Edge ed = g.edge(e);
+      tadj[ed.u].push_back({ed.v, e});
+      tadj[ed.v].push_back({ed.u, e});
+    }
+    out.tree_dist.assign(n, kInfDist);
+    out.tree_dist[source] = 0;
+    std::vector<VertexId> stack{source};
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      for (const graph::HalfEdge he : tadj[u]) {
+        if (out.tree_dist[he.to] != kInfDist) continue;
+        out.tree_dist[he.to] = out.tree_dist[u] + static_cast<std::uint64_t>(w[he.edge]);
+        stack.push_back(he.to);
+      }
+    }
+  }
+
+  // Measured stretch against exact distances.
+  const SsspResult exact = dijkstra(g, w, source);
+  double sum = 0.0;
+  std::uint32_t counted = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (v == source || exact.dist[v] == 0 || exact.dist[v] == kInfDist) continue;
+    const double s = static_cast<double>(out.tree_dist[v]) / static_cast<double>(exact.dist[v]);
+    out.max_stretch = std::max(out.max_stretch, s);
+    sum += s;
+    ++counted;
+  }
+  out.avg_stretch = counted > 0 ? sum / counted : 1.0;
+
+  // Round accounting: Voronoi growth = 2x max hop radius of the cells
+  // (grow + confirm), overlay collection pipelined over a global BFS tree.
+  std::uint32_t max_hops = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    std::uint32_t hops = 0;
+    VertexId cur = v;
+    while (vparent[cur] != graph::kNoVertex) {
+      cur = vparent[cur];
+      ++hops;
+    }
+    max_hops = std::max(max_hops, hops);
+  }
+  out.rounds_charged = 2ULL * max_hops + L + graph::diameter_double_sweep(g);
+
+  if (opt.simulate) {
+    // The concurrent landmark growth, actually run on the simulator; its
+    // per-landmark distances must reproduce the Voronoi diagram.
+    congest::MultiBellmanFordProgram prog(g, w, landmarks);
+    congest::Simulator sim(g, 1);
+    const congest::RunStats st = sim.run(prog, 64 * n + 64);
+    LCS_CHECK(st.completed, "landmark Bellman-Ford did not quiesce");
+    out.rounds_simulated = st.rounds;
+    out.messages_simulated = st.messages;
+    for (VertexId v = 0; v < n; ++v) {
+      std::uint64_t best = congest::MultiBellmanFordProgram::kInf;
+      for (std::size_t i = 0; i < landmarks.size(); ++i)
+        best = std::min(best, prog.dist_of(i, v));
+      LCS_CHECK(best == vdist[v], "simulated Voronoi disagrees with oracle");
+    }
+  }
+  return out;
+}
+
+}  // namespace lcs::sssp

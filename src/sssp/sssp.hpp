@@ -1,0 +1,72 @@
+// Single-source shortest paths: Dijkstra reference, the distributed
+// Bellman–Ford (exact, hop-bounded rounds), and the shortcut-flavoured
+// approximate SSSP *tree* of Corollary 4.2.
+//
+// Corollary 4.2 plugs the shortcut quality into Haeupler–Li; reproducing
+// that machinery verbatim is out of scope (DESIGN.md §4), so the
+// approximate tree here is a landmark/overlay construction whose round
+// cost is dominated by shortcut-style aggregations, and whose achieved
+// stretch is *measured* rather than asserted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/weighted.hpp"
+#include "util/rng.hpp"
+
+namespace lcs::sssp {
+
+using graph::EdgeId;
+using graph::EdgeWeights;
+using graph::Graph;
+using graph::VertexId;
+using graph::Weight;
+
+inline constexpr std::uint64_t kInfDist = static_cast<std::uint64_t>(-1);
+
+struct SsspResult {
+  std::vector<std::uint64_t> dist;   ///< kInfDist when unreachable
+  std::vector<VertexId> parent;
+  std::vector<EdgeId> parent_edge;
+};
+
+/// Centralized Dijkstra (binary heap).  Non-negative weights.
+SsspResult dijkstra(const Graph& g, const EdgeWeights& w, VertexId source);
+
+/// Distributed Bellman–Ford on the CONGEST simulator: exact distances,
+/// round count = hop radius of the shortest-path tree.
+struct DistributedSsspResult {
+  SsspResult sssp;
+  std::uint32_t rounds = 0;
+  std::uint64_t messages = 0;
+};
+DistributedSsspResult distributed_bellman_ford(const Graph& g, const EdgeWeights& w,
+                                               VertexId source);
+
+/// Landmark-overlay approximate SSSP tree.
+struct ApproxTreeOptions {
+  std::uint32_t num_landmarks = 0;  ///< 0 = ceil(sqrt(n))
+  std::uint64_t seed = 1;
+  /// Run the concurrent landmark Bellman–Ford on the CONGEST simulator and
+  /// report its measured rounds (in addition to the analytic charge).
+  bool simulate = false;
+};
+struct ApproxTreeResult {
+  std::vector<EdgeId> tree_edges;        ///< spanning tree of G
+  std::vector<std::uint64_t> tree_dist;  ///< distance from source inside the tree
+  double max_stretch = 0.0;              ///< max over v of tree_dist/dist
+  double avg_stretch = 0.0;
+  std::uint32_t num_landmarks = 0;
+  /// Charged rounds: Voronoi growth (2x max hop radius) + landmark overlay
+  /// aggregation (#landmarks, pipelined on a global tree).
+  std::uint64_t rounds_charged = 0;
+  /// Measured rounds of the simulated concurrent landmark growth (0 unless
+  /// options.simulate).
+  std::uint32_t rounds_simulated = 0;
+  std::uint64_t messages_simulated = 0;
+};
+ApproxTreeResult approx_sssp_tree(const Graph& g, const EdgeWeights& w, VertexId source,
+                                  const ApproxTreeOptions& opt = {});
+
+}  // namespace lcs::sssp

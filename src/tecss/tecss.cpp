@@ -1,0 +1,176 @@
+#include "tecss/tecss.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/algorithms.hpp"
+#include "graph/union_find.hpp"
+#include "mst/mst.hpp"
+#include "util/check.hpp"
+
+namespace lcs::tecss {
+
+bool is_two_edge_connected(const Graph& g) {
+  if (g.num_vertices() < 2) return false;
+  if (!graph::is_connected(g)) return false;
+  return graph::bridges(g).empty();
+}
+
+namespace {
+
+Weight certified_lower_bound(const Graph& g, const EdgeWeights& w, Weight mst_weight) {
+  // Degree bound: any 2-ECSS has min degree 2, so its weight is at least
+  // half the sum over vertices of the two lightest incident edges.
+  Weight two_min_sum = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    Weight m1 = std::numeric_limits<Weight>::max();
+    Weight m2 = std::numeric_limits<Weight>::max();
+    for (const graph::HalfEdge he : g.neighbors(v)) {
+      const Weight x = w[he.edge];
+      if (x < m1) {
+        m2 = m1;
+        m1 = x;
+      } else if (x < m2) {
+        m2 = x;
+      }
+    }
+    LCS_CHECK(m2 != std::numeric_limits<Weight>::max(), "vertex with degree < 2");
+    two_min_sum += m1 + m2;
+  }
+  return std::max(mst_weight, (two_min_sum + 1) / 2);
+}
+
+}  // namespace
+
+TwoEcssResult two_ecss_approx(const Graph& g, const EdgeWeights& w) {
+  LCS_REQUIRE(w.size() == g.num_edges(), "weights do not match graph");
+  LCS_REQUIRE(is_two_edge_connected(g), "input must be 2-edge-connected");
+
+  const mst::MstResult tree = mst::kruskal(g, w);
+  std::vector<bool> in_tree(g.num_edges(), false);
+  for (const EdgeId e : tree.edges) in_tree[e] = true;
+
+  // Root the tree; cover tree edges with non-tree edges chosen by
+  // ascending weight.  The union-find "climb" contracts covered tree edges
+  // so each is processed once (near-linear overall).
+  const std::uint32_t n = g.num_vertices();
+  std::vector<VertexId> parent(n, graph::kNoVertex);
+  std::vector<std::uint32_t> depth(n, 0);
+  {
+    std::vector<std::vector<VertexId>> adj(n);
+    for (const EdgeId e : tree.edges) {
+      const graph::Edge ed = g.edge(e);
+      adj[ed.u].push_back(ed.v);
+      adj[ed.v].push_back(ed.u);
+    }
+    std::vector<VertexId> order{0};
+    std::vector<bool> seen(n, false);
+    seen[0] = true;
+    for (std::size_t head = 0; head < order.size(); ++head) {
+      const VertexId u = order[head];
+      for (const VertexId v : adj[u]) {
+        if (seen[v]) continue;
+        seen[v] = true;
+        parent[v] = u;
+        depth[v] = depth[u] + 1;
+        order.push_back(v);
+      }
+    }
+  }
+  // Union-find over "covered" tree edges: groups are subtrees whose
+  // internal tree edges are all covered; shallow[] maps a group root to the
+  // group's minimum-depth vertex (whose parent edge is the next uncovered
+  // edge above the group).
+  graph::UnionFind covered(n);
+  std::vector<VertexId> shallow(n);
+  for (VertexId v = 0; v < n; ++v) shallow[v] = v;
+  auto rep = [&](VertexId v) { return shallow[covered.find(v)]; };
+
+  std::vector<EdgeId> nontree;
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    if (!in_tree[e]) nontree.push_back(e);
+  std::sort(nontree.begin(), nontree.end(), [&](EdgeId a, EdgeId b) {
+    return std::make_pair(w[a], a) < std::make_pair(w[b], b);
+  });
+
+  std::vector<EdgeId> chosen;
+  std::uint32_t uncovered = n - 1;  // tree edges not yet covered
+  for (const EdgeId e : nontree) {
+    if (uncovered == 0) break;
+    const graph::Edge ed = g.edge(e);
+    VertexId a = rep(ed.u);
+    VertexId b = rep(ed.v);
+    bool used = false;
+    // Climb both endpoints to their LCA, covering tree edges on the way.
+    // a and b are always the shallowest vertices of their covered groups.
+    while (a != b) {
+      if (depth[a] < depth[b]) std::swap(a, b);
+      // Cover the tree edge (a, parent(a)).
+      const VertexId pa = parent[a];
+      LCS_CHECK(pa != graph::kNoVertex, "climbed past the root");
+      const VertexId ra = covered.find(a);
+      const VertexId rb = covered.find(pa);
+      LCS_CHECK(ra != rb, "group top's parent edge was already covered");
+      const VertexId sa = shallow[ra];
+      const VertexId sb = shallow[rb];
+      covered.unite(ra, rb);
+      shallow[covered.find(ra)] = depth[sb] < depth[sa] ? sb : sa;
+      --uncovered;
+      used = true;
+      a = rep(a);
+    }
+    if (used) chosen.push_back(e);
+  }
+  LCS_CHECK(uncovered == 0, "2-edge-connected input must allow covering all tree edges");
+
+  TwoEcssResult out;
+  out.edges = tree.edges;
+  out.edges.insert(out.edges.end(), chosen.begin(), chosen.end());
+  std::sort(out.edges.begin(), out.edges.end());
+  out.weight = graph::total_weight(w, out.edges);
+  out.lower_bound = certified_lower_bound(g, w, tree.weight);
+  out.ratio = static_cast<double>(out.weight) / static_cast<double>(out.lower_bound);
+
+  // Verify.
+  std::vector<std::pair<VertexId, VertexId>> sub_edges;
+  sub_edges.reserve(out.edges.size());
+  for (const EdgeId e : out.edges) {
+    const graph::Edge ed = g.edge(e);
+    sub_edges.emplace_back(ed.u, ed.v);
+  }
+  const Graph sub = Graph::from_edges(n, std::move(sub_edges));
+  out.valid = is_two_edge_connected(sub);
+  return out;
+}
+
+TwoEcssResult two_ecss_brute_force(const Graph& g, const EdgeWeights& w) {
+  LCS_REQUIRE(g.num_edges() <= 22, "brute force limited to tiny instances");
+  LCS_REQUIRE(is_two_edge_connected(g), "input must be 2-edge-connected");
+  const std::uint32_t m = g.num_edges();
+  TwoEcssResult best;
+  best.weight = std::numeric_limits<Weight>::max();
+  for (std::uint32_t mask = 0; mask < (1u << m); ++mask) {
+    Weight total = 0;
+    std::vector<std::pair<VertexId, VertexId>> sub_edges;
+    for (EdgeId e = 0; e < m; ++e) {
+      if (!(mask & (1u << e))) continue;
+      total += w[e];
+      const graph::Edge ed = g.edge(e);
+      sub_edges.emplace_back(ed.u, ed.v);
+    }
+    if (total >= best.weight) continue;
+    const Graph sub = Graph::from_edges(g.num_vertices(), std::move(sub_edges));
+    if (!is_two_edge_connected(sub)) continue;
+    best.weight = total;
+    best.edges.clear();
+    for (EdgeId e = 0; e < m; ++e)
+      if (mask & (1u << e)) best.edges.push_back(e);
+  }
+  LCS_CHECK(best.weight != std::numeric_limits<Weight>::max(), "no 2-ECSS found");
+  best.valid = true;
+  best.lower_bound = best.weight;
+  best.ratio = 1.0;
+  return best;
+}
+
+}  // namespace lcs::tecss

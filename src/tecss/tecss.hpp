@@ -1,0 +1,42 @@
+// Minimum-weight two-edge-connected spanning subgraph (2-ECSS)
+// approximation — Corollary 4.3's application.
+//
+// Dory–Ghaffari's O(log n)-approximation is a shortcut-driven distributed
+// algorithm; per DESIGN.md §4 we reproduce its skeleton: take an MST, then
+// augment it with non-tree edges covering every tree edge (bridges of the
+// partial subgraph), chosen greedily by weight with a union-find climb.
+// The achieved ratio is measured against a certified lower bound
+// max(MST weight, half the sum of each vertex's two lightest edges).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/weighted.hpp"
+
+namespace lcs::tecss {
+
+using graph::EdgeId;
+using graph::EdgeWeights;
+using graph::Graph;
+using graph::VertexId;
+using graph::Weight;
+
+/// True iff g is connected and has no bridge.
+bool is_two_edge_connected(const Graph& g);
+
+struct TwoEcssResult {
+  std::vector<EdgeId> edges;   ///< the chosen subgraph (sorted)
+  Weight weight = 0;
+  Weight lower_bound = 0;      ///< certified LB on the optimum
+  double ratio = 0.0;          ///< weight / lower_bound
+  bool valid = false;          ///< result verified 2-edge-connected
+};
+
+/// Requires a 2-edge-connected input graph.
+TwoEcssResult two_ecss_approx(const Graph& g, const EdgeWeights& w);
+
+/// Exhaustive optimum for tiny instances (m <= ~22); tests only.
+TwoEcssResult two_ecss_brute_force(const Graph& g, const EdgeWeights& w);
+
+}  // namespace lcs::tecss

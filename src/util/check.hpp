@@ -1,0 +1,44 @@
+// Precondition / invariant checking used across the library.
+//
+// Following the "catch run-time errors early" guideline, public entry
+// points validate their contracts with LCS_REQUIRE (always on, throws
+// std::invalid_argument) and internal invariants with LCS_CHECK (always
+// on, throws std::logic_error).  Both are cheap O(1) checks; anything
+// more expensive lives in the test suite or behind verify() functions.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lcs::detail {
+
+[[noreturn]] inline void fail_require(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void fail_check(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace lcs::detail
+
+// Contract on arguments of a public API entry point.
+#define LCS_REQUIRE(expr, msg)                                          \
+  do {                                                                  \
+    if (!(expr)) ::lcs::detail::fail_require(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+// Internal invariant that indicates a library bug when violated.
+#define LCS_CHECK(expr, msg)                                            \
+  do {                                                                  \
+    if (!(expr)) ::lcs::detail::fail_check(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

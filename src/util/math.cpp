@@ -1,0 +1,68 @@
+#include "util/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace lcs {
+
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  LCS_REQUIRE(b > 0, "ceil_div by zero");
+  return (a + b - 1) / b;
+}
+
+unsigned floor_log2(std::uint64_t x) {
+  LCS_REQUIRE(x >= 1, "floor_log2 of zero");
+  unsigned r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+double ln_clamped(std::uint64_t n) { return std::max(1.0, std::log(static_cast<double>(n))); }
+
+double k_d_of(std::uint64_t n, unsigned diameter) {
+  if (diameter <= 2) return 1.0;
+  const double d = static_cast<double>(diameter);
+  const double exponent = (d - 2.0) / (2.0 * d - 2.0);
+  return std::pow(static_cast<double>(n), exponent);
+}
+
+ShortcutParams ShortcutParams::make(std::uint64_t n, unsigned diameter, double beta) {
+  LCS_REQUIRE(n >= 2, "need at least two vertices");
+  LCS_REQUIRE(diameter >= 1, "diameter must be positive");
+  LCS_REQUIRE(beta > 0.0, "beta must be positive");
+  ShortcutParams sp;
+  sp.n = n;
+  sp.diameter = diameter;
+  sp.beta = beta;
+  sp.k_d = k_d_of(n, diameter);
+  sp.large_threshold = static_cast<std::uint64_t>(std::ceil(sp.k_d));
+  sp.max_large_parts = ceil_div(n, std::max<std::uint64_t>(1, sp.large_threshold));
+  sp.repetitions = std::max(1u, diameter);
+  const double p = beta * sp.k_d * ln_clamped(n) / static_cast<double>(sp.max_large_parts);
+  sp.sample_prob = std::clamp(p, 0.0, 1.0);
+  return sp;
+}
+
+double log_log_slope(const double* xs, const double* ys, int count) {
+  LCS_REQUIRE(count >= 2, "log_log_slope needs at least two points");
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int used = 0;
+  for (int i = 0; i < count; ++i) {
+    if (xs[i] <= 0.0 || ys[i] <= 0.0) continue;
+    const double lx = std::log(xs[i]);
+    const double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++used;
+  }
+  LCS_REQUIRE(used >= 2, "log_log_slope needs at least two positive points");
+  const double denom = used * sxx - sx * sx;
+  LCS_REQUIRE(std::abs(denom) > 1e-12, "log_log_slope: degenerate x values");
+  return (used * sxy - sx * sy) / denom;
+}
+
+}  // namespace lcs

@@ -1,0 +1,47 @@
+// Shortcut parameters and small integer/real helpers.
+//
+// All quantities from Section 2 of Kogan–Parter (PODC 2021) live here:
+//   k_D = n^((D-2)/(2D-2))        (the quality target)
+//   N   = ceil(n / k_D)           (max number of "large" parts)
+//   p   = beta * k_D * ln(n) / N  (per-repetition edge sampling probability)
+// The `beta` knob scales the poly-log factor; the paper's w.h.p. analysis
+// corresponds to beta >= 1, and the EA2 ablation sweeps it.
+#pragma once
+
+#include <cstdint>
+
+namespace lcs {
+
+/// ceil(a / b) for positive integers.
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b);
+
+/// floor(log2(x)) for x >= 1.
+unsigned floor_log2(std::uint64_t x);
+
+/// Natural log of n, clamped below by 1.0 so tiny instances stay sane.
+double ln_clamped(std::uint64_t n);
+
+/// Parameters of the Kogan–Parter construction for an n-vertex graph of
+/// (even or odd) unweighted diameter D.
+struct ShortcutParams {
+  std::uint64_t n = 0;       ///< number of vertices
+  unsigned diameter = 0;     ///< D (>= 3 for the k_D regime; D<=2 maps to trivial params)
+  double beta = 1.0;         ///< poly-log scaling knob on the sampling probability
+  double k_d = 0.0;          ///< n^((D-2)/(2D-2))
+  std::uint64_t large_threshold = 0;  ///< parts with more vertices than this are "large"
+  std::uint64_t max_large_parts = 0;  ///< N = ceil(n / k_D)
+  unsigned repetitions = 0;  ///< D independent sampling repetitions (Step 2)
+  double sample_prob = 0.0;  ///< p, clamped to [0, 1]
+
+  /// Compute all derived quantities.  Requires n >= 2 and D >= 1.
+  static ShortcutParams make(std::uint64_t n, unsigned diameter, double beta = 1.0);
+};
+
+/// k_D = n^((D-2)/(2D-2)); returns 1.0 for D <= 2 (the exponent is <= 0).
+double k_d_of(std::uint64_t n, unsigned diameter);
+
+/// Least-squares slope of log(y) against log(x); the empirical exponent of
+/// a power law.  Ignores non-positive samples.  Needs >= 2 usable points.
+double log_log_slope(const double* xs, const double* ys, int count);
+
+}  // namespace lcs

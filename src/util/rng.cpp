@@ -1,0 +1,97 @@
+#include "util/rng.hpp"
+
+#include <unordered_set>
+
+namespace lcs {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash64(std::uint64_t x) {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  LCS_REQUIRE(bound > 0, "uniform() needs a positive bound");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::uniform_in(std::int64_t lo, std::int64_t hi) {
+  LCS_REQUIRE(lo <= hi, "uniform_in() needs lo <= hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full 64-bit range
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Rng::uniform_real() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform_real() < p;
+}
+
+std::vector<std::uint64_t> Rng::sample_distinct(std::uint64_t bound, std::size_t count) {
+  LCS_REQUIRE(count <= bound, "cannot sample more distinct values than the range holds");
+  // Dense range: partial Fisher–Yates; sparse: rejection with a hash set.
+  if (bound <= 4 * count) {
+    std::vector<std::uint64_t> all(bound);
+    for (std::uint64_t i = 0; i < bound; ++i) all[i] = i;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(uniform(bound - i));
+      std::swap(all[i], all[j]);
+    }
+    all.resize(count);
+    return all;
+  }
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    const std::uint64_t v = uniform(bound);
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+Rng Rng::fork(std::uint64_t stream) const {
+  // Combine current state with the stream id through the mixer; the parent
+  // generator is left untouched so forks are order-independent.
+  return Rng(hash64(s_[0] ^ rotl(s_[3], 13) ^ hash64(stream)));
+}
+
+}  // namespace lcs

@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components of the library (edge sampling, random-delay
+// scheduling, workload generators) draw from lcs::Rng so that every
+// experiment is reproducible from a single 64-bit seed.  The generator is
+// xoshiro256**, seeded via splitmix64 (the recommended pairing); it is
+// much faster than std::mt19937_64 and has no observable bias for our
+// uses (Bernoulli sampling, bounded uniforms, shuffles).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace lcs {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless 64-bit mix (one splitmix64 round applied to `x`).
+std::uint64_t hash64(std::uint64_t x);
+
+/// xoshiro256** generator.  Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()();
+
+  /// Uniform integer in [0, bound).  bound must be positive.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform_real();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// `count` distinct values from [0, bound), in arbitrary order.
+  std::vector<std::uint64_t> sample_distinct(std::uint64_t bound, std::size_t count);
+
+  /// Derive an independent child generator (stable given the call index).
+  Rng fork(std::uint64_t stream) const;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace lcs

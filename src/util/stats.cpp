@@ -1,0 +1,65 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace lcs {
+
+void Stats::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void Stats::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Stats::sum() const {
+  double s = 0;
+  for (double x : samples_) s += x;
+  return s;
+}
+
+double Stats::mean() const {
+  LCS_REQUIRE(!samples_.empty(), "mean of empty Stats");
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double Stats::min() const {
+  LCS_REQUIRE(!samples_.empty(), "min of empty Stats");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Stats::max() const {
+  LCS_REQUIRE(!samples_.empty(), "max of empty Stats");
+  ensure_sorted();
+  return samples_.back();
+}
+
+double Stats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double Stats::percentile(double q) const {
+  LCS_REQUIRE(!samples_.empty(), "percentile of empty Stats");
+  LCS_REQUIRE(q >= 0.0 && q <= 100.0, "percentile out of range");
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_[0];
+  const double rank = q / 100.0 * static_cast<double>(samples_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+}  // namespace lcs

@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace lcs {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  LCS_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+Table& Table::row() {
+  LCS_CHECK(cells_.empty() || cells_.back().size() == headers_.size(),
+            "previous row incomplete");
+  cells_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& v) {
+  LCS_REQUIRE(!cells_.empty(), "call row() before cell()");
+  LCS_REQUIRE(cells_.back().size() < headers_.size(), "row has too many cells");
+  cells_.back().push_back(v);
+  return *this;
+}
+
+Table& Table::cell(const char* v) { return cell(std::string(v)); }
+Table& Table::cell(std::uint64_t v) { return cell(std::to_string(v)); }
+Table& Table::cell(std::int64_t v) { return cell(std::to_string(v)); }
+Table& Table::cell(int v) { return cell(std::to_string(v)); }
+Table& Table::cell(unsigned v) { return cell(std::to_string(v)); }
+
+Table& Table::cell(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return cell(os.str());
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  if (!title.empty()) os << "=== " << title << " ===\n";
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : cells_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : cells_) emit(row);
+  os.flush();
+}
+
+}  // namespace lcs

@@ -1,0 +1,43 @@
+// Fixed-width table printing for the benchmark harnesses.
+//
+// Every bench binary regenerates one "table" of the evaluation suite; this
+// printer gives them a uniform, diff-friendly plain-text format:
+//
+//   === E2: congestion vs D*k_D*ln n ===
+//   n        D    k_D      max_cong   bound     ratio
+//   512      4    ...
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lcs {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Start a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& v);
+  Table& cell(const char* v);
+  Table& cell(std::uint64_t v);
+  Table& cell(std::int64_t v);
+  Table& cell(int v);
+  Table& cell(unsigned v);
+  /// Doubles are rendered with 3 significant decimals (e.g. 12.345 -> "12.345").
+  Table& cell(double v, int precision = 3);
+
+  std::size_t rows() const { return cells_.size(); }
+
+  /// Render with columns padded to the widest entry.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+}  // namespace lcs

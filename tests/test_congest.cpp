@@ -1,0 +1,423 @@
+// Tests for the CONGEST simulator and its building-block programs, checked
+// against centralized oracles.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "congest/multibfs.hpp"
+#include "congest/programs.hpp"
+#include "congest/simulator.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "sssp/sssp.hpp"
+#include "util/rng.hpp"
+
+namespace lcs::congest {
+namespace {
+
+using graph::Graph;
+
+// --- simulator mechanics ------------------------------------------------------
+
+/// Sends one message from vertex 0 on its first incident edge every round.
+class PingProgram : public Program {
+ public:
+  explicit PingProgram(std::uint32_t sends) : sends_(sends) {}
+  void on_round(NodeContext& ctx) override {
+    if (ctx.node() != 0 || sent_ >= sends_) {
+      received_ += std::count_if(ctx.inbox().begin(), ctx.inbox().end(),
+                                 [](const Message& m) { return m.kind == 99; });
+      return;
+    }
+    Message m;
+    m.kind = 99;
+    ctx.send(ctx.topology().neighbors(0)[0].edge, m);
+    ++sent_;
+  }
+  std::uint32_t sent_ = 0;
+  std::uint32_t sends_;
+  std::int64_t received_ = 0;
+};
+
+TEST(Simulator, DeliversNextRoundAndQuiesces) {
+  const Graph g = graph::path_graph(2);
+  Simulator sim(g, 1);
+  PingProgram p(3);
+  const RunStats st = sim.run(p, 100);
+  EXPECT_TRUE(st.completed);
+  EXPECT_EQ(p.received_, 3);
+  EXPECT_EQ(st.messages, 3u);
+  EXPECT_LE(st.rounds, 6u);
+  EXPECT_EQ(st.max_edge_load, 3u);
+}
+
+class FloodProgram : public Program {
+ public:
+  void on_round(NodeContext& ctx) override {
+    if (ctx.node() == 0 && ctx.round() == 0) {
+      const auto nbrs = ctx.topology().neighbors(0);
+      Message m;
+      m.kind = 1;
+      ctx.send(nbrs[0].edge, m);
+      // Second send on the same edge must violate capacity 1.
+      EXPECT_THROW(ctx.send(nbrs[0].edge, m), std::invalid_argument);
+    }
+  }
+};
+
+TEST(Simulator, EnforcesEdgeCapacity) {
+  const Graph g = graph::path_graph(2);
+  Simulator sim(g, 1);
+  FloodProgram p;
+  sim.run(p, 4);
+}
+
+TEST(Simulator, LargerCapacityAllowsMore) {
+  const Graph g = graph::path_graph(2);
+  Simulator sim(g, 3);
+
+  class Burst : public Program {
+   public:
+    void on_round(NodeContext& ctx) override {
+      if (ctx.node() == 0 && ctx.round() == 0) {
+        const EdgeId e = ctx.topology().neighbors(0)[0].edge;
+        Message m;
+        for (int i = 0; i < 3; ++i) ctx.send(e, m);
+        EXPECT_EQ(ctx.remaining_capacity(e), 0u);
+        EXPECT_THROW(ctx.send(e, m), std::invalid_argument);
+      }
+    }
+  } p;
+  const RunStats st = sim.run(p, 4);
+  EXPECT_EQ(st.messages, 3u);
+}
+
+TEST(Simulator, MaxRoundsRespected) {
+  const Graph g = graph::path_graph(2);
+  Simulator sim(g, 1);
+  PingProgram p(1000000);  // never finishes in 10 rounds
+  const RunStats st = sim.run(p, 10);
+  EXPECT_FALSE(st.completed);
+  EXPECT_EQ(st.rounds, 10u);
+}
+
+TEST(Simulator, RejectsForeignEdgeSend) {
+  const Graph g = graph::path_graph(3);  // edges 0-1, 1-2
+  Simulator sim(g, 1);
+
+  class Foreign : public Program {
+   public:
+    void on_round(NodeContext& ctx) override {
+      if (ctx.node() == 0 && ctx.round() == 0) {
+        // Edge 1 joins vertices 1 and 2; node 0 is not an endpoint.
+        Message m;
+        EXPECT_THROW(ctx.send(1, m), std::invalid_argument);
+      }
+    }
+  } p;
+  sim.run(p, 2);
+}
+
+// --- BfsProgram ------------------------------------------------------------------
+
+class BfsProgramTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BfsProgramTest, MatchesCentralizedBfs) {
+  Rng rng(100 + GetParam());
+  const Graph g = graph::connected_gnm(80, 160, rng);
+  const graph::VertexId src = static_cast<graph::VertexId>(GetParam() % 80);
+  BfsProgram prog(g.num_vertices(), src);
+  Simulator sim(g, 1);
+  const RunStats st = sim.run(prog, 1000);
+  ASSERT_TRUE(st.completed);
+  const graph::BfsResult want = graph::bfs(g, src);
+  EXPECT_EQ(prog.dist(), want.dist);
+  // Rounds ~ eccentricity plus constant bookkeeping slack.
+  EXPECT_LE(st.rounds, want.max_dist + 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sources, BfsProgramTest, ::testing::Values(0, 7, 31, 42, 79));
+
+TEST(BfsProgram, TruncationMatchesCentralized) {
+  const Graph g = graph::path_graph(12);
+  BfsProgram prog(g.num_vertices(), 0, 5);
+  Simulator sim(g, 1);
+  sim.run(prog, 100);
+  const graph::BfsResult want = graph::bfs_truncated(g, 0, 5);
+  EXPECT_EQ(prog.dist(), want.dist);
+}
+
+TEST(BfsProgram, ParentsConsistent) {
+  Rng rng(3);
+  const Graph g = graph::connected_gnm(40, 90, rng);
+  BfsProgram prog(g.num_vertices(), 5);
+  Simulator sim(g, 1);
+  sim.run(prog, 1000);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (v == 5) continue;
+    ASSERT_NE(prog.parent()[v], graph::kNoVertex);
+    EXPECT_EQ(prog.dist()[v], prog.dist()[prog.parent()[v]] + 1);
+    EXPECT_EQ(g.other_endpoint(prog.parent_edge()[v], v), prog.parent()[v]);
+  }
+}
+
+// --- tree programs ------------------------------------------------------------------
+
+RootedTree tree_of(const Graph& g, graph::VertexId root) {
+  return RootedTree::from_bfs(g, graph::bfs(g, root), root);
+}
+
+TEST(Convergecast, SumOverTree) {
+  Rng rng(4);
+  const Graph g = graph::connected_gnm(60, 120, rng);
+  const RootedTree t = tree_of(g, 0);
+  std::vector<std::uint64_t> values(g.num_vertices());
+  std::uint64_t want = 0;
+  for (std::size_t v = 0; v < values.size(); ++v) {
+    values[v] = v * v + 1;
+    want += values[v];
+  }
+  ConvergecastProgram prog(t, values, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  Simulator sim(g, 1);
+  const RunStats st = sim.run(prog, 1000);
+  ASSERT_TRUE(st.completed);
+  EXPECT_EQ(prog.result(), want);
+}
+
+TEST(Convergecast, MaxOverTree) {
+  Rng rng(5);
+  const Graph g = graph::connected_gnm(50, 100, rng);
+  const RootedTree t = tree_of(g, 7);
+  std::vector<std::uint64_t> values(g.num_vertices());
+  for (std::size_t v = 0; v < values.size(); ++v) values[v] = hash64(v) % 1000;
+  ConvergecastProgram prog(t, values,
+                           [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); });
+  Simulator sim(g, 1);
+  sim.run(prog, 1000);
+  EXPECT_EQ(prog.result(), *std::max_element(values.begin(), values.end()));
+}
+
+TEST(Convergecast, RoundsBoundedByDepth) {
+  const Graph g = graph::path_graph(30);
+  const RootedTree t = tree_of(g, 0);
+  std::vector<std::uint64_t> ones(30, 1);
+  ConvergecastProgram prog(t, ones, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  Simulator sim(g, 1);
+  const RunStats st = sim.run(prog, 1000);
+  EXPECT_EQ(prog.result(), 30u);
+  EXPECT_LE(st.rounds, 32u);
+}
+
+TEST(Broadcast, ReachesAllMembers) {
+  Rng rng(6);
+  const Graph g = graph::connected_gnm(70, 150, rng);
+  const RootedTree t = tree_of(g, 3);
+  BroadcastProgram prog(t, 0xabcdef);
+  Simulator sim(g, 1);
+  const RunStats st = sim.run(prog, 1000);
+  ASSERT_TRUE(st.completed);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_TRUE(prog.received(v));
+    EXPECT_EQ(prog.value_at(v), 0xabcdefu);
+  }
+}
+
+TEST(PrefixAssign, RanksAreDfsConsistent) {
+  Rng rng(7);
+  const Graph g = graph::connected_gnm(60, 140, rng);
+  const RootedTree t = tree_of(g, 0);
+  std::vector<bool> flagged(g.num_vertices(), false);
+  std::vector<graph::VertexId> chosen{2, 11, 17, 23, 42, 55};
+  for (const auto v : chosen) flagged[v] = true;
+  PrefixAssignProgram prog(t, flagged);
+  Simulator sim(g, 1);
+  const RunStats st = sim.run(prog, 2000);
+  ASSERT_TRUE(st.completed);
+  EXPECT_EQ(prog.total(), chosen.size());
+  std::vector<std::uint32_t> ranks;
+  for (const auto v : chosen) ranks.push_back(prog.rank(v));
+  std::sort(ranks.begin(), ranks.end());
+  for (std::size_t i = 0; i < ranks.size(); ++i) EXPECT_EQ(ranks[i], i);
+  // Unflagged nodes must stay unranked.
+  EXPECT_EQ(prog.rank(0) != graph::kUnreached, flagged[0]);
+}
+
+TEST(PrefixAssign, AllFlagged) {
+  const Graph g = graph::path_graph(12);
+  const RootedTree t = tree_of(g, 11);
+  PrefixAssignProgram prog(t, std::vector<bool>(12, true));
+  Simulator sim(g, 1);
+  sim.run(prog, 200);
+  EXPECT_EQ(prog.total(), 12u);
+  std::vector<bool> seen(12, false);
+  for (graph::VertexId v = 0; v < 12; ++v) {
+    const auto r = prog.rank(v);
+    ASSERT_LT(r, 12u);
+    EXPECT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+}
+
+TEST(PrefixAssign, NoneFlagged) {
+  const Graph g = graph::path_graph(6);
+  const RootedTree t = tree_of(g, 0);
+  PrefixAssignProgram prog(t, std::vector<bool>(6, false));
+  Simulator sim(g, 1);
+  const RunStats st = sim.run(prog, 100);
+  EXPECT_TRUE(st.completed);
+  EXPECT_EQ(prog.total(), 0u);
+}
+
+// --- Bellman-Ford ---------------------------------------------------------------------
+
+class BellmanFordTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BellmanFordTest, MatchesDijkstra) {
+  Rng rng(200 + GetParam());
+  const Graph g = graph::connected_gnm(60, 140, rng);
+  const graph::EdgeWeights w = graph::random_weights(g, 20, rng);
+  const graph::VertexId src = static_cast<graph::VertexId>((7 * GetParam()) % 60);
+  BellmanFordProgram prog(g, w, src);
+  Simulator sim(g, 1);
+  const RunStats st = sim.run(prog, 10000);
+  ASSERT_TRUE(st.completed);
+  const auto want = sssp::dijkstra(g, w, src);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(prog.dist()[v], want.dist[v]) << "v=" << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BellmanFordTest, ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(BellmanFord, RejectsNegativeWeights) {
+  const Graph g = graph::path_graph(3);
+  graph::EdgeWeights w{1, -2};
+  EXPECT_THROW(BellmanFordProgram(g, w, 0), std::invalid_argument);
+}
+
+// --- MultiBfs -----------------------------------------------------------------------
+
+TEST(MultiBfs, SingleInstanceMatchesPlainBfs) {
+  Rng rng(8);
+  const Graph g = graph::connected_gnm(50, 110, rng);
+  std::vector<graph::EdgeId> all(g.num_edges());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) all[e] = e;
+  std::vector<BfsInstanceSpec> specs(1);
+  specs[0].root = 9;
+  specs[0].edges = all;
+  MultiBfsProgram prog(g, std::move(specs));
+  Simulator sim(g, 1);
+  const RunStats st = sim.run(prog, 5000);
+  ASSERT_TRUE(st.completed);
+  const graph::BfsResult want = graph::bfs(g, 9);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(prog.dist_of(0, v), want.dist[v]);
+}
+
+TEST(MultiBfs, RestrictedToSubNetwork) {
+  const Graph g = graph::path_graph(10);
+  // Instance sees only edges 0..4 (vertices 0..5).
+  std::vector<BfsInstanceSpec> specs(1);
+  specs[0].root = 0;
+  specs[0].edges = {0, 1, 2, 3, 4};
+  MultiBfsProgram prog(g, std::move(specs));
+  Simulator sim(g, 1);
+  sim.run(prog, 1000);
+  EXPECT_EQ(prog.dist_of(0, 5), 5u);
+  EXPECT_EQ(prog.dist_of(0, 6), graph::kUnreached);
+}
+
+TEST(MultiBfs, DepthCapRespected) {
+  const Graph g = graph::path_graph(10);
+  std::vector<graph::EdgeId> all(g.num_edges());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) all[e] = e;
+  std::vector<BfsInstanceSpec> specs(1);
+  specs[0].root = 0;
+  specs[0].edges = all;
+  specs[0].depth_cap = 3;
+  MultiBfsProgram prog(g, std::move(specs));
+  Simulator sim(g, 1);
+  sim.run(prog, 1000);
+  EXPECT_EQ(prog.dist_of(0, 3), 3u);
+  EXPECT_EQ(prog.dist_of(0, 4), graph::kUnreached);
+  EXPECT_EQ(prog.max_depth(0), 3u);
+}
+
+TEST(MultiBfs, StartDelayHonored) {
+  const Graph g = graph::path_graph(6);
+  std::vector<graph::EdgeId> all(g.num_edges());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) all[e] = e;
+  std::vector<BfsInstanceSpec> specs(1);
+  specs[0].root = 0;
+  specs[0].edges = all;
+  specs[0].start_round = 7;
+  MultiBfsProgram prog(g, std::move(specs));
+  Simulator sim(g, 1);
+  const RunStats st = sim.run(prog, 1000);
+  ASSERT_TRUE(st.completed);
+  // 5 hops after a 7-round delay: last adoption at round >= 12.
+  EXPECT_GE(prog.last_adoption_round(0), 12u);
+  EXPECT_EQ(prog.dist_of(0, 5), 5u);
+}
+
+TEST(MultiBfs, DisjointInstancesRunInParallel) {
+  // Two disjoint paths inside one graph: no interference.
+  graph::GraphBuilder b(12);
+  for (graph::VertexId v = 0; v + 1 < 6; ++v) b.add_edge(v, v + 1);
+  for (graph::VertexId v = 6; v + 1 < 12; ++v) b.add_edge(v, v + 1);
+  const Graph g = std::move(b).build();
+  std::vector<BfsInstanceSpec> specs(2);
+  specs[0].root = 0;
+  specs[1].root = 6;
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (g.edge(e).u < 6)
+      specs[0].edges.push_back(e);
+    else
+      specs[1].edges.push_back(e);
+  }
+  MultiBfsProgram prog(g, std::move(specs));
+  Simulator sim(g, 1);
+  const RunStats st = sim.run(prog, 1000);
+  ASSERT_TRUE(st.completed);
+  EXPECT_EQ(prog.dist_of(0, 5), 5u);
+  EXPECT_EQ(prog.dist_of(1, 11), 5u);
+  EXPECT_LE(st.rounds, 10u);  // both finish in ~path length rounds
+}
+
+TEST(MultiBfs, SharedEdgeSerializesTraffic) {
+  // K instances all rooted at vertex 0 of a single path: the first edge is
+  // shared by all of them, so completion takes >= K rounds on it.
+  const Graph g = graph::path_graph(4);
+  std::vector<graph::EdgeId> all(g.num_edges());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) all[e] = e;
+  const std::size_t K = 8;
+  std::vector<BfsInstanceSpec> specs(K);
+  for (auto& s : specs) {
+    s.root = 0;
+    s.edges = all;
+  }
+  MultiBfsProgram prog(g, std::move(specs));
+  Simulator sim(g, 1);
+  const RunStats st = sim.run(prog, 1000);
+  ASSERT_TRUE(st.completed);
+  for (std::size_t i = 0; i < K; ++i) EXPECT_EQ(prog.dist_of(i, 3), 3u);
+  EXPECT_GE(st.rounds, K);                 // bandwidth-limited
+  EXPECT_GE(st.max_edge_load, K);          // first edge carried all instances
+}
+
+TEST(MultiBfs, MembersIncludeRootAndEndpoints) {
+  const Graph g = graph::path_graph(5);
+  std::vector<BfsInstanceSpec> specs(1);
+  specs[0].root = 4;
+  specs[0].edges = {0};  // edge 0-1 only; root 4 is isolated in-instance
+  MultiBfsProgram prog(g, std::move(specs));
+  const auto& mem = prog.members(0);
+  EXPECT_EQ(mem.size(), 3u);  // 0, 1 and the root 4
+  Simulator sim(g, 1);
+  const RunStats st = sim.run(prog, 100);
+  EXPECT_TRUE(st.completed);
+  EXPECT_EQ(prog.dist_of(0, 4), 0u);
+  EXPECT_EQ(prog.dist_of(0, 0), graph::kUnreached);
+}
+
+}  // namespace
+}  // namespace lcs::congest

@@ -1,0 +1,155 @@
+// Tests for the distributed shortcut construction pipeline on the CONGEST
+// simulator: success, coverage of every large part, round accounting, the
+// diameter-guessing variant, and message accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/distributed.hpp"
+#include "core/shortcut.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace lcs::core {
+namespace {
+
+DistributedOptions opts(unsigned diameter, std::uint64_t seed = 1) {
+  DistributedOptions o;
+  o.diameter = diameter;
+  o.seed = seed;
+  return o;
+}
+
+TEST(Distributed, SucceedsOnHardInstance) {
+  const auto hi = graph::hard_instance(400, 4);
+  const DistributedOutcome out = build_distributed(hi.g, hi.paths, opts(4));
+  EXPECT_TRUE(out.success);
+  EXPECT_EQ(out.num_large, hi.paths.num_parts());
+  EXPECT_GT(out.rounds.total(), 0u);
+  EXPECT_GT(out.messages, 0u);
+}
+
+TEST(Distributed, ConstructedShortcutsCoverParts) {
+  const auto hi = graph::hard_instance(400, 4);
+  const DistributedOutcome out = build_distributed(hi.g, hi.paths, opts(4));
+  ASSERT_TRUE(out.success);
+  const QualityReport rep = measure_quality(hi.g, hi.paths, out.shortcuts);
+  EXPECT_TRUE(rep.all_covered);
+  // Dilation within the verified truncation depth bracket.
+  EXPECT_LE(rep.max_cover_radius, out.depth_cap);
+}
+
+TEST(Distributed, DiameterEstimateIsTwoApproximation) {
+  const auto hi = graph::hard_instance(400, 6);
+  const DistributedOutcome out = build_distributed(hi.g, hi.paths, opts(6));
+  EXPECT_GE(out.diameter_estimate, 6u);       // 2*ecc >= D
+  EXPECT_LE(out.diameter_estimate, 2 * 6u);   // 2*ecc <= 2D
+}
+
+TEST(Distributed, StageRoundsPlausible) {
+  const auto hi = graph::hard_instance(400, 4);
+  const DistributedOutcome out = build_distributed(hi.g, hi.paths, opts(4));
+  // Stage 1 is a BFS: ~ecc rounds.
+  EXPECT_LE(out.rounds.global_bfs, 4u + 3u);
+  EXPECT_GT(out.rounds.part_detection, 0u);
+  EXPECT_GT(out.rounds.numbering, 0u);
+  EXPECT_GT(out.rounds.multi_bfs, 0u);
+  EXPECT_EQ(out.rounds.total(), out.rounds.global_bfs + out.rounds.part_detection +
+                                    out.rounds.numbering + out.rounds.sr_broadcast +
+                                    out.rounds.multi_bfs + out.rounds.verification);
+}
+
+TEST(Distributed, SmallPartsSkipped) {
+  Rng rng(3);
+  const graph::Graph g = graph::connected_gnm(200, 420, rng);
+  const graph::Partition parts = graph::forest_partition(g, 2, rng);
+  const DistributedOutcome out = build_distributed(g, parts, opts(6));
+  EXPECT_TRUE(out.success);
+  EXPECT_EQ(out.num_large, 0u);
+  for (const auto& h : out.shortcuts.h) EXPECT_TRUE(h.empty());
+}
+
+TEST(Distributed, LargenessIsRadiusBased) {
+  // A star-shaped part has 300 vertices but radius <= 2 from any leader —
+  // far below the detection depth k_D — so the operational test classifies
+  // it "small" (a size-based test would call it large).  No shortcut needed.
+  const graph::Graph g = graph::star_graph(300);
+  graph::Partition parts;
+  parts.parts.resize(1);
+  for (graph::VertexId v = 0; v < 300; ++v) parts.parts[0].push_back(v);
+  const DistributedOutcome out = build_distributed(g, parts, opts(4));
+  EXPECT_TRUE(out.success);
+  EXPECT_GT(out.params.large_threshold, 2u);  // k_4(300) ~ 6.7
+  EXPECT_EQ(out.num_large, 0u);
+}
+
+TEST(Distributed, DeterministicForSeed) {
+  const auto hi = graph::hard_instance(350, 4);
+  const DistributedOutcome a = build_distributed(hi.g, hi.paths, opts(4, 9));
+  const DistributedOutcome b = build_distributed(hi.g, hi.paths, opts(4, 9));
+  EXPECT_EQ(a.shortcuts.h, b.shortcuts.h);
+  EXPECT_EQ(a.rounds.total(), b.rounds.total());
+  EXPECT_EQ(a.messages, b.messages);
+}
+
+TEST(Distributed, RejectsInvalidPartition) {
+  const auto hi = graph::hard_instance(350, 4);
+  graph::Partition bad;
+  bad.parts = {{0, 1}, {1, 2}};
+  EXPECT_THROW(build_distributed(hi.g, bad, opts(4)), std::invalid_argument);
+}
+
+TEST(Distributed, MessagesScaleWithShortcutSize) {
+  const auto hi = graph::hard_instance(400, 4);
+  DistributedOptions lo = opts(4, 5);
+  lo.beta = 0.2;
+  DistributedOptions hi_opt = opts(4, 5);
+  hi_opt.beta = 1.0;
+  const DistributedOutcome a = build_distributed(hi.g, hi.paths, lo);
+  const DistributedOutcome b = build_distributed(hi.g, hi.paths, hi_opt);
+  EXPECT_LT(a.messages, b.messages);
+}
+
+TEST(DistributedGuessing, TerminatesAndSucceeds) {
+  const auto hi = graph::hard_instance(400, 4);
+  DistributedOptions o;
+  o.seed = 2;
+  const DistributedOutcome out = build_distributed_guessing(hi.g, hi.paths, o);
+  EXPECT_TRUE(out.success);
+  EXPECT_GE(out.attempts, 1u);
+  const QualityReport rep = measure_quality(hi.g, hi.paths, out.shortcuts);
+  EXPECT_TRUE(rep.all_covered);
+}
+
+TEST(DistributedGuessing, AttemptsBoundedByRange) {
+  const auto hi = graph::hard_instance(400, 4);
+  DistributedOptions o;
+  const DistributedOutcome out = build_distributed_guessing(hi.g, hi.paths, o);
+  // Guesses sweep max(3, ecc)..2*ecc, so attempts <= ecc + 2.
+  const std::uint32_t ecc = graph::eccentricity(hi.g, 0);
+  EXPECT_LE(out.attempts, ecc + 2);
+}
+
+TEST(DistributedGuessing, AccumulatesAtLeastSingleRunRounds) {
+  const auto hi = graph::hard_instance(400, 4);
+  DistributedOptions o;
+  o.seed = 4;
+  const DistributedOutcome guess = build_distributed_guessing(hi.g, hi.paths, o);
+  const DistributedOutcome direct = build_distributed(hi.g, hi.paths, opts(4, 4));
+  EXPECT_GE(guess.rounds.total() + 4, direct.rounds.total());
+}
+
+TEST(Distributed, LayeredGraphFamily) {
+  Rng rng(8);
+  const graph::Graph g = graph::layered_random_graph(400, 5, 1.0, rng);
+  const graph::Partition parts = graph::ball_partition(g, 12, rng);
+  DistributedOptions o = opts(5, 11);
+  const DistributedOutcome out = build_distributed(g, parts, o);
+  EXPECT_TRUE(out.success);
+  const QualityReport rep = measure_quality(g, parts, out.shortcuts);
+  EXPECT_TRUE(rep.all_covered);
+}
+
+}  // namespace
+}  // namespace lcs::core

@@ -1,0 +1,321 @@
+// Tests for the Kogan–Parter sampling construction and the baselines:
+// Step-1 inclusion, seed determinism, classification, coverage, congestion
+// against the Chernoff-style bound, and baseline semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/coin.hpp"
+#include "core/kp.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace lcs::core {
+namespace {
+
+graph::HardInstance small_hard() { return graph::hard_instance(400, 4); }
+
+KpOptions options_for(unsigned diameter, std::uint64_t seed = 1, double beta = 1.0) {
+  KpOptions o;
+  o.diameter = diameter;
+  o.seed = seed;
+  o.beta = beta;
+  return o;
+}
+
+// --- CoinFlipper ---------------------------------------------------------------
+
+TEST(Coin, DeterministicAndSeeded) {
+  const CoinFlipper a(7, 0.5), b(7, 0.5), c(8, 0.5);
+  int agree_ab = 0, agree_ac = 0;
+  for (std::uint32_t e = 0; e < 256; ++e) {
+    agree_ab += a.flip(e, 0, 3, 1) == b.flip(e, 0, 3, 1);
+    agree_ac += a.flip(e, 0, 3, 1) == c.flip(e, 0, 3, 1);
+  }
+  EXPECT_EQ(agree_ab, 256);
+  EXPECT_LT(agree_ac, 256);
+}
+
+TEST(Coin, ProbabilityZeroAndOne) {
+  const CoinFlipper never(1, 0.0), always(1, 1.0);
+  for (std::uint32_t e = 0; e < 64; ++e) {
+    EXPECT_FALSE(never.flip(e, 0, 0, 0));
+    EXPECT_TRUE(always.flip(e, 1, 5, 3));
+  }
+}
+
+TEST(Coin, EmpiricalBias) {
+  const CoinFlipper c(123, 0.25);
+  int hits = 0;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i)
+    hits += c.flip(static_cast<graph::EdgeId>(i), i % 2, (i / 2) % 7, i % 5);
+  EXPECT_NEAR(hits / double(trials), 0.25, 0.01);
+}
+
+TEST(Coin, IndependentAcrossRepetitions) {
+  const CoinFlipper c(9, 0.5);
+  int differing = 0;
+  for (std::uint32_t e = 0; e < 512; ++e)
+    differing += c.flip(e, 0, 0, 0) != c.flip(e, 0, 0, 1);
+  // ~50% should differ for independent fair coins.
+  EXPECT_GT(differing, 180);
+  EXPECT_LT(differing, 330);
+}
+
+// --- classification -------------------------------------------------------------
+
+TEST(Kp, ClassifiesLargeParts) {
+  const auto hi = small_hard();
+  const auto res = build_kp_shortcuts(hi.g, hi.paths, options_for(4));
+  // Path length ~ sqrt(n) = 20 > k_4 = n^(1/3): every path is large.
+  EXPECT_GT(hi.path_length, res.params.large_threshold);
+  for (std::size_t i = 0; i < hi.paths.num_parts(); ++i) {
+    EXPECT_TRUE(res.is_large[i]);
+    EXPECT_NE(res.large_index[i], graph::kUnreached);
+  }
+  EXPECT_EQ(res.num_large, hi.paths.num_parts());
+}
+
+TEST(Kp, SmallPartsGetNoShortcut) {
+  Rng rng(1);
+  const Graph g = graph::connected_gnm(300, 700, rng);
+  const Partition parts = graph::forest_partition(g, 3, rng);  // tiny parts
+  const auto res = build_kp_shortcuts(g, parts, options_for(4));
+  EXPECT_EQ(res.num_large, 0u);
+  for (const auto& h : res.shortcuts.h) EXPECT_TRUE(h.empty());
+}
+
+TEST(Kp, LargeIndexIsDense) {
+  const auto hi = small_hard();
+  const auto res = build_kp_shortcuts(hi.g, hi.paths, options_for(4));
+  std::vector<bool> seen(res.num_large, false);
+  for (std::size_t i = 0; i < hi.paths.num_parts(); ++i) {
+    if (!res.is_large[i]) continue;
+    ASSERT_LT(res.large_index[i], res.num_large);
+    EXPECT_FALSE(seen[res.large_index[i]]);
+    seen[res.large_index[i]] = true;
+  }
+}
+
+// --- step 1 ----------------------------------------------------------------------
+
+TEST(Kp, Step1IncludesAllIncidentEdges) {
+  const auto hi = small_hard();
+  const auto res = build_kp_shortcuts(hi.g, hi.paths, options_for(4, 3, 0.2));
+  for (std::size_t i = 0; i < hi.paths.num_parts(); ++i) {
+    if (!res.is_large[i]) continue;
+    std::vector<bool> in_part(hi.g.num_vertices(), false);
+    for (const VertexId v : hi.paths.parts[i]) in_part[v] = true;
+    std::vector<bool> in_h(hi.g.num_edges(), false);
+    for (const EdgeId e : res.shortcuts.h[i]) in_h[e] = true;
+    for (EdgeId e = 0; e < hi.g.num_edges(); ++e) {
+      const graph::Edge ed = hi.g.edge(e);
+      if (in_part[ed.u] || in_part[ed.v]) {
+        EXPECT_TRUE(in_h[e]) << "edge " << e;
+      }
+    }
+  }
+}
+
+TEST(Kp, DeterministicForSeed) {
+  // beta well below 1 so the sampling probability stays in (0,1) and seeds
+  // actually matter at this instance size.
+  const auto hi = small_hard();
+  const auto a = build_kp_shortcuts(hi.g, hi.paths, options_for(4, 11, 0.2));
+  const auto b = build_kp_shortcuts(hi.g, hi.paths, options_for(4, 11, 0.2));
+  const auto c = build_kp_shortcuts(hi.g, hi.paths, options_for(4, 12, 0.2));
+  EXPECT_EQ(a.shortcuts.h, b.shortcuts.h);
+  EXPECT_NE(a.shortcuts.h, c.shortcuts.h);
+}
+
+TEST(Kp, PerPartSamplerMatchesFullBuild) {
+  const auto hi = small_hard();
+  const KpOptions opt = options_for(4, 5, 0.3);
+  const auto res = build_kp_shortcuts(hi.g, hi.paths, opt);
+  for (std::size_t i = 0; i < hi.paths.num_parts(); ++i) {
+    if (!res.is_large[i]) continue;
+    const auto h = kp_edges_for_part(hi.g, hi.paths, i, res.params, res.large_index[i],
+                                     opt.seed, res.params.repetitions);
+    EXPECT_EQ(h, res.shortcuts.h[i]);
+  }
+}
+
+// --- quality on families ------------------------------------------------------------
+
+class KpFamilyTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(KpFamilyTest, CoversAllPartsOnHardInstance) {
+  const std::uint32_t d = GetParam();
+  const auto hi = graph::hard_instance(500, d);
+  const auto rep = measure_kp_quality(hi.g, hi.paths, options_for(d));
+  EXPECT_TRUE(rep.quality.all_covered);
+  EXPECT_GT(rep.quality.congestion, 0u);
+}
+
+TEST_P(KpFamilyTest, CongestionWithinChernoffBound) {
+  const std::uint32_t d = GetParam();
+  const auto hi = graph::hard_instance(500, d);
+  const auto rep = measure_kp_quality(hi.g, hi.paths, options_for(d));
+  // Expected per-edge load <= 2 (step 1) + 2 D N p = 2 + 2 D k_D ln n beta.
+  const double bound =
+      2.0 + 2.0 * rep.params.repetitions *
+                std::max(1.0, rep.params.sample_prob *
+                                  static_cast<double>(rep.params.max_large_parts));
+  // Chernoff slack factor 3 for the small scale.
+  EXPECT_LE(rep.quality.congestion, 3.0 * bound + 8.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Diameters, KpFamilyTest, ::testing::Values(3u, 4u, 5u, 6u));
+
+TEST(Kp, StreamedEqualsMaterialized) {
+  const auto hi = small_hard();
+  const KpOptions opt = options_for(4, 9, 0.5);
+  const auto full = build_kp_shortcuts(hi.g, hi.paths, opt);
+  const QualityReport want = measure_quality(hi.g, hi.paths, full.shortcuts);
+  const auto streamed = measure_kp_quality(hi.g, hi.paths, opt);
+  EXPECT_EQ(streamed.quality.congestion, want.congestion);
+  EXPECT_EQ(streamed.quality.dilation_ub, want.dilation_ub);
+  EXPECT_EQ(streamed.quality.all_covered, want.all_covered);
+  EXPECT_EQ(streamed.num_large, full.num_large);
+}
+
+TEST(Kp, HigherBetaSamplesMore) {
+  const auto hi = small_hard();
+  const auto lo = measure_kp_quality(hi.g, hi.paths, options_for(4, 7, 0.2));
+  const auto hi_rep = measure_kp_quality(hi.g, hi.paths, options_for(4, 7, 0.8));
+  EXPECT_LT(lo.total_shortcut_edges, hi_rep.total_shortcut_edges);
+}
+
+TEST(Kp, RepetitionOverrideReducesSampling) {
+  const auto hi = small_hard();
+  KpOptions one = options_for(4, 7, 0.5);
+  one.repetitions = 1;
+  KpOptions many = options_for(4, 7, 0.5);
+  many.repetitions = 8;
+  const auto a = measure_kp_quality(hi.g, hi.paths, one);
+  const auto b = measure_kp_quality(hi.g, hi.paths, many);
+  EXPECT_LT(a.total_shortcut_edges, b.total_shortcut_edges);
+  EXPECT_EQ(a.params.repetitions, 1u);
+  EXPECT_EQ(b.params.repetitions, 8u);
+}
+
+TEST(Kp, ProbabilityOverride) {
+  const auto hi = small_hard();
+  KpOptions opt = options_for(4);
+  opt.probability_override = 0.0;
+  const auto res = build_kp_shortcuts(hi.g, hi.paths, opt);
+  // p = 0: H_i contains exactly the step-1 edges.
+  for (std::size_t i = 0; i < hi.paths.num_parts(); ++i) {
+    if (!res.is_large[i]) continue;
+    std::vector<bool> in_part(hi.g.num_vertices(), false);
+    for (const VertexId v : hi.paths.parts[i]) in_part[v] = true;
+    for (const EdgeId e : res.shortcuts.h[i]) {
+      const graph::Edge ed = hi.g.edge(e);
+      EXPECT_TRUE(in_part[ed.u] || in_part[ed.v]);
+    }
+  }
+}
+
+TEST(Kp, DiameterEstimatedWhenAbsent) {
+  const auto hi = small_hard();
+  KpOptions opt;  // no diameter
+  opt.seed = 2;
+  const auto params = kp_params(hi.g, hi.paths, opt);
+  EXPECT_EQ(params.diameter, 4u);  // double sweep is exact on this family
+}
+
+// --- baselines -----------------------------------------------------------------------
+
+TEST(Baselines, GhLargePartsTakeWholeGraph) {
+  const auto hi = small_hard();  // paths have ~sqrt(n) vertices: exactly at threshold
+  const ShortcutSet sc = build_gh_shortcuts(hi.g, hi.paths);
+  for (std::size_t i = 0; i < hi.paths.num_parts(); ++i) {
+    if (hi.paths.parts[i].size() >= std::sqrt(double(hi.g.num_vertices())))
+      EXPECT_EQ(sc.h[i].size(), hi.g.num_edges());
+    else
+      EXPECT_TRUE(sc.h[i].empty());
+  }
+}
+
+TEST(Baselines, GhQualityBound) {
+  const auto hi = graph::hard_instance(600, 4);
+  const ShortcutSet sc = build_gh_shortcuts(hi.g, hi.paths);
+  const QualityReport rep = measure_quality(hi.g, hi.paths, sc);
+  EXPECT_TRUE(rep.all_covered);
+  const double sqrt_n = std::sqrt(double(hi.g.num_vertices()));
+  // congestion <= #large parts + 2 <= sqrt(n) + 2; dilation <= max(D, part size).
+  EXPECT_LE(rep.congestion, sqrt_n + 2.0);
+  EXPECT_LE(rep.dilation_ub,
+            std::max<std::uint32_t>(hi.diameter, hi.path_length) + 2);
+}
+
+TEST(Baselines, TrivialHasUnitCongestion) {
+  const auto hi = small_hard();
+  const ShortcutSet sc = build_trivial_shortcuts(hi.paths);
+  const QualityReport rep = measure_quality(hi.g, hi.paths, sc);
+  EXPECT_TRUE(rep.all_covered);  // parts are connected paths
+  EXPECT_EQ(rep.congestion, 1u);
+  EXPECT_EQ(rep.dilation_ub, hi.path_length - 1);  // the bare path diameter
+}
+
+TEST(Baselines, KkoiD3IsSingleRepetition) {
+  const auto hi = graph::hard_instance(500, 3);
+  const auto res = build_kkoi_d3(hi.g, hi.paths, 4);
+  EXPECT_EQ(res.params.repetitions, 1u);
+  EXPECT_EQ(res.params.diameter, 3u);
+}
+
+// --- odd-diameter construction ----------------------------------------------------------
+
+TEST(OddD, RequiresOddDiameter) {
+  const auto hi = graph::hard_instance(500, 4);
+  EXPECT_THROW(build_kp_shortcuts_odd(hi.g, hi.paths, options_for(4)),
+               std::invalid_argument);
+}
+
+TEST(OddD, Step1AndSubsetOfEdges) {
+  const auto hi = graph::hard_instance(500, 5);
+  const auto res = build_kp_shortcuts_odd(hi.g, hi.paths, options_for(5, 3));
+  for (std::size_t i = 0; i < hi.paths.num_parts(); ++i) {
+    if (!res.is_large[i]) continue;
+    std::vector<bool> in_part(hi.g.num_vertices(), false);
+    for (const VertexId v : hi.paths.parts[i]) in_part[v] = true;
+    std::vector<bool> in_h(hi.g.num_edges(), false);
+    for (const EdgeId e : res.shortcuts.h[i]) {
+      EXPECT_FALSE(in_h[e]);  // no duplicates
+      in_h[e] = true;
+    }
+    for (EdgeId e = 0; e < hi.g.num_edges(); ++e) {
+      const graph::Edge ed = hi.g.edge(e);
+      if (in_part[ed.u] || in_part[ed.v]) {
+        EXPECT_TRUE(in_h[e]);
+      }
+    }
+  }
+}
+
+TEST(OddD, CoversParts) {
+  const auto hi = graph::hard_instance(500, 5);
+  const auto res = build_kp_shortcuts_odd(hi.g, hi.paths, options_for(5));
+  const QualityReport rep = measure_quality(hi.g, hi.paths, res.shortcuts);
+  EXPECT_TRUE(rep.all_covered);
+}
+
+TEST(OddD, SamplesFewerThanDirectAtSameProb) {
+  // Both-halves-must-land thins the per-repetition rate relative to the
+  // one-coin-per-endpoint direct sampler at identical p.
+  const auto hi = graph::hard_instance(700, 5);
+  const KpOptions opt = options_for(5, 21, 0.6);
+  const auto direct = build_kp_shortcuts(hi.g, hi.paths, opt);
+  const auto odd = build_kp_shortcuts_odd(hi.g, hi.paths, opt);
+  std::uint64_t direct_total = 0, odd_total = 0;
+  for (const auto& h : direct.shortcuts.h) direct_total += h.size();
+  for (const auto& h : odd.shortcuts.h) odd_total += h.size();
+  EXPECT_LE(odd_total, direct_total);
+}
+
+}  // namespace
+}  // namespace lcs::core

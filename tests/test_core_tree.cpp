@@ -1,0 +1,298 @@
+// Tests for the shortcut-tree machinery (Section 3.1): aux graph layering,
+// BFS-tree completeness, sampling rules, (i,k) units/walks, Observation 3.1
+// (distinct level-k nodes), Observation 3.2 (projection into H) and the
+// empirical content of Lemma 3.3.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/kp.hpp"
+#include "core/shortcut_tree.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace lcs::core {
+namespace {
+
+struct Fixture {
+  graph::HardInstance hi;
+  std::vector<VertexId> path;  // P: prefix of part 0 with odd length
+  std::vector<VertexId> q;     // Q: the hub-adjacent leader of another part
+  ShortcutParams params;
+
+  explicit Fixture(std::uint32_t n = 400, std::uint32_t d = 4, std::size_t path_len = 9)
+      : hi(graph::hard_instance(n, d)), params(ShortcutParams::make(hi.g.num_vertices(), d)) {
+    const auto& part = hi.paths.parts[0];
+    for (std::size_t j = 0; j < std::min(path_len, part.size()); ++j)
+      path.push_back(part[j]);
+    q = {hi.paths.parts[1][0]};
+  }
+};
+
+TEST(ShortcutTree, LayerAssignment) {
+  const Fixture f;
+  const std::uint32_t ell = f.hi.diameter;
+  const ShortcutTree st(f.hi.g, f.path, f.q, ell, 1, 0.5, 0);
+  EXPECT_EQ(st.ell(), ell);
+  // Path nodes in layer 1, root in layer l+2.
+  for (std::uint32_t pos = 0; pos < f.path.size(); ++pos) {
+    EXPECT_EQ(st.layer_of(st.path_node(pos)), 1u);
+    EXPECT_EQ(st.g_vertex_of(st.path_node(pos)), f.path[pos]);
+  }
+  EXPECT_EQ(st.layer_of(st.root()), ell + 2);
+  EXPECT_EQ(st.g_vertex_of(st.root()), graph::kNoVertex);
+  // Total nodes: |P| + (l-1) n + |Q| + 1.
+  EXPECT_EQ(st.num_aux_nodes(),
+            f.path.size() + (ell - 1) * f.hi.g.num_vertices() + f.q.size() + 1);
+}
+
+TEST(ShortcutTree, CompleteWhenEllAtLeastDistance) {
+  const Fixture f;
+  // dist(P, Q) <= diameter, so l = D must complete.
+  const ShortcutTree st(f.hi.g, f.path, f.q, f.hi.diameter, 1, 1.0, 0);
+  EXPECT_TRUE(st.tree_complete());
+}
+
+TEST(ShortcutTree, IncompleteWhenEllTooSmall) {
+  const Fixture f;
+  // Q is a single vertex on another path; distance from P exceeds 1.
+  const ShortcutTree st(f.hi.g, f.path, f.q, 1, 1, 1.0, 0);
+  EXPECT_FALSE(st.tree_complete());
+}
+
+TEST(ShortcutTree, TreeParentsRespectLayers) {
+  const Fixture f;
+  const ShortcutTree st(f.hi.g, f.path, f.q, f.hi.diameter, 1, 0.4, 0);
+  for (VertexId x = 0; x < st.num_aux_nodes(); ++x) {
+    const VertexId par = st.tree_parent(x);
+    if (par == graph::kNoVertex) continue;
+    EXPECT_EQ(st.layer_of(par), st.layer_of(x) + 1) << "aux " << x;
+  }
+}
+
+TEST(ShortcutTree, Layer1EdgesAlwaysSurvive) {
+  const Fixture f;
+  const ShortcutTree st(f.hi.g, f.path, f.q, f.hi.diameter, 99, 0.01, 0);
+  for (std::uint32_t pos = 0; pos < f.path.size(); ++pos) {
+    const VertexId pn = st.path_node(pos);
+    if (st.tree_parent(pn) != graph::kNoVertex) {
+      EXPECT_TRUE(st.tree_edge_survives(pn));
+    }
+  }
+}
+
+TEST(ShortcutTree, SelfCopyEdgesAlwaysSurvive) {
+  const Fixture f;
+  const ShortcutTree st(f.hi.g, f.path, f.q, f.hi.diameter, 99, 0.0, 0);
+  for (VertexId x = 0; x < st.num_aux_nodes(); ++x) {
+    const VertexId par = st.tree_parent(x);
+    if (par == graph::kNoVertex || st.layer_of(x) == 1) continue;
+    if (st.layer_of(par) == st.ell() + 2) continue;
+    if (st.g_vertex_of(x) == st.g_vertex_of(par)) {
+      EXPECT_TRUE(st.tree_edge_survives(x));
+    }
+  }
+}
+
+TEST(ShortcutTree, ZeroProbabilityKillsNonSelfMiddleEdges) {
+  const Fixture f;
+  const ShortcutTree st(f.hi.g, f.path, f.q, f.hi.diameter, 99, 0.0, 0);
+  for (VertexId x = 0; x < st.num_aux_nodes(); ++x) {
+    const VertexId par = st.tree_parent(x);
+    if (par == graph::kNoVertex || st.layer_of(x) < 2) continue;
+    if (st.layer_of(par) == st.ell() + 2) continue;
+    if (st.g_vertex_of(x) != st.g_vertex_of(par)) {
+      EXPECT_FALSE(st.tree_edge_survives(x));
+    }
+  }
+}
+
+TEST(ShortcutTree, FullProbabilityKeepsEverything) {
+  const Fixture f;
+  const ShortcutTree st(f.hi.g, f.path, f.q, f.hi.diameter, 99, 1.0, 0);
+  for (VertexId x = 0; x < st.num_aux_nodes(); ++x)
+    if (st.tree_parent(x) != graph::kNoVertex) {
+      EXPECT_TRUE(st.tree_edge_survives(x));
+    }
+}
+
+// --- (i,k) units (Definition 3.1) -----------------------------------------------
+
+TEST(Units, ApexWithinRequestedLevels) {
+  const Fixture f;
+  const ShortcutTree st(f.hi.g, f.path, f.q, f.hi.diameter, 5, 0.5, 0);
+  ASSERT_TRUE(st.tree_complete());
+  for (std::uint32_t k = 2; k <= f.hi.diameter; ++k) {
+    for (std::uint32_t pos = 0; pos < f.path.size(); ++pos) {
+      const auto u = st.unit(pos, k);
+      ASSERT_TRUE(u.valid);
+      EXPECT_GE(u.apex_layer, 2u);
+      EXPECT_LE(u.apex_layer, k);
+      EXPECT_GE(u.end_pos, pos);  // right-most P-node is never left of p_i
+      EXPECT_EQ(u.walk.front(), st.path_node(pos));
+    }
+  }
+}
+
+TEST(Units, WalkStepsAreTstarAdjacent) {
+  const Fixture f;
+  const ShortcutTree st(f.hi.g, f.path, f.q, f.hi.diameter, 5, 0.6, 0);
+  const auto u = st.unit(0, f.hi.diameter);
+  ASSERT_TRUE(u.valid);
+  // Each consecutive pair in the unit walk differs by one tree edge.
+  for (std::size_t i = 0; i + 1 < u.walk.size(); ++i) {
+    const VertexId a = u.walk[i];
+    const VertexId b = u.walk[i + 1];
+    EXPECT_TRUE(st.tree_parent(a) == b || st.tree_parent(b) == a);
+  }
+}
+
+TEST(Units, FullSamplingReachesEndOfPath) {
+  const Fixture f;
+  // With p = 1 the whole BFS tree survives; subtree of the apex at level
+  // l+1 is the entire leaf set, so the unit ends at t.
+  const ShortcutTree st(f.hi.g, f.path, f.q, f.hi.diameter, 5, 1.0, 0);
+  const auto u = st.unit(0, f.hi.diameter + 1);
+  ASSERT_TRUE(u.valid);
+  EXPECT_EQ(u.end_pos, f.path.size() - 1);
+}
+
+// --- maximal (i,k) walks + Observation 3.1 -----------------------------------------
+
+class WalkTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WalkTest, LevelKNodesAreDistinct) {
+  const Fixture f(500, 4, 13);
+  const ShortcutTree st(f.hi.g, f.path, f.q, f.hi.diameter, GetParam(),
+                        f.params.sample_prob, 0);
+  if (!st.tree_complete()) GTEST_SKIP();
+  for (std::uint32_t k = 2; k <= f.hi.diameter; ++k) {
+    const auto w = st.maximal_walk(0, k);
+    std::set<VertexId> distinct(w.level_k_nodes.begin(), w.level_k_nodes.end());
+    EXPECT_EQ(distinct.size(), w.level_k_nodes.size())
+        << "Observation 3.1 violated at k=" << k;
+  }
+}
+
+TEST_P(WalkTest, WalkIsMonotoneOverPath) {
+  const Fixture f(500, 4, 13);
+  const ShortcutTree st(f.hi.g, f.path, f.q, f.hi.diameter, GetParam(), 0.5, 0);
+  ASSERT_TRUE(st.tree_complete());
+  for (std::uint32_t k = 2; k <= f.hi.diameter; ++k) {
+    const auto w = st.maximal_walk(0, k);
+    // Layer-1 nodes appear in non-decreasing position order.
+    std::uint32_t last_pos = 0;
+    for (const VertexId x : w.nodes) {
+      if (st.layer_of(x) != 1) continue;
+      EXPECT_GE(x, last_pos);
+      last_pos = x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WalkTest, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// --- Observation 3.2: projection into H --------------------------------------------
+
+TEST(Projection, WalkProjectsToPathInAugmentedSubgraph) {
+  // The T* edges replay the exact coins of part 0's H; the projected walk
+  // must therefore be a walk inside G[S_0] ∪ H_0.
+  const Fixture f(500, 4, 11);
+  KpOptions opt;
+  opt.diameter = 4;
+  opt.seed = 77;
+  const auto res = build_kp_shortcuts(f.hi.g, f.hi.paths, opt);
+  ASSERT_TRUE(res.is_large[0]);
+  const std::uint32_t li = res.large_index[0];
+
+  const ShortcutTree st(f.hi.g, f.path, f.q, f.hi.diameter, opt.seed,
+                        res.params.sample_prob, li);
+  ASSERT_TRUE(st.tree_complete());
+
+  // Adjacency set of the augmented subgraph H = G[S_0] ∪ H_0.
+  const auto aug = augmented_edges(f.hi.g, f.hi.paths.parts[0], res.shortcuts.h[0]);
+  std::set<std::pair<VertexId, VertexId>> allowed;
+  for (const EdgeId e : aug) {
+    const graph::Edge ed = f.hi.g.edge(e);
+    allowed.emplace(ed.u, ed.v);
+    allowed.emplace(ed.v, ed.u);
+  }
+
+  for (std::uint32_t k = 2; k <= f.hi.diameter; ++k) {
+    const auto w = st.maximal_walk(0, k);
+    const auto projected = st.project_to_g(w.nodes);
+    for (std::size_t i = 0; i + 1 < projected.size(); ++i) {
+      EXPECT_TRUE(allowed.count({projected[i], projected[i + 1]}))
+          << "projected step " << projected[i] << "->" << projected[i + 1]
+          << " not in H (k=" << k << ")";
+    }
+  }
+}
+
+// --- Lemma 3.3 (empirical content) ---------------------------------------------------
+
+TEST(Lemma33, DistanceToLevelsBoundedAtFullSampling) {
+  const Fixture f(400, 4, 9);
+  const ShortcutTree st(f.hi.g, f.path, f.q, f.hi.diameter, 3, 1.0, 0);
+  ASSERT_TRUE(st.tree_complete());
+  // With p = 1: T* ⊇ T, so p_1 reaches level k in exactly k-1 hops.
+  for (std::uint32_t k = 2; k <= f.hi.diameter + 1; ++k)
+    EXPECT_LE(st.dist_to_level(0, k), k - 1 + st.path_length());
+}
+
+TEST(Lemma33, DistanceMonotoneInSampling) {
+  const Fixture f(400, 4, 9);
+  // More sampling can only shorten T* distances (supergraph of edges).
+  const ShortcutTree sparse(f.hi.g, f.path, f.q, f.hi.diameter, 3, 0.05, 0);
+  const ShortcutTree dense(f.hi.g, f.path, f.q, f.hi.diameter, 3, 1.0, 0);
+  ASSERT_TRUE(sparse.tree_complete());
+  for (std::uint32_t k = 2; k <= f.hi.diameter; ++k) {
+    const auto ds = sparse.dist_to_level(0, k);
+    const auto dd = dense.dist_to_level(0, k);
+    if (ds != graph::kUnreached) {
+      EXPECT_LE(dd, ds);
+    }
+  }
+}
+
+TEST(Lemma33, Level2AlwaysOneHop) {
+  // E(L1, L2) survives with probability 1, so dist(p_i, {t} ∪ L_2) = 1 for
+  // every interior position (and 0 at t itself, which is in the target set).
+  const Fixture f(400, 4, 9);
+  const ShortcutTree st(f.hi.g, f.path, f.q, f.hi.diameter, 13, 0.0, 0);
+  ASSERT_TRUE(st.tree_complete());
+  const std::uint32_t last = st.path_length() - 1;
+  for (std::uint32_t pos = 0; pos < last; ++pos)
+    EXPECT_EQ(st.dist_to_level(pos, 2), 1u);
+  EXPECT_EQ(st.dist_to_level(last, 2), 0u);
+}
+
+TEST(Projection, PathEdgesProjectWithinPart) {
+  const Fixture f(400, 4, 9);
+  const ShortcutTree st(f.hi.g, f.path, f.q, f.hi.diameter, 3, 0.5, 0);
+  const auto dist = st.tstar_dist_from(0);
+  // The layer-1 path is always present in T*: consecutive path nodes at
+  // distance at most 1 apart from each other.
+  for (std::uint32_t pos = 0; pos + 1 < f.path.size(); ++pos) {
+    EXPECT_LE(dist[st.path_node(pos + 1)], dist[st.path_node(pos)] + 1);
+  }
+}
+
+TEST(ShortcutTree, RejectsNonPath) {
+  const Fixture f;
+  std::vector<VertexId> not_path{f.path[0], f.path[2]};  // skips a vertex
+  EXPECT_THROW(ShortcutTree(f.hi.g, not_path, f.q, 4, 1, 0.5, 0),
+               std::invalid_argument);
+}
+
+TEST(ShortcutTree, RejectsEmptyInputs) {
+  const Fixture f;
+  EXPECT_THROW(ShortcutTree(f.hi.g, {}, f.q, 4, 1, 0.5, 0), std::invalid_argument);
+  EXPECT_THROW(ShortcutTree(f.hi.g, f.path, {}, 4, 1, 0.5, 0), std::invalid_argument);
+  EXPECT_THROW(ShortcutTree(f.hi.g, f.path, f.q, 0, 1, 0.5, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lcs::core

@@ -1,0 +1,165 @@
+// Tests for the executable Theorem 3.1 recursion: soundness of the
+// certificate, the O(k_D log n) shape of the certified bound, event
+// structure, and behaviour with degenerate shortcuts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dilation_argument.hpp"
+#include "core/kp.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace lcs::core {
+namespace {
+
+struct Instance {
+  graph::HardInstance hi;
+  KpBuildResult kp;
+  explicit Instance(std::uint32_t n, unsigned d, std::uint64_t seed = 3,
+                    double beta = 1.0)
+      : hi(graph::hard_instance(n, d)) {
+    KpOptions opt;
+    opt.diameter = d;
+    opt.seed = seed;
+    opt.beta = beta;
+    kp = build_kp_shortcuts(hi.g, hi.paths, opt);
+  }
+};
+
+TEST(Certify, SoundUpperBound) {
+  const Instance in(500, 4);
+  const auto& part = in.hi.paths.parts[0];
+  const auto cert = certify_dilation(in.hi.g, part, in.kp.shortcuts.h[0], part.front(),
+                                     part.back(), in.kp.params.k_d);
+  ASSERT_TRUE(cert.success);
+  EXPECT_GE(cert.certified, cert.actual);
+  EXPECT_GT(cert.levels.size(), 0u);
+}
+
+TEST(Certify, BoundIsKdLogN) {
+  const Instance in(900, 4);
+  const double k_d = in.kp.params.k_d;
+  const double log_n = std::log2(static_cast<double>(in.hi.g.num_vertices()));
+  for (const std::size_t p : {0u, 1u, 2u}) {
+    const auto& part = in.hi.paths.parts[p];
+    const auto cert = certify_dilation(in.hi.g, part, in.kp.shortcuts.h[p],
+                                       part.front(), part.back(), k_d);
+    ASSERT_TRUE(cert.success) << "part " << p;
+    // certified <= (depth + 1) * budget and depth <= log2 |P|.
+    EXPECT_LE(cert.depth, static_cast<std::uint32_t>(std::ceil(std::log2(part.size()))) + 1);
+    EXPECT_LE(cert.certified, cert.budget * (log_n + 2)) << "part " << p;
+  }
+}
+
+TEST(Certify, EventsTerminateRecursion) {
+  const Instance in(600, 4);
+  const auto& part = in.hi.paths.parts[1];
+  const auto cert = certify_dilation(in.hi.g, part, in.kp.shortcuts.h[1], part.front(),
+                                     part.back(), in.kp.params.k_d);
+  ASSERT_TRUE(cert.success);
+  // Last level is terminal (whole-pair or base case); earlier levels are
+  // half events that strictly shrink the path.
+  const auto& levels = cert.levels;
+  for (std::size_t i = 0; i + 1 < levels.size(); ++i) {
+    EXPECT_TRUE(levels[i].event == HalfEvent::kFirstHalf ||
+                levels[i].event == HalfEvent::kSecondHalf);
+    EXPECT_GT(levels[i].path_length, levels[i + 1].path_length);
+  }
+  const HalfEvent last = levels.back().event;
+  EXPECT_TRUE(last == HalfEvent::kWholePair || last == HalfEvent::kBaseCase);
+}
+
+TEST(Certify, TrivialShortcutStillCertifies) {
+  // With H = induced edges only, every level falls back to walking the
+  // path, so the base case / whole-pair checks must still certify
+  // something >= the true distance (= the path length).
+  const graph::HardInstance hi = graph::hard_instance(400, 4);
+  const auto& part = hi.paths.parts[0];
+  const double k_d = k_d_of(hi.g.num_vertices(), 4);
+  const auto cert =
+      certify_dilation(hi.g, part, {}, part.front(), part.back(), k_d);
+  EXPECT_EQ(cert.actual, part.size() - 1);
+  EXPECT_GE(cert.certified, cert.actual);
+}
+
+TEST(Certify, WholeGraphShortcutIsOneLevel) {
+  const graph::HardInstance hi = graph::hard_instance(400, 4);
+  std::vector<EdgeId> all(hi.g.num_edges());
+  for (EdgeId e = 0; e < hi.g.num_edges(); ++e) all[e] = e;
+  const auto& part = hi.paths.parts[0];
+  const auto cert = certify_dilation(hi.g, part, all, part.front(), part.back(),
+                                     k_d_of(hi.g.num_vertices(), 4));
+  ASSERT_TRUE(cert.success);
+  // dist_H(s, t) = graph distance <= D <= budget: one whole-pair level.
+  EXPECT_EQ(cert.levels.size(), 1u);
+  EXPECT_EQ(cert.levels.front().event, HalfEvent::kWholePair);
+  EXPECT_LE(cert.certified, 4u);
+}
+
+TEST(Certify, SameEndpointsZero) {
+  const graph::HardInstance hi = graph::hard_instance(400, 4);
+  const auto& part = hi.paths.parts[0];
+  const auto cert = certify_dilation(hi.g, part, {}, part[3], part[3],
+                                     k_d_of(hi.g.num_vertices(), 4));
+  EXPECT_EQ(cert.actual, 0u);
+  EXPECT_EQ(cert.certified, 0u);
+}
+
+TEST(Certify, AdjacentEndpoints) {
+  const graph::HardInstance hi = graph::hard_instance(400, 4);
+  const auto& part = hi.paths.parts[0];
+  const auto cert = certify_dilation(hi.g, part, {}, part[3], part[4],
+                                     k_d_of(hi.g.num_vertices(), 4));
+  EXPECT_EQ(cert.actual, 1u);
+  EXPECT_EQ(cert.certified, 1u);
+  // Within budget either as a direct pair or as the trivial base case.
+  EXPECT_TRUE(cert.levels.back().event == HalfEvent::kWholePair ||
+              cert.levels.back().event == HalfEvent::kBaseCase);
+}
+
+TEST(Certify, RejectsDisconnectedPair) {
+  const graph::Graph g = graph::Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(certify_dilation(g, {0, 1}, {}, 0, 3, 2.0), std::invalid_argument);
+}
+
+TEST(Certify, BudgetFactorControlsDepth) {
+  const Instance in(900, 4);
+  const auto& part = in.hi.paths.parts[0];
+  CertifyOptions tight;
+  tight.budget_factor = 1.0;
+  CertifyOptions loose;
+  loose.budget_factor = 16.0;
+  const auto t_cert = certify_dilation(in.hi.g, part, in.kp.shortcuts.h[0],
+                                       part.front(), part.back(), in.kp.params.k_d, tight);
+  const auto l_cert = certify_dilation(in.hi.g, part, in.kp.shortcuts.h[0],
+                                       part.front(), part.back(), in.kp.params.k_d, loose);
+  EXPECT_GE(t_cert.depth, l_cert.depth);
+  if (t_cert.success && l_cert.success) {
+    // A looser budget can only shorten the recursion.
+    EXPECT_LE(l_cert.levels.size(), t_cert.levels.size());
+  }
+}
+
+class CertifySweep : public ::testing::TestWithParam<std::tuple<unsigned, int>> {};
+
+TEST_P(CertifySweep, AllPartsCertifyAcrossSeeds) {
+  const auto [d, seed] = GetParam();
+  const Instance in(700, d, static_cast<std::uint64_t>(seed));
+  for (std::size_t p = 0; p < std::min<std::size_t>(in.hi.paths.num_parts(), 5); ++p) {
+    const auto& part = in.hi.paths.parts[p];
+    const auto cert = certify_dilation(in.hi.g, part, in.kp.shortcuts.h[p],
+                                       part.front(), part.back(), in.kp.params.k_d);
+    EXPECT_TRUE(cert.success) << "D=" << d << " seed=" << seed << " part=" << p;
+    EXPECT_GE(cert.certified, cert.actual);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CertifySweep,
+                         ::testing::Combine(::testing::Values(4u, 5u, 6u),
+                                            ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace lcs::core

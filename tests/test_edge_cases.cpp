@@ -1,0 +1,266 @@
+// Edge-case and failure-injection tests across modules: degenerate inputs,
+// capacity variations, boundary parameters, and contract violations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "congest/multibfs.hpp"
+#include "congest/multitree.hpp"
+#include "congest/programs.hpp"
+#include "congest/simulator.hpp"
+#include "core/distributed.hpp"
+#include "core/kp.hpp"
+#include "core/shortcut.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace lcs {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+// --- simulator with higher bandwidth -----------------------------------------
+
+TEST(Capacity, MultiBfsFasterWithWiderEdges) {
+  // K instances share one path; capacity B should cut rounds ~B-fold.
+  const Graph g = graph::path_graph(5);
+  auto run_with_capacity = [&](std::uint32_t cap) {
+    std::vector<graph::EdgeId> all(g.num_edges());
+    for (graph::EdgeId e = 0; e < g.num_edges(); ++e) all[e] = e;
+    std::vector<congest::BfsInstanceSpec> specs(12);
+    for (auto& s : specs) {
+      s.root = 0;
+      s.edges = all;
+    }
+    congest::MultiBfsProgram prog(g, std::move(specs));
+    congest::Simulator sim(g, cap);
+    const congest::RunStats st = sim.run(prog, 1000);
+    EXPECT_TRUE(st.completed);
+    for (std::size_t i = 0; i < 12; ++i) EXPECT_EQ(prog.dist_of(i, 4), 4u);
+    return st.rounds;
+  };
+  const std::uint32_t narrow = run_with_capacity(1);
+  const std::uint32_t wide = run_with_capacity(4);
+  EXPECT_LT(wide, narrow);
+  EXPECT_GE(narrow, 12u);  // bandwidth-bound at capacity 1
+}
+
+TEST(Capacity, ConvergecastUnaffectedByWidth) {
+  // A single convergecast sends one message per edge; extra capacity is idle.
+  const Graph g = graph::path_graph(20);
+  const graph::BfsResult r = graph::bfs(g, 0);
+  const congest::RootedTree t = congest::RootedTree::from_bfs(g, r, 0);
+  for (const std::uint32_t cap : {1u, 3u}) {
+    congest::ConvergecastProgram prog(t, std::vector<std::uint64_t>(20, 1),
+                                      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    congest::Simulator sim(g, cap);
+    sim.run(prog, 100);
+    EXPECT_EQ(prog.result(), 20u);
+  }
+}
+
+// --- degenerate graphs ----------------------------------------------------------
+
+TEST(Degenerate, SingleEdgeGraphEverything) {
+  const Graph g = graph::path_graph(2);
+  EXPECT_EQ(graph::diameter_exact(g), 1u);
+  EXPECT_EQ(graph::bridges(g).size(), 1u);
+  graph::Partition p;
+  p.parts = {{0, 1}};
+  const core::ShortcutSet sc = core::build_trivial_shortcuts(p);
+  const core::QualityReport q = core::measure_quality(g, p, sc);
+  EXPECT_TRUE(q.all_covered);
+  EXPECT_EQ(q.dilation_ub, 1u);
+  EXPECT_EQ(q.congestion, 1u);
+}
+
+TEST(Degenerate, EmptyPartitionHasTrivialQuality) {
+  const Graph g = graph::path_graph(5);
+  graph::Partition p;  // no parts
+  core::ShortcutSet sc;
+  const core::QualityReport q = core::measure_quality(g, p, sc);
+  EXPECT_TRUE(q.all_covered);
+  EXPECT_EQ(q.congestion, 0u);
+  EXPECT_EQ(q.dilation_ub, 0u);
+}
+
+TEST(Degenerate, KpOnSingletonPartition) {
+  Rng rng(1);
+  const Graph g = graph::connected_gnm(50, 120, rng);
+  const graph::Partition p = graph::singleton_partition(g);
+  const auto res = core::build_kp_shortcuts(g, p, {});
+  EXPECT_EQ(res.num_large, 0u);  // singletons are never large
+  const auto q = core::measure_quality(g, p, res.shortcuts);
+  EXPECT_TRUE(q.all_covered);
+}
+
+TEST(Degenerate, DistributedOnTinyGraph) {
+  const Graph g = graph::path_graph(4);
+  graph::Partition p;
+  p.parts = {{0, 1}, {2, 3}};
+  core::DistributedOptions opt;
+  opt.diameter = 3;
+  const auto out = core::build_distributed(g, p, opt);
+  EXPECT_TRUE(out.success);
+}
+
+TEST(Degenerate, SubgraphFromNoEdges) {
+  const Graph g = graph::path_graph(4);
+  const graph::EdgeInducedSubgraph sub(g, {});
+  EXPECT_EQ(sub.num_vertices(), 0u);
+  EXPECT_EQ(sub.num_edges(), 0u);
+  EXPECT_FALSE(sub.to_local(0).has_value());
+  EXPECT_TRUE(sub.contains_all({}));
+}
+
+// --- parameter boundaries ---------------------------------------------------------
+
+TEST(Params, DiameterThreeIsSmallestKdRegime) {
+  const auto p = ShortcutParams::make(10000, 3);
+  EXPECT_NEAR(p.k_d, std::pow(10000.0, 0.25), 1e-9);
+  EXPECT_EQ(p.repetitions, 3u);
+}
+
+TEST(Params, HugeDiameterApproachesSqrt) {
+  const auto p = ShortcutParams::make(1 << 16, 1000);
+  EXPECT_GT(p.k_d, 0.95 * 256.0);
+  EXPECT_LE(p.k_d, 256.0);
+}
+
+TEST(Params, TwoVertexGraph) {
+  const auto p = ShortcutParams::make(2, 1);
+  EXPECT_EQ(p.large_threshold, 1u);
+  EXPECT_LE(p.sample_prob, 1.0);
+}
+
+TEST(Params, BetaExtremes) {
+  const auto tiny = ShortcutParams::make(4096, 4, 1e-9);
+  EXPECT_GT(tiny.sample_prob, 0.0);
+  EXPECT_LT(tiny.sample_prob, 1e-6);
+  const auto huge = ShortcutParams::make(4096, 4, 1e9);
+  EXPECT_EQ(huge.sample_prob, 1.0);
+}
+
+// --- hard instances at boundary diameters ------------------------------------------
+
+TEST(HardBoundary, LargeDiameters) {
+  for (const std::uint32_t d : {9u, 10u, 12u}) {
+    const graph::HardInstance hi = graph::hard_instance(1500, d);
+    EXPECT_EQ(graph::diameter_exact(hi.g), d) << "D=" << d;
+    EXPECT_EQ(validate_partition(hi.g, hi.paths), "") << "D=" << d;
+  }
+}
+
+TEST(HardBoundary, MinimumViableSize) {
+  // Smallest n the generator accepts for D=3: 3 * path_len.
+  const graph::HardInstance hi = graph::hard_instance(64, 3);
+  EXPECT_EQ(graph::diameter_exact(hi.g), 3u);
+  EXPECT_GE(hi.num_paths, 2u);
+}
+
+// --- failure injection: truncated multi-BFS misses far vertices ----------------------
+
+TEST(FailureInjection, DepthCapFailsSpanning) {
+  // Make the detection depth too small on purpose: the truncated BFS must
+  // report missing coverage (this is exactly the "large part" signal).
+  const Graph g = graph::path_graph(30);
+  std::vector<congest::BfsInstanceSpec> specs(1);
+  specs[0].root = 0;
+  specs[0].edges.resize(g.num_edges());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) specs[0].edges[e] = e;
+  specs[0].depth_cap = 5;
+  congest::MultiBfsProgram prog(g, std::move(specs));
+  congest::Simulator sim(g, 1);
+  const congest::RunStats st = sim.run(prog, 1000);
+  ASSERT_TRUE(st.completed);
+  std::uint32_t covered = 0;
+  for (VertexId v = 0; v < 30; ++v)
+    if (prog.dist_of(0, v) != graph::kUnreached) ++covered;
+  EXPECT_EQ(covered, 6u);  // root + 5 hops
+}
+
+TEST(FailureInjection, RoundCapAbortsCleanly) {
+  // A run that cannot finish within max_rounds reports completed=false and
+  // leaves partial state consistent.
+  const Graph g = graph::path_graph(50);
+  congest::BfsProgram prog(g.num_vertices(), 0);
+  congest::Simulator sim(g, 1);
+  const congest::RunStats st = sim.run(prog, 10);
+  EXPECT_FALSE(st.completed);
+  EXPECT_EQ(prog.dist()[8], 8u);
+  EXPECT_EQ(prog.dist()[30], graph::kUnreached);
+}
+
+TEST(FailureInjection, ZeroProbabilityShortcutsStillCoverViaStep1) {
+  // Even with p = 0, Step 1 keeps each part's incident edges, so coverage
+  // holds (dilation = the bare part diameter).
+  const graph::HardInstance hi = graph::hard_instance(400, 4);
+  core::KpOptions opt;
+  opt.diameter = 4;
+  opt.probability_override = 0.0;
+  const auto rep = core::measure_kp_quality(hi.g, hi.paths, opt);
+  EXPECT_TRUE(rep.quality.all_covered);
+  EXPECT_GE(rep.quality.dilation_ub, hi.path_length - 1);
+}
+
+// --- multitree quirks -----------------------------------------------------------------
+
+TEST(MultiTreeEdge, BroadcastOnSingleton) {
+  const Graph g = graph::path_graph(3);
+  congest::TreeInstanceSpec s;
+  s.root = 1;
+  s.members = {1};
+  s.parent = {graph::kNoVertex};
+  s.parent_edge = {graph::kNoEdge};
+  s.value = {0};
+  congest::MultiBroadcastProgram prog(g, {s}, {5});
+  EXPECT_TRUE(prog.complete(0));
+  EXPECT_EQ(prog.value_at(0, 1), 5u);
+  EXPECT_EQ(prog.value_at(0, 0), congest::MultiBroadcastProgram::kMissing);
+}
+
+TEST(MultiTreeEdge, MixedInstanceSizes) {
+  const Graph g = graph::path_graph(8);
+  const graph::BfsResult r = graph::bfs(g, 0);
+  congest::TreeInstanceSpec big;
+  big.root = 0;
+  for (VertexId v = 0; v < 8; ++v) {
+    big.members.push_back(v);
+    big.parent.push_back(r.parent[v]);
+    big.parent_edge.push_back(r.parent_edge[v]);
+  }
+  big.value.assign(8, 1);
+  congest::TreeInstanceSpec tiny;
+  tiny.root = 7;
+  tiny.members = {7};
+  tiny.parent = {graph::kNoVertex};
+  tiny.parent_edge = {graph::kNoEdge};
+  tiny.value = {100};
+  congest::MultiConvergecastProgram prog(
+      g, {big, tiny}, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  congest::Simulator sim(g, 1);
+  const congest::RunStats st = sim.run(prog, 100);
+  ASSERT_TRUE(st.completed);
+  EXPECT_EQ(prog.result(0), 8u);
+  EXPECT_EQ(prog.result(1), 100u);
+}
+
+// --- RNG reproducibility across module boundaries -------------------------------------
+
+TEST(Reproducibility, FullPipelineStableAcrossRuns) {
+  auto run_once = [] {
+    const graph::HardInstance hi = graph::hard_instance(300, 4);
+    core::KpOptions opt;
+    opt.diameter = 4;
+    opt.seed = 4242;
+    const auto rep = core::measure_kp_quality(hi.g, hi.paths, opt);
+    return std::make_tuple(rep.quality.congestion, rep.quality.dilation_ub,
+                           rep.total_shortcut_edges);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace lcs

@@ -1,0 +1,280 @@
+// Tests for graph generators and partition generators, with emphasis on the
+// hard-instance family: exact diameter, valid path partition, expected shape.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+#include "util/rng.hpp"
+
+namespace lcs::graph {
+namespace {
+
+// --- deterministic families -------------------------------------------------
+
+TEST(Generators, PathCycleCompleteStarSizes) {
+  EXPECT_EQ(path_graph(7).num_edges(), 6u);
+  EXPECT_EQ(cycle_graph(7).num_edges(), 7u);
+  EXPECT_EQ(complete_graph(7).num_edges(), 21u);
+  EXPECT_EQ(star_graph(7).num_edges(), 6u);
+  EXPECT_EQ(grid_graph(3, 4).num_edges(), 17u);
+}
+
+TEST(Generators, DumbbellShape) {
+  const Graph g = dumbbell_graph(4, 3);
+  // 2 cliques of 4 + 2 path-interior vertices.
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter_exact(g), 5u);  // clique hop + 3-edge path + clique hop
+}
+
+TEST(Generators, DumbbellTouchingCliques) {
+  const Graph g = dumbbell_graph(3, 0);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.num_vertices(), 6u);
+}
+
+// --- random families ----------------------------------------------------------
+
+TEST(Generators, ErdosRenyiEdgeCountPlausible) {
+  Rng rng(4);
+  const Graph g = erdos_renyi(60, 0.2, rng);
+  const double expected = 0.2 * 60 * 59 / 2.0;
+  EXPECT_GT(g.num_edges(), expected * 0.6);
+  EXPECT_LT(g.num_edges(), expected * 1.4);
+}
+
+TEST(Generators, ErdosRenyiExtremes) {
+  Rng rng(5);
+  EXPECT_EQ(erdos_renyi(20, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(erdos_renyi(20, 1.0, rng).num_edges(), 190u);
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  Rng rng(6);
+  for (int t = 0; t < 10; ++t) {
+    const Graph g = random_tree(40, rng);
+    EXPECT_EQ(g.num_edges(), 39u);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Generators, ConnectedGnmExactEdgeCount) {
+  Rng rng(7);
+  for (const std::uint32_t m : {49u, 80u, 200u}) {
+    const Graph g = connected_gnm(50, m, rng);
+    EXPECT_EQ(g.num_edges(), m);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Generators, ConnectedGnmRejectsInfeasible) {
+  Rng rng(8);
+  EXPECT_THROW(connected_gnm(10, 5, rng), std::invalid_argument);    // too few
+  EXPECT_THROW(connected_gnm(10, 100, rng), std::invalid_argument);  // too many
+}
+
+TEST(Generators, LayeredRandomGraphDiameterExact) {
+  Rng rng(9);
+  for (const std::uint32_t d : {3u, 4u, 5u, 6u, 8u}) {
+    const Graph g = layered_random_graph(300, d, 1.5, rng);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_EQ(diameter_exact(g), d) << "D=" << d;
+  }
+}
+
+TEST(Generators, LayeredRandomGraphSmall) {
+  Rng rng(10);
+  const Graph g = layered_random_graph(6, 5, 0.0, rng);
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(diameter_exact(g), 5u);
+}
+
+// --- hard instances -----------------------------------------------------------
+
+class HardInstanceTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(HardInstanceTest, DiameterIsExactlyD) {
+  const std::uint32_t d = GetParam();
+  const HardInstance hi = hard_instance(900, d);
+  EXPECT_TRUE(is_connected(hi.g));
+  EXPECT_EQ(diameter_exact(hi.g), d);
+  EXPECT_EQ(hi.diameter, d);
+}
+
+TEST_P(HardInstanceTest, PathPartitionIsValid) {
+  const std::uint32_t d = GetParam();
+  const HardInstance hi = hard_instance(900, d);
+  EXPECT_EQ(validate_partition(hi.g, hi.paths), "");
+  EXPECT_EQ(hi.paths.num_parts(), hi.num_paths);
+  for (const auto& part : hi.paths.parts) EXPECT_EQ(part.size(), hi.path_length);
+}
+
+TEST_P(HardInstanceTest, PartsAreActualPaths) {
+  const std::uint32_t d = GetParam();
+  const HardInstance hi = hard_instance(600, d);
+  for (const auto& part : hi.paths.parts) {
+    // Consecutive part vertices adjacent; part induces exactly a path.
+    for (std::size_t j = 0; j + 1 < part.size(); ++j) {
+      bool adjacent = false;
+      for (const HalfEdge he : hi.g.neighbors(part[j]))
+        if (he.to == part[j + 1]) adjacent = true;
+      EXPECT_TRUE(adjacent);
+    }
+  }
+}
+
+TEST_P(HardInstanceTest, SizeNearTarget) {
+  const std::uint32_t d = GetParam();
+  const HardInstance hi = hard_instance(2000, d);
+  EXPECT_GT(hi.g.num_vertices(), 1000u);
+  EXPECT_LT(hi.g.num_vertices(), 3000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Diameters, HardInstanceTest,
+                         ::testing::Values(3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(HardInstance, PathLengthScalesLikeSqrtN) {
+  const HardInstance a = hard_instance(400, 4);
+  const HardInstance b = hard_instance(6400, 4);
+  // sqrt scaling: 4x path length for 16x nodes.
+  EXPECT_NEAR(static_cast<double>(b.path_length) / a.path_length, 4.0, 1.2);
+}
+
+TEST(HardInstance, RejectsTinyOrShallow) {
+  EXPECT_THROW(hard_instance(10, 6), std::invalid_argument);
+  EXPECT_THROW(hard_instance(1000, 2), std::invalid_argument);
+}
+
+// --- subdivision -----------------------------------------------------------------
+
+TEST(Subdivide, DoublesDiameterOfPath) {
+  const Graph g = path_graph(5);
+  const Subdivision s = subdivide(g);
+  EXPECT_EQ(s.g2.num_vertices(), g.num_vertices() + g.num_edges());
+  EXPECT_EQ(s.g2.num_edges(), 2 * g.num_edges());
+  EXPECT_EQ(diameter_exact(s.g2), 2 * diameter_exact(g));
+}
+
+TEST(Subdivide, HalfEdgeMappingConsistent) {
+  Rng rng(11);
+  const Graph g = connected_gnm(20, 40, rng);
+  const Subdivision s = subdivide(g);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge orig = g.edge(e);
+    const VertexId xe = s.dummy_of(e, g.num_vertices());
+    const Edge ha = s.g2.edge(s.half_a[e]);
+    const Edge hb = s.g2.edge(s.half_b[e]);
+    // half_a joins u and x_e; half_b joins x_e and v.
+    EXPECT_TRUE(ha.u == orig.u || ha.v == orig.u);
+    EXPECT_TRUE(ha.u == xe || ha.v == xe);
+    EXPECT_TRUE(hb.u == orig.v || hb.v == orig.v);
+    EXPECT_TRUE(hb.u == xe || hb.v == xe);
+    EXPECT_EQ(s.original[s.half_a[e]], e);
+    EXPECT_EQ(s.original[s.half_b[e]], e);
+  }
+}
+
+TEST(Subdivide, DummiesHaveDegreeTwo) {
+  Rng rng(12);
+  const Graph g = connected_gnm(15, 30, rng);
+  const Subdivision s = subdivide(g);
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    EXPECT_EQ(s.g2.degree(s.dummy_of(e, g.num_vertices())), 2u);
+}
+
+// --- partitions -------------------------------------------------------------------
+
+TEST(Partition, AssignmentAndLeader) {
+  Partition p;
+  p.parts = {{3, 1}, {0, 2}};
+  const auto a = p.assignment(5);
+  EXPECT_EQ(a[1], 0);
+  EXPECT_EQ(a[3], 0);
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(a[2], 1);
+  EXPECT_EQ(a[4], -1);
+  EXPECT_EQ(p.leader(0), 3u);  // max id in part
+  EXPECT_EQ(p.leader(1), 2u);
+}
+
+TEST(Partition, AssignmentRejectsOverlap) {
+  Partition p;
+  p.parts = {{0, 1}, {1, 2}};
+  EXPECT_THROW(p.assignment(3), std::invalid_argument);
+}
+
+TEST(Partition, ValidationCatchesDisconnected) {
+  const Graph g = path_graph(5);
+  Partition p;
+  p.parts = {{0, 4}};  // not connected inside the part
+  EXPECT_NE(validate_partition(g, p), "");
+}
+
+TEST(Partition, ValidationCatchesDuplicates) {
+  const Graph g = path_graph(5);
+  Partition p;
+  p.parts = {{0, 1}, {1, 2}};
+  EXPECT_NE(validate_partition(g, p), "");
+}
+
+TEST(Partition, ValidationCatchesEmptyPart) {
+  const Graph g = path_graph(3);
+  Partition p;
+  p.parts = {{}};
+  EXPECT_NE(validate_partition(g, p), "");
+}
+
+TEST(Partition, ValidationAcceptsPartial) {
+  const Graph g = path_graph(6);
+  Partition p;
+  p.parts = {{0, 1}, {3, 4}};  // vertex 2, 5 uncovered: fine
+  EXPECT_EQ(validate_partition(g, p), "");
+}
+
+class BallPartitionTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BallPartitionTest, ValidAndCovering) {
+  Rng rng(13 + GetParam());
+  const Graph g = connected_gnm(120, 260, rng);
+  const Partition p = ball_partition(g, GetParam(), rng);
+  EXPECT_EQ(validate_partition(g, p), "");
+  std::size_t covered = 0;
+  for (const auto& part : p.parts) covered += part.size();
+  EXPECT_EQ(covered, g.num_vertices());
+  EXPECT_LE(p.num_parts(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedCounts, BallPartitionTest,
+                         ::testing::Values(1u, 2u, 5u, 17u, 60u));
+
+class ForestPartitionTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ForestPartitionTest, ValidCoveringAndBounded) {
+  Rng rng(17 + GetParam());
+  const Graph g = connected_gnm(100, 180, rng);
+  const Partition p = forest_partition(g, GetParam(), rng);
+  EXPECT_EQ(validate_partition(g, p), "");
+  std::size_t covered = 0;
+  for (const auto& part : p.parts) {
+    EXPECT_LE(part.size(), GetParam());
+    covered += part.size();
+  }
+  EXPECT_EQ(covered, g.num_vertices());
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, ForestPartitionTest, ::testing::Values(1u, 4u, 16u, 100u));
+
+TEST(Partition, SingletonAndComponent) {
+  const Graph g = Graph::from_edges(5, {{0, 1}, {2, 3}});
+  const Partition s = singleton_partition(g);
+  EXPECT_EQ(s.num_parts(), 5u);
+  const Partition c = component_partition(g);
+  EXPECT_EQ(c.num_parts(), 3u);
+  EXPECT_EQ(validate_partition(g, c), "");
+}
+
+}  // namespace
+}  // namespace lcs::graph

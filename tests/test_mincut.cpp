@@ -1,0 +1,220 @@
+// Min-cut tests: Stoer–Wagner against brute force, Karger against
+// Stoer–Wagner, tree packing ratio bounds (property sweeps), cut_value.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "mincut/mincut.hpp"
+#include "util/rng.hpp"
+
+namespace lcs::mincut {
+namespace {
+
+Weight brute_force_mincut(const Graph& g, const EdgeWeights& w) {
+  const std::uint32_t n = g.num_vertices();
+  LCS_REQUIRE(n <= 16, "brute force limited");
+  Weight best = std::numeric_limits<Weight>::max();
+  // All proper bipartitions with vertex 0 on side A.
+  for (std::uint32_t mask = 0; mask < (1u << (n - 1)); ++mask) {
+    std::vector<VertexId> side{0};
+    for (VertexId v = 1; v < n; ++v)
+      if (mask & (1u << (v - 1))) side.push_back(v);
+    if (side.size() == n) continue;
+    best = std::min(best, cut_value(g, w, side));
+  }
+  return best;
+}
+
+TEST(CutValue, HandExample) {
+  // cycle_graph(4) edges after canonical sorting:
+  //   e0=(0,1), e1=(0,3), e2=(1,2), e3=(2,3).
+  const Graph g = graph::cycle_graph(4);
+  const EdgeWeights w{1, 2, 3, 4};
+  EXPECT_EQ(cut_value(g, w, {0}), w[0] + w[1]);          // edges at vertex 0
+  EXPECT_EQ(cut_value(g, w, {0, 1}), w[1] + w[2]);       // (0,3) and (1,2)
+  EXPECT_EQ(cut_value(g, w, {}), 0);
+}
+
+TEST(StoerWagner, MatchesBruteForceUnweighted) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = graph::connected_gnm(10, 14 + trial % 10, rng);
+    const EdgeWeights w(g.num_edges(), 1);
+    EXPECT_EQ(stoer_wagner(g, w).value, brute_force_mincut(g, w)) << "trial " << trial;
+  }
+}
+
+TEST(StoerWagner, MatchesBruteForceWeighted) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = graph::connected_gnm(9, 16, rng);
+    const EdgeWeights w = graph::random_weights(g, 9, rng);
+    EXPECT_EQ(stoer_wagner(g, w).value, brute_force_mincut(g, w)) << "trial " << trial;
+  }
+}
+
+TEST(StoerWagner, SideRealizesValue) {
+  Rng rng(3);
+  const Graph g = graph::connected_gnm(30, 70, rng);
+  const EdgeWeights w = graph::random_weights(g, 20, rng);
+  const CutResult r = stoer_wagner(g, w);
+  EXPECT_EQ(cut_value(g, w, r.side), r.value);
+  EXPECT_GE(r.side.size(), 1u);
+  EXPECT_LE(r.side.size(), g.num_vertices() / 2);
+}
+
+TEST(StoerWagner, KnownShapes) {
+  // Cycle: min cut 2 (unweighted).  Path-of-cliques: the bridge.
+  const Graph cyc = graph::cycle_graph(12);
+  EXPECT_EQ(stoer_wagner(cyc, EdgeWeights(12, 1)).value, 2);
+  const Graph bell = graph::dumbbell_graph(5, 4);
+  EXPECT_EQ(stoer_wagner(bell, EdgeWeights(bell.num_edges(), 1)).value, 1);
+  const Graph k6 = graph::complete_graph(6);
+  EXPECT_EQ(stoer_wagner(k6, EdgeWeights(15, 1)).value, 5);
+}
+
+TEST(StoerWagner, RejectsBadInput) {
+  const Graph g = graph::Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(stoer_wagner(g, EdgeWeights(2, 1)), std::invalid_argument);
+  const Graph p = graph::path_graph(3);
+  EXPECT_THROW(stoer_wagner(p, EdgeWeights{1, 0}), std::invalid_argument);
+}
+
+class KargerTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KargerTest, FindsMinCutWithEnoughTrials) {
+  Rng rng(100 + GetParam());
+  const Graph g = graph::connected_gnm(14, 30, rng);
+  const EdgeWeights w = graph::random_weights(g, 6, rng);
+  const Weight exact = stoer_wagner(g, w).value;
+  Rng krng(GetParam());
+  const CutResult kr = karger_mincut(g, w, 400, krng);
+  EXPECT_EQ(kr.value, exact);
+  EXPECT_EQ(cut_value(g, w, kr.side), kr.value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KargerTest, ::testing::Values(1, 2, 3, 4));
+
+TEST(Karger, UpperBoundAlways) {
+  Rng rng(5);
+  const Graph g = graph::connected_gnm(20, 45, rng);
+  const EdgeWeights w = graph::random_weights(g, 8, rng);
+  const Weight exact = stoer_wagner(g, w).value;
+  Rng krng(6);
+  const CutResult kr = karger_mincut(g, w, 2, krng);  // too few trials
+  EXPECT_GE(kr.value, exact);
+}
+
+class TreePackingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreePackingTest, WithinFactorTwoOfExact) {
+  Rng rng(200 + GetParam());
+  const Graph g = graph::connected_gnm(40, 100 + 5 * GetParam(), rng);
+  const EdgeWeights w = graph::random_weights(g, 10, rng);
+  const Weight exact = stoer_wagner(g, w).value;
+  const TreePackingResult tp = tree_packing_mincut(g, w);
+  EXPECT_GE(tp.cut.value, exact);            // any cut is an upper bound
+  EXPECT_LE(tp.cut.value, 2 * exact);        // 1-respecting guarantee
+  EXPECT_EQ(cut_value(g, w, tp.cut.side), tp.cut.value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, TreePackingTest, ::testing::Values(0, 1, 2, 3, 4, 5));
+
+TEST(TreePacking, ExactOnCycle) {
+  const Graph g = graph::cycle_graph(16);
+  const EdgeWeights w(16, 1);
+  const TreePackingResult tp = tree_packing_mincut(g, w);
+  EXPECT_EQ(tp.cut.value, 2);
+}
+
+TEST(TreePacking, FindsBridgeCut) {
+  const Graph g = graph::dumbbell_graph(6, 3);
+  const EdgeWeights w(g.num_edges(), 1);
+  const TreePackingResult tp = tree_packing_mincut(g, w);
+  EXPECT_EQ(tp.cut.value, 1);  // 1-respecting always nails bridges
+}
+
+TEST(TreePacking, TreeCountDefaultsToLogN) {
+  Rng rng(7);
+  const Graph g = graph::connected_gnm(50, 120, rng);
+  const EdgeWeights w(g.num_edges(), 1);
+  const TreePackingResult tp = tree_packing_mincut(g, w);
+  EXPECT_GE(tp.num_trees, 10u);  // 3 ln 50 ~ 11.7
+  EXPECT_LE(tp.num_trees, 14u);
+  EXPECT_LT(tp.best_tree, tp.num_trees);
+}
+
+TEST(TreePacking, MoreTreesNeverWorse) {
+  Rng rng(8);
+  const Graph g = graph::connected_gnm(30, 80, rng);
+  const EdgeWeights w = graph::random_weights(g, 5, rng);
+  const Weight few = tree_packing_mincut(g, w, 1).cut.value;
+  const Weight many = tree_packing_mincut(g, w, 12).cut.value;
+  EXPECT_LE(many, few);
+}
+
+class SparsifiedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparsifiedTest, NearMinimumWithinEpsilon) {
+  Rng rng(400 + GetParam());
+  const Graph g = graph::connected_gnm(48, 180, rng);
+  const EdgeWeights w = graph::random_weights(g, 6, rng);
+  const Weight exact = stoer_wagner(g, w).value;
+  Rng srng(GetParam());
+  const SparsifiedResult r = sparsified_mincut(g, w, 0.5, srng);
+  EXPECT_GE(r.cut.value, exact);  // any cut upper-bounds the minimum
+  // (1+eps)-near w.h.p.; allow slack 2x for the tiny-instance regime.
+  EXPECT_LE(r.cut.value, 2 * exact + 2);
+  EXPECT_EQ(cut_value(g, w, r.cut.side), r.cut.value);
+  EXPECT_GT(r.sample_prob, 0.0);
+  EXPECT_LE(r.sample_prob, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparsifiedTest, ::testing::Values(1, 2, 3, 4));
+
+TEST(Sparsified, FullProbabilityIsExact) {
+  // Small lambda + small eps forces p = 1: the skeleton is G itself.
+  Rng rng(7);
+  const Graph g = graph::cycle_graph(20);
+  const EdgeWeights w(20, 1);
+  const SparsifiedResult r = sparsified_mincut(g, w, 0.3, rng);
+  EXPECT_DOUBLE_EQ(r.sample_prob, 1.0);
+  EXPECT_EQ(r.cut.value, 2);
+}
+
+TEST(Sparsified, RejectsBadEps) {
+  Rng rng(8);
+  const Graph g = graph::cycle_graph(6);
+  const EdgeWeights w(6, 1);
+  EXPECT_THROW(sparsified_mincut(g, w, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(sparsified_mincut(g, w, 1.5, rng), std::invalid_argument);
+}
+
+TEST(Sparsified, HeavyGraphActuallySparsifies) {
+  // Large capacities make lambda big, so p < 1 and the skeleton is thinner.
+  Rng rng(9);
+  const Graph g = graph::complete_graph(24);
+  const EdgeWeights w(g.num_edges(), 50);
+  Rng srng(10);
+  const SparsifiedResult r = sparsified_mincut(g, w, 0.5, srng);
+  EXPECT_LT(r.sample_prob, 1.0);
+  const Weight exact = stoer_wagner(g, w).value;
+  EXPECT_GE(r.cut.value, exact);
+  EXPECT_LE(double(r.cut.value), 1.6 * double(exact));
+}
+
+TEST(TreePacking, WeightedBridgeDetected) {
+  // Heavy cycle with one light chord structure: min cut is the two
+  // lightest cycle edges.
+  graph::GraphBuilder b(6);
+  for (VertexId v = 0; v < 6; ++v) b.add_edge(v, (v + 1) % 6);
+  const Graph g = std::move(b).build();
+  EdgeWeights w{10, 10, 1, 10, 10, 1};
+  const TreePackingResult tp = tree_packing_mincut(g, w);
+  EXPECT_EQ(tp.cut.value, 2);
+}
+
+}  // namespace
+}  // namespace lcs::mincut

@@ -1,0 +1,156 @@
+// Tests for the scheduled multi-source Bellman–Ford and the deterministic
+// tree baseline, plus the simulated landmark-SSSP plumbing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "congest/multibf.hpp"
+#include "congest/simulator.hpp"
+#include "core/kp.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "sssp/sssp.hpp"
+#include "util/rng.hpp"
+
+namespace lcs {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+TEST(MultiBf, SingleSourceMatchesDijkstra) {
+  Rng rng(1);
+  const Graph g = graph::connected_gnm(60, 140, rng);
+  const graph::EdgeWeights w = graph::random_weights(g, 12, rng);
+  congest::MultiBellmanFordProgram prog(g, w, {5});
+  congest::Simulator sim(g, 1);
+  const congest::RunStats st = sim.run(prog, 100000);
+  ASSERT_TRUE(st.completed);
+  const auto want = sssp::dijkstra(g, w, 5);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(prog.dist_of(0, v), want.dist[v]) << "v=" << v;
+}
+
+class MultiBfSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiBfSweep, ManySourcesAllMatchOracles) {
+  Rng rng(100 + GetParam());
+  const Graph g = graph::connected_gnm(50, 120, rng);
+  const graph::EdgeWeights w = graph::random_weights(g, 9, rng);
+  std::vector<VertexId> sources{0, 7, 13, 21, 34};
+  congest::MultiBellmanFordProgram prog(g, w, sources);
+  congest::Simulator sim(g, 1);
+  const congest::RunStats st = sim.run(prog, 100000);
+  ASSERT_TRUE(st.completed);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const auto want = sssp::dijkstra(g, w, sources[i]);
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      EXPECT_EQ(prog.dist_of(i, v), want.dist[v]) << "i=" << i << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiBfSweep, ::testing::Values(0, 1, 2));
+
+TEST(MultiBf, ParentsConsistentWithDistances) {
+  Rng rng(3);
+  const Graph g = graph::connected_gnm(40, 90, rng);
+  const graph::EdgeWeights w = graph::random_weights(g, 7, rng);
+  congest::MultiBellmanFordProgram prog(g, w, {2, 9});
+  congest::Simulator sim(g, 1);
+  sim.run(prog, 100000);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const VertexId p = prog.parent_of(i, v);
+      if (p == graph::kNoVertex) continue;
+      EXPECT_LT(prog.dist_of(i, p), prog.dist_of(i, v));
+    }
+  }
+}
+
+TEST(MultiBf, SharedBandwidthStillCorrect) {
+  // All sources on one path end: heavy contention, still exact.
+  const Graph g = graph::path_graph(20);
+  const graph::EdgeWeights w(g.num_edges(), 3);
+  std::vector<VertexId> sources{0, 0 + 1, 2, 3, 4, 5};
+  congest::MultiBellmanFordProgram prog(g, w, sources);
+  congest::Simulator sim(g, 1);
+  const congest::RunStats st = sim.run(prog, 100000);
+  ASSERT_TRUE(st.completed);
+  for (std::size_t i = 0; i < sources.size(); ++i)
+    EXPECT_EQ(prog.dist_of(i, 19), 3u * (19 - sources[i]));
+  EXPECT_GE(st.max_edge_load, sources.size());
+}
+
+TEST(MultiBf, RejectsBadInput) {
+  const Graph g = graph::path_graph(4);
+  EXPECT_THROW(congest::MultiBellmanFordProgram(g, graph::EdgeWeights{1, 1}, {0}),
+               std::invalid_argument);  // wrong weight count
+  EXPECT_THROW(
+      congest::MultiBellmanFordProgram(g, graph::EdgeWeights{1, 1, 1}, {}),
+      std::invalid_argument);  // no sources
+  EXPECT_THROW(
+      congest::MultiBellmanFordProgram(g, graph::EdgeWeights{1, -1, 1}, {0}),
+      std::invalid_argument);  // negative weight
+}
+
+// --- deterministic tree baseline -------------------------------------------------
+
+TEST(DetTree, CoversWithBoundedDilation) {
+  const graph::HardInstance hi = graph::hard_instance(500, 4);
+  const auto sc = core::build_deterministic_tree_shortcuts(hi.g, hi.paths, 4);
+  const auto q = core::measure_quality(hi.g, hi.paths, sc);
+  EXPECT_TRUE(q.all_covered);
+  EXPECT_LE(q.max_cover_radius, 2u * 4u);
+}
+
+TEST(DetTree, IsDeterministic) {
+  const graph::HardInstance hi = graph::hard_instance(400, 4);
+  const auto a = core::build_deterministic_tree_shortcuts(hi.g, hi.paths);
+  const auto b = core::build_deterministic_tree_shortcuts(hi.g, hi.paths);
+  EXPECT_EQ(a.h, b.h);
+}
+
+TEST(DetTree, SmallPartsSkipped) {
+  Rng rng(4);
+  const Graph g = graph::connected_gnm(200, 420, rng);
+  const graph::Partition p = graph::forest_partition(g, 2, rng);
+  const auto sc = core::build_deterministic_tree_shortcuts(g, p);
+  for (const auto& h : sc.h) EXPECT_TRUE(h.empty());
+}
+
+TEST(DetTree, TreesAreSpanningForLargeParts) {
+  const graph::HardInstance hi = graph::hard_instance(400, 4);
+  const auto sc = core::build_deterministic_tree_shortcuts(hi.g, hi.paths, 4);
+  for (std::size_t i = 0; i < hi.paths.num_parts(); ++i) {
+    if (sc.h[i].empty()) continue;
+    // A depth-D BFS tree from the leader spans the whole graph here.
+    EXPECT_EQ(sc.h[i].size(), hi.g.num_vertices() - 1);
+  }
+}
+
+// --- simulated landmark SSSP -------------------------------------------------------
+
+TEST(SimulatedSssp, SimulationAgreesWithOracleAndReportsRounds) {
+  Rng rng(5);
+  const Graph g = graph::connected_gnm(120, 300, rng);
+  const graph::EdgeWeights w = graph::random_weights(g, 10, rng);
+  sssp::ApproxTreeOptions opt;
+  opt.num_landmarks = 9;
+  opt.simulate = true;
+  // The LCS_CHECK inside approx_sssp_tree cross-validates the simulated
+  // Voronoi against the centralized one; reaching here means it agreed.
+  const auto r = sssp::approx_sssp_tree(g, w, 0, opt);
+  EXPECT_GT(r.rounds_simulated, 0u);
+  EXPECT_GT(r.messages_simulated, 0u);
+}
+
+TEST(SimulatedSssp, OffByDefault) {
+  Rng rng(6);
+  const Graph g = graph::connected_gnm(60, 140, rng);
+  const graph::EdgeWeights w = graph::random_weights(g, 10, rng);
+  const auto r = sssp::approx_sssp_tree(g, w, 0, {});
+  EXPECT_EQ(r.rounds_simulated, 0u);
+}
+
+}  // namespace
+}  // namespace lcs

@@ -1,0 +1,224 @@
+// Tests for the scheduled multi-instance tree convergecast / broadcast —
+// equivalence against the single-instance tree programs and against
+// centralized aggregation, bandwidth sharing, and spec validation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "congest/multibfs.hpp"
+#include "congest/multitree.hpp"
+#include "congest/programs.hpp"
+#include "congest/simulator.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace lcs::congest {
+namespace {
+
+using graph::Graph;
+
+TreeInstanceSpec spec_from_bfs(const Graph& g, graph::VertexId root) {
+  const graph::BfsResult r = graph::bfs(g, root);
+  TreeInstanceSpec s;
+  s.root = root;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!r.reached_vertex(v)) continue;
+    s.members.push_back(v);
+    s.parent.push_back(r.parent[v]);
+    s.parent_edge.push_back(r.parent_edge[v]);
+  }
+  s.value.assign(s.members.size(), 0);
+  return s;
+}
+
+TEST(MultiConvergecast, SumMatchesCentralized) {
+  Rng rng(1);
+  const Graph g = graph::connected_gnm(60, 130, rng);
+  TreeInstanceSpec s = spec_from_bfs(g, 0);
+  std::uint64_t want = 0;
+  for (std::size_t k = 0; k < s.members.size(); ++k) {
+    s.value[k] = s.members[k] * 3 + 1;
+    want += s.value[k];
+  }
+  MultiConvergecastProgram prog(g, {s},
+                                [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  Simulator sim(g, 1);
+  const RunStats st = sim.run(prog, 1000);
+  ASSERT_TRUE(st.completed);
+  EXPECT_TRUE(prog.complete(0));
+  EXPECT_EQ(prog.result(0), want);
+}
+
+TEST(MultiConvergecast, MatchesSingleInstanceProgram) {
+  Rng rng(2);
+  const Graph g = graph::connected_gnm(50, 110, rng);
+  const graph::BfsResult r = graph::bfs(g, 7);
+  const RootedTree t = RootedTree::from_bfs(g, r, 7);
+  std::vector<std::uint64_t> values(g.num_vertices());
+  for (std::size_t v = 0; v < values.size(); ++v) values[v] = hash64(v) % 997;
+
+  ConvergecastProgram single(t, values, [](std::uint64_t a, std::uint64_t b) {
+    return std::max(a, b);
+  });
+  Simulator sim1(g, 1);
+  sim1.run(single, 1000);
+
+  TreeInstanceSpec s = spec_from_bfs(g, 7);
+  for (std::size_t k = 0; k < s.members.size(); ++k) s.value[k] = values[s.members[k]];
+  MultiConvergecastProgram multi(
+      g, {s}, [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); });
+  Simulator sim2(g, 1);
+  sim2.run(multi, 1000);
+  EXPECT_EQ(multi.result(0), single.result());
+}
+
+TEST(MultiConvergecast, ManyDisjointInstances) {
+  // Two disjoint stars inside one graph aggregate independently.
+  graph::GraphBuilder b(12);
+  for (graph::VertexId v = 1; v < 6; ++v) b.add_edge(0, v);
+  for (graph::VertexId v = 7; v < 12; ++v) b.add_edge(6, v);
+  const Graph g = std::move(b).build();
+  TreeInstanceSpec s0 = spec_from_bfs(g, 0);
+  TreeInstanceSpec s1 = spec_from_bfs(g, 6);
+  // BFS from 0 reaches only its star (graph is disconnected): members = 6.
+  ASSERT_EQ(s0.members.size(), 6u);
+  for (auto& x : s0.value) x = 1;
+  for (auto& x : s1.value) x = 2;
+  MultiConvergecastProgram prog(g, {s0, s1},
+                                [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  Simulator sim(g, 1);
+  const RunStats st = sim.run(prog, 100);
+  ASSERT_TRUE(st.completed);
+  EXPECT_EQ(prog.result(0), 6u);
+  EXPECT_EQ(prog.result(1), 12u);
+  EXPECT_LE(st.rounds, 5u);  // both stars finish in ~2 rounds, in parallel
+}
+
+TEST(MultiConvergecast, SharedTreeSerializes) {
+  // K identical path trees rooted at one end: the last edge into the root
+  // carries K reports; rounds >= K.
+  const Graph g = graph::path_graph(6);
+  const std::size_t K = 6;
+  std::vector<TreeInstanceSpec> specs;
+  for (std::size_t i = 0; i < K; ++i) {
+    TreeInstanceSpec s = spec_from_bfs(g, 0);
+    for (auto& x : s.value) x = 1;
+    specs.push_back(std::move(s));
+  }
+  MultiConvergecastProgram prog(g, specs,
+                                [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  Simulator sim(g, 1);
+  const RunStats st = sim.run(prog, 1000);
+  ASSERT_TRUE(st.completed);
+  for (std::size_t i = 0; i < K; ++i) EXPECT_EQ(prog.result(i), 6u);
+  EXPECT_GE(st.max_edge_load, K);
+}
+
+TEST(MultiConvergecast, SingletonTreeIsImmediate) {
+  const Graph g = graph::path_graph(4);
+  TreeInstanceSpec s;
+  s.root = 2;
+  s.members = {2};
+  s.parent = {graph::kNoVertex};
+  s.parent_edge = {graph::kNoEdge};
+  s.value = {41};
+  MultiConvergecastProgram prog(g, {s},
+                                [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_TRUE(prog.idle());
+  EXPECT_TRUE(prog.complete(0));
+  EXPECT_EQ(prog.result(0), 41u);
+}
+
+TEST(MultiConvergecast, RejectsBadSpecs) {
+  const Graph g = graph::path_graph(4);
+  TreeInstanceSpec no_root;
+  no_root.root = 1;
+  no_root.members = {0};
+  no_root.parent = {graph::kNoVertex};
+  no_root.parent_edge = {graph::kNoEdge};
+  no_root.value = {0};
+  const auto sum = [](std::uint64_t a, std::uint64_t b) { return a + b; };
+  EXPECT_THROW(MultiConvergecastProgram(g, {no_root}, sum), std::invalid_argument);
+
+  TreeInstanceSpec bad_len = no_root;
+  bad_len.members = {1, 0};
+  EXPECT_THROW(MultiConvergecastProgram(g, {bad_len}, sum), std::invalid_argument);
+}
+
+TEST(MultiBroadcast, DeliversToAllMembers) {
+  Rng rng(3);
+  const Graph g = graph::connected_gnm(40, 90, rng);
+  const TreeInstanceSpec s = spec_from_bfs(g, 5);
+  MultiBroadcastProgram prog(g, {s}, {0xfeedULL});
+  Simulator sim(g, 1);
+  const RunStats st = sim.run(prog, 1000);
+  ASSERT_TRUE(st.completed);
+  EXPECT_TRUE(prog.complete(0));
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(prog.value_at(0, v), 0xfeedULL);
+}
+
+TEST(MultiBroadcast, NonMemberReportsMissing) {
+  const Graph g = graph::Graph::from_edges(4, {{0, 1}, {2, 3}});
+  const TreeInstanceSpec s = spec_from_bfs(g, 0);  // members {0,1}
+  MultiBroadcastProgram prog(g, {s}, {7});
+  Simulator sim(g, 1);
+  sim.run(prog, 100);
+  EXPECT_EQ(prog.value_at(0, 2), MultiBroadcastProgram::kMissing);
+  EXPECT_EQ(prog.value_at(0, 1), 7u);
+}
+
+TEST(MultiBroadcast, PerInstanceValues) {
+  const Graph g = graph::path_graph(5);
+  const TreeInstanceSpec a = spec_from_bfs(g, 0);
+  const TreeInstanceSpec b = spec_from_bfs(g, 4);
+  MultiBroadcastProgram prog(g, {a, b}, {100, 200});
+  Simulator sim(g, 1);
+  const RunStats st = sim.run(prog, 100);
+  ASSERT_TRUE(st.completed);
+  EXPECT_EQ(prog.value_at(0, 2), 100u);
+  EXPECT_EQ(prog.value_at(1, 2), 200u);
+}
+
+TEST(TreeSpecFromMultiBfs, RoundTrips) {
+  Rng rng(4);
+  const Graph g = graph::connected_gnm(40, 100, rng);
+  std::vector<graph::EdgeId> all(g.num_edges());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) all[e] = e;
+  std::vector<BfsInstanceSpec> specs(1);
+  specs[0].root = 3;
+  specs[0].edges = all;
+  MultiBfsProgram prog(g, std::move(specs));
+  Simulator sim(g, 1);
+  sim.run(prog, 1000);
+
+  const TreeInstanceSpec ts = tree_spec_from_multibfs(prog, 0);
+  EXPECT_EQ(ts.root, 3u);
+  EXPECT_EQ(ts.members.size(), g.num_vertices());
+  // Convergecast a count over the derived tree: must equal n.
+  TreeInstanceSpec counted = ts;
+  counted.value.assign(counted.members.size(), 1);
+  MultiConvergecastProgram agg(g, {counted},
+                               [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  Simulator sim2(g, 1);
+  sim2.run(agg, 1000);
+  EXPECT_EQ(agg.result(0), g.num_vertices());
+}
+
+TEST(MultiConvergecast, RoundsTrackTreeDepth) {
+  const Graph g = graph::path_graph(40);
+  TreeInstanceSpec s = spec_from_bfs(g, 0);
+  for (auto& x : s.value) x = 1;
+  MultiConvergecastProgram prog(g, {s},
+                                [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  Simulator sim(g, 1);
+  const RunStats st = sim.run(prog, 1000);
+  ASSERT_TRUE(st.completed);
+  EXPECT_EQ(prog.result(0), 40u);
+  EXPECT_LE(st.rounds, 42u);
+  EXPECT_GE(st.rounds, 39u);
+}
+
+}  // namespace
+}  // namespace lcs::congest

@@ -1,0 +1,249 @@
+// Cross-cutting randomized property sweeps: invariants that must hold over
+// a grid of families × sizes × seeds.  Each suite checks one invariant;
+// the grid gives it breadth (TEST_P per DESIGN.md §7).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "congest/programs.hpp"
+#include "congest/simulator.hpp"
+#include "core/kp.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+#include "graph/union_find.hpp"
+#include "mst/mst.hpp"
+#include "util/rng.hpp"
+
+namespace lcs {
+namespace {
+
+using graph::Graph;
+using graph::Partition;
+using graph::VertexId;
+
+// --- family fixtures -----------------------------------------------------------
+
+enum class Family { kHard, kLayered, kGnm, kPrefAttach };
+
+Graph make_family(Family f, std::uint32_t n, Rng& rng, Partition* parts_out) {
+  switch (f) {
+    case Family::kHard: {
+      graph::HardInstance hi = graph::hard_instance(n, 4);
+      if (parts_out) *parts_out = hi.paths;
+      return std::move(hi.g);
+    }
+    case Family::kLayered: {
+      Graph g = graph::layered_random_graph(n, 5, 1.2, rng);
+      if (parts_out) *parts_out = graph::ball_partition(g, std::max(2u, n / 40), rng);
+      return g;
+    }
+    case Family::kGnm: {
+      Graph g = graph::connected_gnm(n, 2 * n, rng);
+      if (parts_out) *parts_out = graph::forest_partition(g, n / 8, rng);
+      return g;
+    }
+    case Family::kPrefAttach: {
+      Graph g = graph::preferential_attachment(n, 3, rng);
+      if (parts_out) *parts_out = graph::ball_partition(g, std::max(2u, n / 40), rng);
+      return g;
+    }
+  }
+  LCS_CHECK(false, "unknown family");
+}
+
+class FamilyGrid
+    : public ::testing::TestWithParam<std::tuple<int, std::uint32_t, int>> {
+ protected:
+  Family family() const { return static_cast<Family>(std::get<0>(GetParam())); }
+  std::uint32_t n() const { return std::get<1>(GetParam()); }
+  std::uint64_t seed() const { return static_cast<std::uint64_t>(std::get<2>(GetParam())); }
+};
+
+// --- invariant: generated partitions are always valid -----------------------------
+
+class PartitionInvariant : public FamilyGrid {};
+
+TEST_P(PartitionInvariant, GeneratedPartitionsValidate) {
+  Rng rng(seed());
+  Partition parts;
+  const Graph g = make_family(family(), n(), rng, &parts);
+  EXPECT_EQ(validate_partition(g, parts), "");
+  EXPECT_GT(parts.num_parts(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PartitionInvariant,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(200u, 500u),
+                       ::testing::Values(1, 2)));
+
+// --- invariant: KP shortcut coverage + step-1 inclusion across families ------------
+
+class KpInvariant : public FamilyGrid {};
+
+TEST_P(KpInvariant, CoverageAndStep1) {
+  Rng rng(seed());
+  Partition parts;
+  const Graph g = make_family(family(), n(), rng, &parts);
+  core::KpOptions opt;
+  opt.seed = seed() * 7 + 1;
+  const auto res = core::build_kp_shortcuts(g, parts, opt);
+  const auto q = core::measure_quality(g, parts, res.shortcuts);
+  EXPECT_TRUE(q.all_covered);
+  // Step-1 inclusion for each large part.
+  for (std::size_t i = 0; i < parts.parts.size(); ++i) {
+    if (!res.is_large[i]) continue;
+    std::vector<bool> in_part(g.num_vertices(), false);
+    for (const VertexId v : parts.parts[i]) in_part[v] = true;
+    std::set<graph::EdgeId> h(res.shortcuts.h[i].begin(), res.shortcuts.h[i].end());
+    for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+      const graph::Edge ed = g.edge(e);
+      if (in_part[ed.u] || in_part[ed.v]) {
+        EXPECT_TRUE(h.count(e)) << "edge " << e;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KpInvariant,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(300u),
+                       ::testing::Values(1, 2, 3)));
+
+// --- invariant: congestion is monotone in beta (same seed) -------------------------
+
+class BetaMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(BetaMonotone, ShortcutSizeGrowsWithBeta) {
+  const graph::HardInstance hi = graph::hard_instance(400, 4);
+  std::uint64_t prev = 0;
+  for (const double beta : {0.05, 0.2, 0.6, 1.5}) {
+    core::KpOptions opt;
+    opt.diameter = 4;
+    opt.seed = static_cast<std::uint64_t>(GetParam());
+    opt.beta = beta;
+    const auto rep = core::measure_kp_quality(hi.g, hi.paths, opt);
+    EXPECT_GE(rep.total_shortcut_edges, prev) << "beta=" << beta;
+    prev = rep.total_shortcut_edges;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BetaMonotone, ::testing::Values(1, 2, 3, 4, 5));
+
+// --- invariant: distributed BFS == centralized BFS across the grid ------------------
+
+class BfsEquivalence : public FamilyGrid {};
+
+TEST_P(BfsEquivalence, SimulatedBfsMatchesOracle) {
+  Rng rng(seed() + 100);
+  const Graph g = make_family(family(), n(), rng, nullptr);
+  const VertexId src = static_cast<VertexId>(rng.uniform(g.num_vertices()));
+  congest::BfsProgram prog(g.num_vertices(), src);
+  congest::Simulator sim(g, 1);
+  const congest::RunStats st = sim.run(prog, 8 * g.num_vertices());
+  ASSERT_TRUE(st.completed);
+  EXPECT_EQ(prog.dist(), graph::bfs(g, src).dist);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BfsEquivalence,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(250u),
+                       ::testing::Values(1, 2)));
+
+// --- invariant: Boruvka == Kruskal across the grid ----------------------------------
+
+class MstEquivalence : public FamilyGrid {};
+
+TEST_P(MstEquivalence, BoruvkaMatchesKruskal) {
+  Rng rng(seed() + 500);
+  const Graph g = make_family(family(), n(), rng, nullptr);
+  const graph::EdgeWeights w = graph::distinct_random_weights(g, rng);
+  mst::BoruvkaOptions opt;
+  opt.scheme = mst::ShortcutScheme::kKoganParter;
+  opt.seed = seed();
+  const auto res = mst::boruvka_mst(g, w, opt);
+  const auto want = mst::kruskal(g, w);
+  EXPECT_EQ(res.mst.weight, want.weight);
+  EXPECT_EQ(res.mst.edges, want.edges);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MstEquivalence,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(220u),
+                       ::testing::Values(1, 2)));
+
+// --- invariant: preferential attachment shape ---------------------------------------
+
+class PrefAttach : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PrefAttach, ConnectedLowDiameterHeavyTail) {
+  Rng rng(GetParam());
+  const Graph g = graph::preferential_attachment(600, 3, rng);
+  EXPECT_TRUE(graph::is_connected(g));
+  EXPECT_LE(graph::diameter_double_sweep(g), 10u);  // "six degrees" shape
+  // Heavy tail: max degree far above the mean.
+  std::uint32_t max_deg = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    max_deg = std::max(max_deg, g.degree(v));
+  const double mean = 2.0 * g.num_edges() / g.num_vertices();
+  EXPECT_GT(max_deg, 4 * mean);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefAttach, ::testing::Values(1u, 2u, 3u));
+
+TEST(PrefAttach, EdgeCountFormula) {
+  Rng rng(9);
+  const Graph g = graph::preferential_attachment(100, 2, rng);
+  // Seed clique C(3,2)=3 edges + 2 per added vertex (97 vertices), minus
+  // possible duplicate merges (rare).
+  EXPECT_LE(g.num_edges(), 3u + 2u * 97u);
+  EXPECT_GE(g.num_edges(), 3u + 2u * 97u - 8u);
+}
+
+TEST(PrefAttach, RejectsTinyN) {
+  Rng rng(1);
+  EXPECT_THROW(graph::preferential_attachment(3, 3, rng), std::invalid_argument);
+}
+
+// --- invariant: simulator determinism across runs ------------------------------------
+
+TEST(SimulatorDeterminism, IdenticalRunsByteForByte) {
+  Rng rng(12);
+  const Graph g = graph::connected_gnm(120, 300, rng);
+  auto run_once = [&]() {
+    congest::BfsProgram prog(g.num_vertices(), 17);
+    congest::Simulator sim(g, 1);
+    const congest::RunStats st = sim.run(prog, 10000);
+    return std::make_tuple(st.rounds, st.messages, prog.dist());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// --- invariant: quality monotone under shortcut enlargement --------------------------
+
+TEST(QualityMonotonicity, MoreEdgesNeverWorsenDilation) {
+  const graph::HardInstance hi = graph::hard_instance(350, 4);
+  core::KpOptions small_opt;
+  small_opt.diameter = 4;
+  small_opt.seed = 5;
+  small_opt.beta = 0.1;
+  const auto small_sc = core::build_kp_shortcuts(hi.g, hi.paths, small_opt);
+  // Enlarge: union with the whole-graph shortcut.
+  core::ShortcutSet big = small_sc.shortcuts;
+  std::vector<graph::EdgeId> all(hi.g.num_edges());
+  for (graph::EdgeId e = 0; e < hi.g.num_edges(); ++e) all[e] = e;
+  for (auto& h : big.h) h = all;
+  const auto q_small = core::measure_quality(hi.g, hi.paths, small_sc.shortcuts);
+  const auto q_big = core::measure_quality(hi.g, hi.paths, big);
+  EXPECT_LE(q_big.dilation_ub, q_small.dilation_ub);
+  EXPECT_GE(q_big.congestion, q_small.congestion);
+}
+
+}  // namespace
+}  // namespace lcs

@@ -1,0 +1,180 @@
+// SSSP tests: Dijkstra oracle properties, distributed Bellman–Ford round
+// counts, and the approximate SSSP tree (validity, stretch, edge cases).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/union_find.hpp"
+#include "sssp/sssp.hpp"
+#include "util/rng.hpp"
+
+namespace lcs::sssp {
+namespace {
+
+TEST(Dijkstra, PathDistances) {
+  const Graph g = graph::path_graph(6);
+  const EdgeWeights w{2, 3, 1, 5, 4};
+  const SsspResult r = dijkstra(g, w, 0);
+  EXPECT_EQ(r.dist[0], 0u);
+  EXPECT_EQ(r.dist[1], 2u);
+  EXPECT_EQ(r.dist[2], 5u);
+  EXPECT_EQ(r.dist[3], 6u);
+  EXPECT_EQ(r.dist[5], 15u);
+}
+
+TEST(Dijkstra, PrefersLightDetour) {
+  // 0-1 heavy direct edge vs 0-2-1 light detour.
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(2, 1);
+  const Graph g = std::move(b).build();
+  // Edge ids sorted by endpoints: (0,1)=0, (0,2)=1, (1,2)=2.
+  const EdgeWeights w{10, 2, 3};
+  const SsspResult r = dijkstra(g, w, 0);
+  EXPECT_EQ(r.dist[1], 5u);
+  EXPECT_EQ(r.parent[1], 2u);
+}
+
+TEST(Dijkstra, UnreachableIsInf) {
+  const Graph g = graph::Graph::from_edges(4, {{0, 1}});
+  const SsspResult r = dijkstra(g, EdgeWeights{7}, 0);
+  EXPECT_EQ(r.dist[2], kInfDist);
+  EXPECT_EQ(r.dist[3], kInfDist);
+}
+
+TEST(Dijkstra, ZeroWeightsAllowed) {
+  const Graph g = graph::path_graph(4);
+  const SsspResult r = dijkstra(g, EdgeWeights{0, 0, 0}, 0);
+  EXPECT_EQ(r.dist[3], 0u);
+}
+
+TEST(Dijkstra, NegativeRejected) {
+  const Graph g = graph::path_graph(3);
+  EXPECT_THROW(dijkstra(g, EdgeWeights{1, -1}, 0), std::invalid_argument);
+}
+
+TEST(Dijkstra, ParentsFormShortestPathTree) {
+  Rng rng(1);
+  const Graph g = graph::connected_gnm(60, 150, rng);
+  const EdgeWeights w = graph::random_weights(g, 30, rng);
+  const SsspResult r = dijkstra(g, w, 10);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (v == 10) continue;
+    ASSERT_NE(r.parent[v], graph::kNoVertex);
+    EXPECT_EQ(r.dist[v],
+              r.dist[r.parent[v]] + static_cast<std::uint64_t>(w[r.parent_edge[v]]));
+  }
+}
+
+// --- distributed Bellman-Ford -----------------------------------------------------
+
+TEST(DistributedBf, MatchesDijkstraAndRoundsAreHopBounded) {
+  Rng rng(2);
+  const Graph g = graph::connected_gnm(70, 160, rng);
+  const EdgeWeights w = graph::random_weights(g, 9, rng);
+  const DistributedSsspResult d = distributed_bellman_ford(g, w, 4);
+  const SsspResult want = dijkstra(g, w, 4);
+  EXPECT_EQ(d.sssp.dist, want.dist);
+  EXPECT_LE(d.rounds, g.num_vertices() + 3);
+  EXPECT_GT(d.messages, 0u);
+}
+
+TEST(DistributedBf, UnweightedRoundsNearEccentricity) {
+  const Graph g = graph::path_graph(40);
+  const EdgeWeights w(g.num_edges(), 1);
+  const DistributedSsspResult d = distributed_bellman_ford(g, w, 0);
+  EXPECT_LE(d.rounds, 42u);
+  EXPECT_GE(d.rounds, 39u);
+}
+
+// --- approximate SSSP tree ---------------------------------------------------------
+
+bool is_spanning_tree(const Graph& g, const std::vector<graph::EdgeId>& edges) {
+  if (edges.size() + 1 != g.num_vertices()) return false;
+  graph::UnionFind uf(g.num_vertices());
+  for (const graph::EdgeId e : edges)
+    if (!uf.unite(g.edge(e).u, g.edge(e).v)) return false;
+  return uf.num_sets() == 1;
+}
+
+class ApproxTreeTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ApproxTreeTest, ProducesValidSpanningTree) {
+  Rng rng(300 + GetParam());
+  const Graph g = graph::connected_gnm(120, 300, rng);
+  const EdgeWeights w = graph::random_weights(g, 20, rng);
+  ApproxTreeOptions opt;
+  opt.num_landmarks = GetParam();
+  opt.seed = GetParam();
+  const ApproxTreeResult r = approx_sssp_tree(g, w, 0, opt);
+  EXPECT_TRUE(is_spanning_tree(g, r.tree_edges));
+  EXPECT_GE(r.max_stretch, 1.0 - 1e-9);
+  EXPECT_GE(r.avg_stretch, 1.0 - 1e-9);
+  EXPECT_LE(r.avg_stretch, r.max_stretch + 1e-9);
+  EXPECT_GT(r.rounds_charged, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(LandmarkCounts, ApproxTreeTest,
+                         ::testing::Values(1u, 2u, 8u, 32u, 120u));
+
+TEST(ApproxTree, SingleLandmarkIsExactSpt) {
+  Rng rng(4);
+  const Graph g = graph::connected_gnm(80, 200, rng);
+  const EdgeWeights w = graph::random_weights(g, 15, rng);
+  ApproxTreeOptions opt;
+  opt.num_landmarks = 1;
+  const ApproxTreeResult r = approx_sssp_tree(g, w, 7, opt);
+  EXPECT_NEAR(r.max_stretch, 1.0, 1e-12);
+}
+
+TEST(ApproxTree, AllLandmarksIsExact) {
+  Rng rng(5);
+  const Graph g = graph::connected_gnm(50, 120, rng);
+  const EdgeWeights w = graph::random_weights(g, 10, rng);
+  ApproxTreeOptions opt;
+  opt.num_landmarks = 50;
+  const ApproxTreeResult r = approx_sssp_tree(g, w, 3, opt);
+  // Every vertex its own landmark: overlay *is* the graph; the overlay
+  // Dijkstra tree realises exact distances.
+  EXPECT_NEAR(r.max_stretch, 1.0, 1e-12);
+}
+
+TEST(ApproxTree, TreeDistanceConsistentWithEdges) {
+  Rng rng(6);
+  const Graph g = graph::connected_gnm(60, 140, rng);
+  const EdgeWeights w = graph::random_weights(g, 9, rng);
+  const ApproxTreeResult r = approx_sssp_tree(g, w, 11, {});
+  // tree_dist must satisfy the tree's edge relaxations exactly.
+  for (const graph::EdgeId e : r.tree_edges) {
+    const graph::Edge ed = g.edge(e);
+    const std::uint64_t a = r.tree_dist[ed.u];
+    const std::uint64_t b = r.tree_dist[ed.v];
+    EXPECT_EQ(std::max(a, b) - std::min(a, b), static_cast<std::uint64_t>(w[e]));
+  }
+}
+
+TEST(ApproxTree, StretchShrinksWithMoreLandmarks) {
+  Rng rng(7);
+  const Graph g = graph::connected_gnm(150, 350, rng);
+  const EdgeWeights w = graph::random_weights(g, 50, rng);
+  ApproxTreeOptions few;
+  few.num_landmarks = 2;
+  few.seed = 9;
+  ApproxTreeOptions many;
+  many.num_landmarks = 150;
+  many.seed = 9;
+  const double s_few = approx_sssp_tree(g, w, 0, few).avg_stretch;
+  const double s_many = approx_sssp_tree(g, w, 0, many).avg_stretch;
+  EXPECT_LE(s_many, s_few + 1e-9);
+}
+
+TEST(ApproxTree, DisconnectedRejected) {
+  const Graph g = graph::Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(approx_sssp_tree(g, EdgeWeights{1, 1}, 0, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lcs::sssp

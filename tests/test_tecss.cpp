@@ -1,0 +1,127 @@
+// 2-ECSS tests: connectivity predicate, approximation vs brute force on
+// tiny instances, validity + ratio bounds across random families.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "tecss/tecss.hpp"
+#include "util/rng.hpp"
+
+namespace lcs::tecss {
+namespace {
+
+Graph two_connected_random(std::uint32_t n, std::uint32_t m, Rng& rng) {
+  // Cycle backbone (2-edge-connected) plus random chords.
+  graph::GraphBuilder b(n);
+  for (VertexId v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);
+  for (std::uint32_t i = n; i < m; ++i) {
+    const VertexId u = static_cast<VertexId>(rng.uniform(n));
+    VertexId v = static_cast<VertexId>(rng.uniform(n));
+    if (u == v) v = (v + 1) % n;
+    b.add_edge(u, v);
+  }
+  return std::move(b).build();
+}
+
+TEST(TwoEdgeConnected, Predicate) {
+  EXPECT_TRUE(is_two_edge_connected(graph::cycle_graph(5)));
+  EXPECT_TRUE(is_two_edge_connected(graph::complete_graph(4)));
+  EXPECT_FALSE(is_two_edge_connected(graph::path_graph(4)));          // bridges
+  EXPECT_FALSE(is_two_edge_connected(graph::star_graph(5)));          // bridges
+  EXPECT_FALSE(is_two_edge_connected(graph::Graph::from_edges(4, {{0, 1}, {2, 3}})));
+  EXPECT_FALSE(is_two_edge_connected(graph::dumbbell_graph(4, 2)));   // path bridge
+}
+
+TEST(TwoEcss, CycleIsItsOwnOptimum) {
+  const Graph g = graph::cycle_graph(8);
+  const EdgeWeights w(8, 3);
+  const TwoEcssResult r = two_ecss_approx(g, w);
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.edges.size(), 8u);  // a cycle cannot drop any edge
+  EXPECT_EQ(r.weight, 24);
+}
+
+TEST(TwoEcss, ResultIsAlwaysValidAndBounded) {
+  Rng rng(1);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = two_connected_random(30, 60 + trial, rng);
+    const EdgeWeights w = graph::random_weights(g, 20, rng);
+    const TwoEcssResult r = two_ecss_approx(g, w);
+    EXPECT_TRUE(r.valid) << "trial " << trial;
+    EXPECT_GE(r.weight, r.lower_bound);
+    EXPECT_GE(r.ratio, 1.0);
+    EXPECT_LE(r.ratio, 4.0) << "unexpectedly bad ratio, trial " << trial;
+  }
+}
+
+TEST(TwoEcss, NearOptimalOnTinyInstances) {
+  Rng rng(2);
+  int total = 0;
+  double worst = 1.0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const Graph g = two_connected_random(7, 10 + trial % 3, rng);
+    if (g.num_edges() > 22) continue;
+    const EdgeWeights w = graph::random_weights(g, 9, rng);
+    const TwoEcssResult opt = two_ecss_brute_force(g, w);
+    const TwoEcssResult apx = two_ecss_approx(g, w);
+    EXPECT_GE(apx.weight, opt.weight);
+    worst = std::max(worst, double(apx.weight) / double(opt.weight));
+    ++total;
+  }
+  ASSERT_GT(total, 5);
+  EXPECT_LE(worst, 2.5);  // the greedy cover stays close on tiny instances
+}
+
+TEST(TwoEcss, LowerBoundBelowBruteForceOptimum) {
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = two_connected_random(6, 9, rng);
+    if (g.num_edges() > 22) continue;
+    const EdgeWeights w = graph::random_weights(g, 7, rng);
+    const TwoEcssResult opt = two_ecss_brute_force(g, w);
+    const TwoEcssResult apx = two_ecss_approx(g, w);
+    EXPECT_LE(apx.lower_bound, opt.weight);
+  }
+}
+
+TEST(TwoEcss, RejectsBridgedInput) {
+  const Graph g = graph::dumbbell_graph(4, 2);
+  EXPECT_THROW(two_ecss_approx(g, EdgeWeights(g.num_edges(), 1)),
+               std::invalid_argument);
+}
+
+TEST(TwoEcss, CompleteGraphCheapSubgraph) {
+  const Graph g = graph::complete_graph(8);
+  Rng rng(4);
+  const EdgeWeights w = graph::random_weights(g, 100, rng);
+  const TwoEcssResult r = two_ecss_approx(g, w);
+  EXPECT_TRUE(r.valid);
+  // Should use far fewer edges than the full clique.
+  EXPECT_LE(r.edges.size(), 2u * 8u);
+}
+
+TEST(TwoEcss, HeavyChordAvoided) {
+  // Square with a very heavy diagonal: optimal 2-ECSS is the square itself.
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 0);
+  b.add_edge(0, 2);
+  const Graph g = std::move(b).build();
+  // Sorted edge order: (0,1) (0,2) (0,3) (1,2) (2,3).
+  EdgeWeights w{1, 100, 1, 1, 1};
+  const TwoEcssResult r = two_ecss_approx(g, w);
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.weight, 4);
+  EXPECT_EQ(r.edges.size(), 4u);
+}
+
+TEST(TwoEcssBruteForce, GuardsSize) {
+  const Graph g = graph::complete_graph(8);  // 28 edges > 22
+  EXPECT_THROW(two_ecss_brute_force(g, EdgeWeights(g.num_edges(), 1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lcs::tecss
