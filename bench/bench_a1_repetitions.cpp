@@ -2,26 +2,26 @@
 // The dilation analysis consumes one repetition per shortcut-tree layer
 // (Lemma 3.3 "uses at most k out of D repetitions"); collapsing to a single
 // repetition with the same per-repetition p must cost dilation/coverage.
-#include <iostream>
-
-#include "bench_util.hpp"
+#include "bench/registry.hpp"
 #include "core/kp.hpp"
 #include "graph/generators.hpp"
+#include "util/table.hpp"
 
-int main() {
+LCS_BENCH_SCENARIO(a1_repetitions, "ablation: D independent repetitions vs fewer",
+                   "n-sweep x reps in {1,2,4,8}, D=4, beta=0.25") {
   using namespace lcs;
-  bench::banner("EA1", "ablation: D independent repetitions vs fewer");
 
   Table t({"n", "D", "reps", "beta", "congestion", "dilation", "radius",
            "covered", "|H| total"});
-  const double beta = 0.25;  // keep p < 1 so the repetitions matter
-  for (const std::uint32_t n : bench::n_sweep()) {
+  const double beta = ctx.beta(0.25);  // keep p < 1 so the repetitions matter
+  const std::uint64_t seed = ctx.seed(47);
+  for (const std::uint32_t n : ctx.n_sweep()) {
     const unsigned d = 4;
     const graph::HardInstance hi = graph::hard_instance(n, d);
     for (const unsigned reps : {1u, 2u, 4u, 8u}) {
       core::KpOptions opt;
       opt.diameter = d;
-      opt.seed = 47;
+      opt.seed = seed;
       opt.beta = beta;
       opt.repetitions = reps;
       const auto rep = core::measure_kp_quality(hi.g, hi.paths, opt);
@@ -37,9 +37,9 @@ int main() {
           .cell(rep.total_shortcut_edges);
     }
   }
-  t.print(std::cout, "EA1: repetition count ablation (fixed per-repetition p)");
-  std::cout << "\nexpected: congestion grows ~linearly in reps, dilation falls;\n"
+  t.print(ctx.out(), "EA1: repetition count ablation (fixed per-repetition p)");
+  ctx.out() << "\nexpected: congestion grows ~linearly in reps, dilation falls;\n"
                "reps = D is the paper's choice (one fresh repetition per\n"
                "shortcut-tree layer).\n";
-  return 0;
+  ctx.metric("rows", std::uint64_t{t.rows()});
 }

@@ -2,42 +2,50 @@
 // variant sweeps D'' from the BFS eccentricity up to its double, stopping at
 // the first guess whose shortcuts verify.  Total rounds stay within a
 // constant factor of the known-D run (k_D'' is increasing in D'').
-#include <iostream>
+#include <algorithm>
+#include <vector>
 
-#include "bench_util.hpp"
+#include "bench/registry.hpp"
 #include "core/distributed.hpp"
 #include "graph/generators.hpp"
+#include "util/table.hpp"
 
-int main() {
+LCS_BENCH_SCENARIO(e10_guessing, "diameter guessing terminates at quality of the true D",
+                   "D in {4,5,6} x n in {512,2048} (smoke: 512)") {
   using namespace lcs;
-  bench::banner("E10", "diameter guessing terminates at quality of the true D");
 
   Table t({"D", "n", "attempts", "rounds(guessing)", "rounds(known D)",
            "overhead", "ok"});
+  const std::uint64_t seed = ctx.seed(13);
+  double worst_overhead = 0;
+  bool all_ok = true;
   for (const unsigned d : {4u, 5u, 6u}) {
-    for (const std::uint32_t n : bench::quick_mode()
-                                     ? std::vector<std::uint32_t>{512}
-                                     : std::vector<std::uint32_t>{512, 2048}) {
+    for (const std::uint32_t n : ctx.n_sweep({512}, {512, 2048})) {
       const graph::HardInstance hi = graph::hard_instance(n, d);
       core::DistributedOptions opt;
-      opt.seed = 13;
+      opt.seed = seed;
       const auto guess = core::build_distributed_guessing(hi.g, hi.paths, opt);
       core::DistributedOptions known;
-      known.seed = 13;
+      known.seed = seed;
       known.diameter = d;
       const auto exact = core::build_distributed(hi.g, hi.paths, known);
+      const double overhead =
+          double(guess.rounds.total()) / double(exact.rounds.total());
+      worst_overhead = std::max(worst_overhead, overhead);
+      all_ok = all_ok && guess.success && exact.success;
       t.row()
           .cell(d)
           .cell(hi.g.num_vertices())
           .cell(guess.attempts)
           .cell(guess.rounds.total())
           .cell(exact.rounds.total())
-          .cell(double(guess.rounds.total()) / double(exact.rounds.total()), 2)
+          .cell(overhead, 2)
           .cell(guess.success && exact.success ? "yes" : "NO");
     }
   }
-  t.print(std::cout, "E10: guessing vs known-D construction");
-  std::cout << "\nclaim: overhead stays O(1) (geometric growth of k_D'' in the\n"
+  t.print(ctx.out(), "E10: guessing vs known-D construction");
+  ctx.out() << "\nclaim: overhead stays O(1) (geometric growth of k_D'' in the\n"
                "guess sweep; the paper bounds the sum by O(k_D log^2 n)).\n";
-  return 0;
+  ctx.metric("worst_overhead", worst_overhead);
+  ctx.metric("all_ok", all_ok);
 }

@@ -2,24 +2,28 @@
 // (sample both halves with sqrt(p)) versus the direct odd-D sampler, on
 // odd-diameter hard instances.  Both must cover all parts with comparable
 // quality; the subdivision variant is the one the paper analyses.
-#include <iostream>
+#include <utility>
 
-#include "bench_util.hpp"
+#include "bench/registry.hpp"
 #include "core/kp.hpp"
 #include "graph/generators.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
 
-int main() {
+LCS_BENCH_SCENARIO(e11_odd_d, "odd-D construction via subdivision (Section 3.2)",
+                   "D in {3,5,7}, n = 2048 (smoke: 512), variants {direct, subdivide}") {
   using namespace lcs;
-  bench::banner("E11", "odd-D construction via subdivision (Section 3.2)");
 
   Table t({"D", "n", "variant", "congestion", "dilation", "quality", "covered",
            "quality/(k_D ln n)"});
+  const std::uint64_t seed = ctx.seed(19);
+  bool all_covered = true;
   for (const unsigned d : {3u, 5u, 7u}) {
-    const std::uint32_t n = bench::quick_mode() ? 512 : 2048;
+    const std::uint32_t n = ctx.pick_n(512, 2048);
     const graph::HardInstance hi = graph::hard_instance(n, d);
     core::KpOptions opt;
     opt.diameter = d;
-    opt.seed = 19;
+    opt.seed = seed;
 
     const auto direct = core::build_kp_shortcuts(hi.g, hi.paths, opt);
     const auto qd = core::measure_quality(hi.g, hi.paths, direct.shortcuts);
@@ -30,6 +34,7 @@ int main() {
     for (const auto& [name, q] : {std::pair<const char*, const core::QualityReport&>{
                                       "direct", qd},
                                   {"subdivide", qs}}) {
+      all_covered = all_covered && q.all_covered;
       t.row()
           .cell(d)
           .cell(hi.g.num_vertices())
@@ -38,12 +43,13 @@ int main() {
           .cell(std::uint64_t{q.dilation_ub})
           .cell(static_cast<std::uint64_t>(q.quality()))
           .cell(q.all_covered ? "yes" : "NO")
-          .cell(q.quality() / kd_ln, 3);
+          .cell(static_cast<double>(q.quality()) / kd_ln, 3);
     }
   }
-  t.print(std::cout, "E11: odd-diameter variants");
-  std::cout << "\nthe subdivision variant thins each repetition to p (both\n"
+  t.print(ctx.out(), "E11: odd-diameter variants");
+  ctx.out() << "\nthe subdivision variant thins each repetition to p (both\n"
                "sqrt(p)-halves must land), so it samples less than the direct\n"
                "sampler at equal parameters while keeping coverage.\n";
-  return 0;
+  ctx.metric("all_covered", all_covered);
+  ctx.metric("rows", std::uint64_t{t.rows()});
 }

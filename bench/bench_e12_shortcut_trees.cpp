@@ -6,19 +6,22 @@
 // statistics the figures illustrate (units, level-k node distinctness).
 #include <algorithm>
 #include <cmath>
-#include <iostream>
 #include <set>
+#include <vector>
 
-#include "bench_util.hpp"
+#include "bench/registry.hpp"
 #include "core/kp.hpp"
 #include "core/shortcut_tree.hpp"
 #include "graph/generators.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
 
-int main() {
+LCS_BENCH_SCENARIO(e12_shortcut_trees,
+                   "shortcut trees: (i,k)-walk lengths vs Lemma 3.3's bound",
+                   "n = 2048 (smoke: 512), D=4, k in {2..D+1}, 8 seeds (smoke: 3)") {
   using namespace lcs;
-  bench::banner("E12", "shortcut trees: (i,k)-walk lengths vs Lemma 3.3's bound");
 
-  const std::uint32_t n = bench::quick_mode() ? 512 : 2048;
+  const std::uint32_t n = ctx.pick_n(512, 2048);
   const unsigned d = 4;
   const graph::HardInstance hi = graph::hard_instance(n, d);
   const ShortcutParams params = ShortcutParams::make(hi.g.num_vertices(), d);
@@ -37,13 +40,15 @@ int main() {
            "walk units(max)", "w_j distinct"});
   const double base = static_cast<double>(params.max_large_parts) / params.k_d;
 
-  const unsigned seeds = bench::quick_mode() ? 3 : 8;
+  const std::uint64_t seed = ctx.seed(1000);
+  const unsigned seeds = ctx.smoke() ? 3 : 8;
+  bool all_distinct = true;
   for (std::uint32_t k = 2; k <= d + 1; ++k) {
     Stats dist_stats, unit_stats;
     unsigned reached = 0;
     bool distinct_ok = true;
     for (unsigned s = 0; s < seeds; ++s) {
-      const core::ShortcutTree st(hi.g, path, q, d, 1000 + s, params.sample_prob, 0);
+      const core::ShortcutTree st(hi.g, path, q, d, seed + s, params.sample_prob, 0);
       if (!st.tree_complete()) continue;
       const auto dist = st.dist_to_level(0, k);
       if (dist != graph::kUnreached) {
@@ -57,6 +62,7 @@ int main() {
       distinct_ok = distinct_ok && uniq.size() == walk.level_k_nodes.size();
     }
     const double bound = std::max(1.0, std::pow(std::max(1.0, base), double(k) - 2.0));
+    all_distinct = all_distinct && distinct_ok;
     t.row()
         .cell(k)
         .cell(bound, 1)
@@ -66,9 +72,9 @@ int main() {
         .cell(unit_stats.empty() ? 0.0 : unit_stats.max(), 0)
         .cell(distinct_ok ? "yes" : "NO");
   }
-  t.print(std::cout, "E12: T* distances per level (P from part 0, Q = leader(1))");
-  std::cout << "\nLemma 3.3 claims dist(p_1, {t} ∪ L_k) <= l_k w.h.p.; the\n"
+  t.print(ctx.out(), "E12: T* distances per level (P from part 0, Q = leader(1))");
+  ctx.out() << "\nLemma 3.3 claims dist(p_1, {t} ∪ L_k) <= l_k w.h.p.; the\n"
                "'w_j distinct' column checks Observation 3.1 on every walk.\n"
                "Figure 1/2's content is exactly these layer-indexed walks.\n";
-  return 0;
+  ctx.metric("all_walks_distinct", all_distinct);
 }

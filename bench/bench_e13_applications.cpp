@@ -1,23 +1,27 @@
 // E13 — Corollaries 4.2/4.3: approximate SSSP trees (measured stretch and
 // charged rounds) and the O(log n)-approx 2-ECSS (measured ratio against a
 // certified lower bound), both on low-diameter instances.
-#include <iostream>
+#include <algorithm>
+#include <string>
 
-#include "bench_util.hpp"
+#include "bench/registry.hpp"
 #include "graph/generators.hpp"
 #include "sssp/sssp.hpp"
 #include "tecss/tecss.hpp"
 #include "util/rng.hpp"
+#include "util/table.hpp"
 
-int main() {
+LCS_BENCH_SCENARIO(e13_applications,
+                   "applications: approx SSSP (Cor 4.2) and 2-ECSS (Cor 4.3)",
+                   "n-sweep x landmarks in {n/256, n/64, n/16}; 2-ECSS on cycle+chords") {
   using namespace lcs;
-  bench::banner("E13", "applications: approx SSSP (Cor 4.2) and 2-ECSS (Cor 4.3)");
 
+  double worst_stretch = 0;
   {
     Table t({"n", "landmarks", "max_stretch", "avg_stretch", "rounds(charged)",
              "rounds(simulated)", "exact BF rounds"});
     Rng rng(2);
-    for (const std::uint32_t n : bench::n_sweep()) {
+    for (const std::uint32_t n : ctx.n_sweep()) {
       const graph::Graph g = graph::layered_random_graph(n, 5, 1.5, rng);
       const graph::EdgeWeights w = graph::random_weights(g, 16, rng);
       for (const std::uint32_t lm :
@@ -28,6 +32,7 @@ int main() {
         opt.simulate = n <= 2048;  // concurrent landmark growth on the simulator
         const auto r = sssp::approx_sssp_tree(g, w, 0, opt);
         const auto bf = sssp::distributed_bellman_ford(g, w, 0);
+        worst_stretch = std::max(worst_stretch, r.max_stretch);
         t.row()
             .cell(g.num_vertices())
             .cell(r.num_landmarks)
@@ -38,13 +43,14 @@ int main() {
             .cell(std::uint64_t{bf.rounds});
       }
     }
-    t.print(std::cout, "E13a: approximate SSSP tree (landmark overlay)");
+    t.print(ctx.out(), "E13a: approximate SSSP tree (landmark overlay)");
   }
 
+  bool all_valid = true;
   {
     Table t({"n", "m", "weight", "lower_bound", "ratio", "valid"});
     Rng rng(5);
-    for (const std::uint32_t n : bench::n_sweep()) {
+    for (const std::uint32_t n : ctx.n_sweep()) {
       // 2-edge-connected low-diameter instance: cycle + random chords.
       graph::GraphBuilder b(n);
       for (graph::VertexId v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);
@@ -53,6 +59,7 @@ int main() {
       const graph::Graph g = std::move(b).build();
       const graph::EdgeWeights w = graph::random_weights(g, 20, rng);
       const auto r = tecss::two_ecss_approx(g, w);
+      all_valid = all_valid && r.valid;
       t.row()
           .cell(g.num_vertices())
           .cell(g.num_edges())
@@ -61,9 +68,10 @@ int main() {
           .cell(r.ratio, 3)
           .cell(r.valid ? "yes" : "NO");
     }
-    t.print(std::cout, "E13b: 2-ECSS approximation (MST + greedy cover)");
+    t.print(ctx.out(), "E13b: 2-ECSS approximation (MST + greedy cover)");
   }
-  std::cout << "\nboth corollaries are plug-ins of the shortcut quality into\n"
+  ctx.out() << "\nboth corollaries are plug-ins of the shortcut quality into\n"
                "[HL18]/[DG19]; the rounds columns inherit E4/E5's dependence.\n";
-  return 0;
+  ctx.metric("worst_sssp_stretch", worst_stretch);
+  ctx.metric("tecss_all_valid", all_valid);
 }

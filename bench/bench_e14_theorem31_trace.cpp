@@ -3,34 +3,38 @@
 // the certified bound versus k_D·log2(n), the recursion depth versus
 // log2|P|, and the event mix.  Every level finding an event is the
 // empirical form of "w.h.p. one of the three scenarios holds".
+#include <algorithm>
 #include <cmath>
-#include <iostream>
 
-#include "bench_util.hpp"
+#include "bench/registry.hpp"
 #include "core/dilation_argument.hpp"
 #include "core/kp.hpp"
 #include "graph/generators.hpp"
+#include "util/table.hpp"
 
-int main() {
+LCS_BENCH_SCENARIO(e14_theorem31_trace, "Theorem 3.1 recursion trace (O1/O2/O3 events)",
+                   "D in {4,6} x beta in {1,0.05} x n-sweep, 4 seeds (smoke: 2)") {
   using namespace lcs;
-  bench::banner("E14", "Theorem 3.1 recursion trace (O1/O2/O3 events)");
 
   Table t({"n", "D", "beta", "parts x seeds", "events found", "failed", "depth max",
            "certified max", "actual max", "cert/(k_D lg n)"});
+  const std::uint64_t base_seed = ctx.seed(60);
+  std::uint64_t total_failed = 0;
+  double worst_norm = 0;
   for (const unsigned d : {4u, 6u}) {
     // beta = 1: the paper's regime (direct shortcuts, depth ~0).
     // beta << 1: sparse H forces the bisection to actually recurse.
     for (const double beta : {1.0, 0.05}) {
-      for (const std::uint32_t n : bench::n_sweep()) {
+      for (const std::uint32_t n : ctx.n_sweep()) {
         const graph::HardInstance hi = graph::hard_instance(n, d);
-        const unsigned seeds = bench::quick_mode() ? 2 : 4;
+        const unsigned seeds = ctx.smoke() ? 2 : 4;
         std::uint32_t traced = 0, failed = 0, depth_max = 0;
         std::uint32_t cert_max = 0, actual_max = 0;
         double k_d = 0;
         for (unsigned s = 0; s < seeds; ++s) {
           core::KpOptions opt;
           opt.diameter = d;
-          opt.seed = 60 + s;
+          opt.seed = base_seed + s;
           opt.beta = beta;
           const auto kp = core::build_kp_shortcuts(hi.g, hi.paths, opt);
           k_d = kp.params.k_d;
@@ -51,6 +55,8 @@ int main() {
           }
         }
         const double lg_n = std::log2(static_cast<double>(hi.g.num_vertices()));
+        total_failed += failed;
+        worst_norm = std::max(worst_norm, cert_max / (k_d * lg_n));
         t.row()
             .cell(hi.g.num_vertices())
             .cell(d)
@@ -65,8 +71,9 @@ int main() {
       }
     }
   }
-  t.print(std::cout, "E14: certified dilation via the paper's recursion");
-  std::cout << "\nclaim: zero failures (each level finds an event) and the\n"
+  t.print(ctx.out(), "E14: certified dilation via the paper's recursion");
+  ctx.out() << "\nclaim: zero failures (each level finds an event) and the\n"
                "certified bound stays O(k_D log n); 'actual' is the BFS referee.\n";
-  return 0;
+  ctx.metric("total_failed", total_failed);
+  ctx.metric("worst_cert_over_kd_lg_n", worst_norm);
 }

@@ -4,28 +4,34 @@
 // small parts, 2×cover-radius bracket on large ones) across seeds, and
 // normalizes by k_D·ln n.  The trivial baseline column shows what the parts
 // look like *without* shortcuts (bare path diameter ~sqrt(n)).
-#include <iostream>
+#include <algorithm>
 
-#include "bench_util.hpp"
+#include "bench/registry.hpp"
 #include "core/kp.hpp"
 #include "graph/generators.hpp"
+#include "util/math.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
 
-int main() {
+LCS_BENCH_SCENARIO(e3_dilation, "dilation = O(k_D log n) w.h.p. (Thm 3.1)",
+                   "D in {4,5,6} x n-sweep, trivial baseline per row") {
   using namespace lcs;
-  bench::banner("E3", "dilation = O(k_D log n) w.h.p. (Thm 3.1)");
 
   Table t({"D", "n", "k_D ln n", "dilation(max)", "radius(max)", "trivial",
            "dilation/(k_D ln n)", "covered"});
+  const std::uint64_t seed = ctx.seed(31);
+  double worst_norm = 0;
+  bool all_covered = true;
   for (const unsigned d : {4u, 5u, 6u}) {
-    for (const std::uint32_t n : bench::n_sweep()) {
+    for (const std::uint32_t n : ctx.n_sweep()) {
       const graph::HardInstance hi = graph::hard_instance(n, d);
       Stats dil, rad;
       bool covered = true;
       double kd_ln = 0;
-      for (unsigned trial = 0; trial < bench::trials(); ++trial) {
+      for (unsigned trial = 0; trial < ctx.trials(); ++trial) {
         core::KpOptions opt;
         opt.diameter = d;
-        opt.seed = 31 + trial;
+        opt.seed = seed + trial;
         const auto rep = core::measure_kp_quality(hi.g, hi.paths, opt);
         dil.add(rep.quality.dilation_ub);
         rad.add(rep.quality.max_cover_radius);
@@ -34,6 +40,8 @@ int main() {
       }
       const auto trivial =
           core::measure_quality(hi.g, hi.paths, core::build_trivial_shortcuts(hi.paths));
+      worst_norm = std::max(worst_norm, dil.max() / kd_ln);
+      all_covered = all_covered && covered;
       t.row()
           .cell(d)
           .cell(hi.g.num_vertices())
@@ -45,8 +53,9 @@ int main() {
           .cell(covered ? "yes" : "NO");
     }
   }
-  t.print(std::cout, "E3: dilation of augmented parts vs k_D ln n");
-  std::cout << "\nclaim holds when dilation/(k_D ln n) stays O(1) while the "
+  t.print(ctx.out(), "E3: dilation of augmented parts vs k_D ln n");
+  ctx.out() << "\nclaim holds when dilation/(k_D ln n) stays O(1) while the "
                "trivial column grows like sqrt(n).\n";
-  return 0;
+  ctx.metric("worst_dilation_over_kd_ln_n", worst_norm);
+  ctx.metric("all_covered", all_covered);
 }

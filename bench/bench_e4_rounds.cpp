@@ -2,27 +2,34 @@
 // Õ(k_D) rounds.  Every stage is simulated on the CONGEST simulator except
 // the two charged stages (SR broadcast and spanning verification), which
 // follow the paper's own accounting.
-#include <iostream>
+#include <algorithm>
 
-#include "bench_util.hpp"
+#include "bench/registry.hpp"
 #include "core/distributed.hpp"
 #include "graph/generators.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
 
-int main() {
+LCS_BENCH_SCENARIO(e4_rounds, "distributed construction in O~(k_D) rounds (Thm 1.1)",
+                   "D in {4,6} x n-sweep") {
   using namespace lcs;
-  bench::banner("E4", "distributed construction in O~(k_D) rounds (Thm 1.1)");
 
   Table t({"D", "n", "k_D", "bfs", "detect", "number", "sr", "multibfs",
            "verify", "total", "total/(k_D ln^2 n)", "ok"});
+  const std::uint64_t seed = ctx.seed(11);
+  double worst_norm = 0;
+  bool all_ok = true;
   for (const unsigned d : {4u, 6u}) {
-    for (const std::uint32_t n : bench::n_sweep()) {
+    for (const std::uint32_t n : ctx.n_sweep()) {
       const graph::HardInstance hi = graph::hard_instance(n, d);
       core::DistributedOptions opt;
       opt.diameter = d;
-      opt.seed = 11;
+      opt.seed = seed;
       const auto out = core::build_distributed(hi.g, hi.paths, opt);
       const double ln_n = ln_clamped(hi.g.num_vertices());
       const double denom = out.params.k_d * ln_n * ln_n;
+      worst_norm = std::max(worst_norm, out.rounds.total() / denom);
+      all_ok = all_ok && out.success;
       t.row()
           .cell(d)
           .cell(hi.g.num_vertices())
@@ -38,7 +45,8 @@ int main() {
           .cell(out.success ? "yes" : "NO");
     }
   }
-  t.print(std::cout, "E4: simulated rounds of the distributed construction");
-  std::cout << "\nclaim holds when total/(k_D ln^2 n) stays O(1) as n grows.\n";
-  return 0;
+  t.print(ctx.out(), "E4: simulated rounds of the distributed construction");
+  ctx.out() << "\nclaim holds when total/(k_D ln^2 n) stays O(1) as n grows.\n";
+  ctx.metric("worst_total_over_kd_ln2_n", worst_norm);
+  ctx.metric("all_ok", all_ok);
 }

@@ -2,20 +2,21 @@
 // Ghaffari–Haeupler baseline and the no-shortcut baseline.  Correctness is
 // checked against Kruskal on every row; the reported rounds split into
 // measured aggregation (scheduled BFS, simulated) and charged construction.
-#include <iostream>
-
-#include "bench_util.hpp"
+#include "bench/registry.hpp"
 #include "graph/generators.hpp"
 #include "mst/mst.hpp"
 #include "util/rng.hpp"
+#include "util/table.hpp"
 
-int main() {
+LCS_BENCH_SCENARIO(e5_mst, "MST in O~(k_D) rounds via shortcuts (Cor 1.2)",
+                   "n-sweep x scheme in {KP, GH, none}, D=4") {
   using namespace lcs;
-  bench::banner("E5", "MST in O~(k_D) rounds via shortcuts (Cor 1.2)");
 
   Table t({"n", "D", "scheme", "phases", "agg_rounds", "constr_rounds", "total",
            "weight_ok"});
-  for (const std::uint32_t n : bench::n_sweep()) {
+  const std::uint64_t seed = ctx.seed(7);
+  bool all_weights_ok = true;
+  for (const std::uint32_t n : ctx.n_sweep()) {
     const unsigned d = 4;
     const graph::HardInstance hi = graph::hard_instance(n, d);
     Rng rng(5);
@@ -34,8 +35,9 @@ int main() {
       opt.scheme = r.scheme;
       opt.diameter = d;
       opt.beta = r.beta;
-      opt.seed = 7;
+      opt.seed = seed;
       const auto res = mst::boruvka_mst(hi.g, w, opt);
+      all_weights_ok = all_weights_ok && res.mst.weight == want.weight;
       t.row()
           .cell(hi.g.num_vertices())
           .cell(d)
@@ -47,11 +49,12 @@ int main() {
           .cell(res.mst.weight == want.weight ? "yes" : "NO");
     }
   }
-  t.print(std::cout, "E5: Boruvka-over-shortcuts round comparison (hard family)");
-  std::cout << "\nshape: 'none' aggregation grows ~sqrt(n) per phase (bare paths);\n"
+  t.print(ctx.out(), "E5: Boruvka-over-shortcuts round comparison (hard family)");
+  ctx.out() << "\nshape: 'none' aggregation grows ~sqrt(n) per phase (bare paths);\n"
                "KP keeps per-phase aggregation at the shortcut quality.  At\n"
                "these sizes the KP sampling probability is near 1, so its\n"
                "congestion-driven delays dominate — the crossover to clear KP\n"
-               "wins needs n >> 10^5 (see EXPERIMENTS.md).\n";
-  return 0;
+               "wins needs n >> 10^5 (beyond test scale).\n";
+  ctx.metric("all_weights_ok", all_weights_ok);
+  ctx.metric("rows", std::uint64_t{t.rows()});
 }

@@ -1,7 +1,13 @@
-// Micro-benchmarks of the core primitives (google-benchmark): coin flips,
-// per-part sampling, BFS, simulator round overhead, shortcut-tree build.
-#include <benchmark/benchmark.h>
+// Micro-benchmarks of the core primitives: coin flips, per-part sampling,
+// BFS, simulator round overhead, shortcut-tree build.  Each is its own
+// scenario so `lcsbench micro_bfs --json ...` tracks one primitive; the
+// ns/op numbers land in the JSON metrics.
+#include <cstdint>
+#include <string>
+#include <vector>
 
+#include "bench/registry.hpp"
+#include "bench/timer.hpp"
 #include "congest/programs.hpp"
 #include "congest/simulator.hpp"
 #include "core/coin.hpp"
@@ -10,75 +16,112 @@
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "util/rng.hpp"
+#include "util/table.hpp"
 
 namespace {
 
 using namespace lcs;
-
-void BM_CoinFlip(benchmark::State& state) {
-  const core::CoinFlipper coins(42, 0.3);
-  std::uint32_t e = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(coins.flip(e++, 0, 7, 3));
-  }
-}
-BENCHMARK(BM_CoinFlip);
-
-void BM_RngUniform(benchmark::State& state) {
-  Rng rng(1);
-  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform(1000));
-}
-BENCHMARK(BM_RngUniform);
-
-void BM_BfsHardInstance(benchmark::State& state) {
-  const graph::HardInstance hi =
-      graph::hard_instance(static_cast<std::uint32_t>(state.range(0)), 4);
-  for (auto _ : state) benchmark::DoNotOptimize(graph::bfs(hi.g, 0).reached);
-  state.SetItemsProcessed(state.iterations() * hi.g.num_edges());
-}
-BENCHMARK(BM_BfsHardInstance)->Arg(1024)->Arg(4096);
-
-void BM_KpSampleOnePart(benchmark::State& state) {
-  const graph::HardInstance hi =
-      graph::hard_instance(static_cast<std::uint32_t>(state.range(0)), 4);
-  const ShortcutParams params = ShortcutParams::make(hi.g.num_vertices(), 4);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        core::kp_edges_for_part(hi.g, hi.paths, 0, params, 0, 1, params.repetitions)
-            .size());
-  }
-  state.SetItemsProcessed(state.iterations() * hi.g.num_edges() * params.repetitions);
-}
-BENCHMARK(BM_KpSampleOnePart)->Arg(1024)->Arg(4096);
-
-void BM_SimulatorBfsRound(benchmark::State& state) {
-  Rng rng(3);
-  const graph::Graph g =
-      graph::connected_gnm(static_cast<std::uint32_t>(state.range(0)),
-                           3 * static_cast<std::uint32_t>(state.range(0)), rng);
-  for (auto _ : state) {
-    congest::BfsProgram prog(g.num_vertices(), 0);
-    congest::Simulator sim(g, 1);
-    benchmark::DoNotOptimize(sim.run(prog, 1 << 20).rounds);
-  }
-  state.SetItemsProcessed(state.iterations() * g.num_edges());
-}
-BENCHMARK(BM_SimulatorBfsRound)->Arg(512)->Arg(2048);
-
-void BM_ShortcutTreeBuild(benchmark::State& state) {
-  const graph::HardInstance hi =
-      graph::hard_instance(static_cast<std::uint32_t>(state.range(0)), 4);
-  const ShortcutParams params = ShortcutParams::make(hi.g.num_vertices(), 4);
-  std::vector<graph::VertexId> path(hi.paths.parts[0].begin(),
-                                    hi.paths.parts[0].begin() + 15);
-  const std::vector<graph::VertexId> q{hi.paths.leader(1)};
-  for (auto _ : state) {
-    const core::ShortcutTree st(hi.g, path, q, 4, 9, params.sample_prob, 0);
-    benchmark::DoNotOptimize(st.tree_complete());
-  }
-}
-BENCHMARK(BM_ShortcutTreeBuild)->Arg(512)->Arg(2048);
+using lcs::bench::do_not_optimize;
+using lcs::bench::time_ns_per_op;
 
 }  // namespace
 
-BENCHMARK_MAIN();
+LCS_BENCH_SCENARIO(micro_coin_flip, "micro: pseudorandom directed coin flip",
+                   "fixed p=0.3, hash-indexed flips") {
+  const core::CoinFlipper coins(ctx.seed(42), 0.3);
+  const std::uint64_t iters = ctx.smoke() ? 1u << 16 : 1u << 22;
+  std::uint32_t e = 0;
+  const double ns = time_ns_per_op(iters, [&] { do_not_optimize(coins.flip(e++, 0, 7, 3)); });
+  ctx.out() << "coin flip: " << ns << " ns/op over " << iters << " iterations\n";
+  ctx.metric("ns_per_op", ns);
+}
+
+LCS_BENCH_SCENARIO(micro_rng_uniform, "micro: Rng::uniform draw", "uniform(1000)") {
+  Rng rng(ctx.seed(1));
+  const std::uint64_t iters = ctx.smoke() ? 1u << 16 : 1u << 22;
+  const double ns = time_ns_per_op(iters, [&] { do_not_optimize(rng.uniform(1000)); });
+  ctx.out() << "rng uniform: " << ns << " ns/op over " << iters << " iterations\n";
+  ctx.metric("ns_per_op", ns);
+}
+
+LCS_BENCH_SCENARIO(micro_bfs, "micro: full BFS on the hard instance",
+                   "n in {1024,4096} (smoke: {1024}), D=4") {
+  Table t({"n", "m", "us/bfs", "ns/edge"});
+  for (const std::uint32_t n : ctx.n_sweep({1024}, {1024, 4096})) {
+    const graph::HardInstance hi = graph::hard_instance(n, 4);
+    const std::uint64_t iters = ctx.smoke() ? 20 : 200;
+    const double ns =
+        time_ns_per_op(iters, [&] { do_not_optimize(graph::bfs(hi.g, 0).reached); });
+    t.row()
+        .cell(hi.g.num_vertices())
+        .cell(hi.g.num_edges())
+        .cell(ns / 1e3, 2)
+        .cell(ns / static_cast<double>(hi.g.num_edges()), 2);
+    ctx.metric("ns_per_edge_n" + std::to_string(n),
+               ns / static_cast<double>(hi.g.num_edges()));
+  }
+  t.print(ctx.out(), "micro: BFS throughput");
+}
+
+LCS_BENCH_SCENARIO(micro_kp_sample_part, "micro: KP edge sampling for one part",
+                   "n in {1024,4096} (smoke: {1024}), D=4") {
+  Table t({"n", "us/part", "ns/(edge*rep)"});
+  for (const std::uint32_t n : ctx.n_sweep({1024}, {1024, 4096})) {
+    const graph::HardInstance hi = graph::hard_instance(n, 4);
+    const ShortcutParams params = ShortcutParams::make(hi.g.num_vertices(), 4);
+    const std::uint64_t iters = ctx.smoke() ? 20 : 100;
+    const double ns = time_ns_per_op(iters, [&] {
+      do_not_optimize(
+          core::kp_edges_for_part(hi.g, hi.paths, 0, params, 0, 1, params.repetitions)
+              .size());
+    });
+    const double per_unit =
+        ns / (static_cast<double>(hi.g.num_edges()) * params.repetitions);
+    t.row().cell(hi.g.num_vertices()).cell(ns / 1e3, 2).cell(per_unit, 3);
+    ctx.metric("ns_per_edge_rep_n" + std::to_string(n), per_unit);
+  }
+  t.print(ctx.out(), "micro: per-part sampling throughput");
+}
+
+LCS_BENCH_SCENARIO(micro_simulator_round, "micro: CONGEST simulator BFS run",
+                   "connected G(n,3n), n in {512,2048} (smoke: {512})") {
+  Table t({"n", "m", "us/run", "ns/edge"});
+  for (const std::uint32_t n : ctx.n_sweep({512}, {512, 2048})) {
+    Rng rng(3);
+    const graph::Graph g = graph::connected_gnm(n, 3 * n, rng);
+    const std::uint64_t iters = ctx.smoke() ? 10 : 50;
+    const double ns = time_ns_per_op(iters, [&] {
+      congest::BfsProgram prog(g.num_vertices(), 0);
+      congest::Simulator sim(g, 1);
+      do_not_optimize(sim.run(prog, 1 << 20).rounds);
+    });
+    t.row()
+        .cell(g.num_vertices())
+        .cell(g.num_edges())
+        .cell(ns / 1e3, 2)
+        .cell(ns / static_cast<double>(g.num_edges()), 2);
+    ctx.metric("ns_per_edge_n" + std::to_string(n), ns / static_cast<double>(g.num_edges()));
+  }
+  t.print(ctx.out(), "micro: simulator round overhead");
+}
+
+LCS_BENCH_SCENARIO(micro_shortcut_tree_build, "micro: shortcut-tree construction",
+                   "15-node path prefix, n in {512,2048} (smoke: {512}), D=4") {
+  Table t({"n", "us/build"});
+  const std::uint64_t seed = ctx.seed(9);
+  for (const std::uint32_t n : ctx.n_sweep({512}, {512, 2048})) {
+    const graph::HardInstance hi = graph::hard_instance(n, 4);
+    const ShortcutParams params = ShortcutParams::make(hi.g.num_vertices(), 4);
+    std::vector<graph::VertexId> path(hi.paths.parts[0].begin(),
+                                      hi.paths.parts[0].begin() + 15);
+    const std::vector<graph::VertexId> q{hi.paths.leader(1)};
+    const std::uint64_t iters = ctx.smoke() ? 20 : 100;
+    const double ns = time_ns_per_op(iters, [&] {
+      const core::ShortcutTree st(hi.g, path, q, 4, seed, params.sample_prob, 0);
+      do_not_optimize(st.tree_complete());
+    });
+    t.row().cell(hi.g.num_vertices()).cell(ns / 1e3, 2);
+    ctx.metric("us_per_build_n" + std::to_string(n), ns / 1e3);
+  }
+  t.print(ctx.out(), "micro: shortcut-tree build");
+}

@@ -1,0 +1,281 @@
+// lcsbench — the unified scenario harness.
+//
+// Every experiment of the evaluation suite (E1..E14, ablations A1..A3, and the
+// micro primitives) is a registered scenario; this binary lists them, runs
+// any subset, sweeps parameters from the CLI, and emits machine-stamped
+// JSON perf records.
+//
+//   lcsbench --list
+//   lcsbench e2_congestion e3_dilation
+//   lcsbench e2_congestion --json out.json
+//   lcsbench --all --smoke --out-dir records/
+//   lcsbench a1_repetitions --n 512,1024 --beta 0.5 --seed 99 --reps 3 --warmup 1
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/registry.hpp"
+#include "bench/runner.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using lcs::Json;
+using lcs::bench::Registry;
+using lcs::bench::RunConfig;
+using lcs::bench::Scenario;
+using lcs::bench::ScenarioResult;
+
+void print_usage(std::ostream& os) {
+  os << "usage: lcsbench [scenario...] [options]\n"
+        "\n"
+        "options:\n"
+        "  --list           list registered scenarios and exit\n"
+        "  --all            run every registered scenario\n"
+        "  --smoke          small instances, 1 trial (CI smoke profile)\n"
+        "  --reps N         timed repetitions of each scenario (default 1)\n"
+        "  --warmup N       untimed leading repetitions (default 0)\n"
+        "  --n A,B,...      override the instance-size sweep\n"
+        "  --beta X         override the sampling-probability scale beta\n"
+        "  --seed S         override the base RNG seed\n"
+        "  --json PATH      write JSON record(s) to PATH (object for one\n"
+        "                   scenario, array for several)\n"
+        "  --out-dir DIR    write one BENCH_<scenario>.json per scenario\n"
+        "  --quiet          suppress scenario table output\n"
+        "  --help           this text\n";
+}
+
+void print_list(std::ostream& os) {
+  const auto scenarios = Registry::instance().scenarios();
+  std::size_t width = 0;
+  for (const Scenario& s : scenarios) width = std::max(width, s.name.size());
+  os << scenarios.size() << " registered scenarios:\n\n";
+  for (const Scenario& s : scenarios) {
+    os << "  " << s.name << std::string(width - s.name.size() + 2, ' ') << s.description
+       << "\n"
+       << std::string(width + 4, ' ') << "grid: " << s.grid << "\n";
+  }
+}
+
+// Strict numeric parsing: the whole token must be consumed, so a typo'd
+// sweep spec is a usage error rather than a silent run over the wrong grid.
+std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size() || s[0] == '-') return std::nullopt;
+  return std::uint64_t{v};
+}
+
+std::optional<double> parse_double(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<std::vector<std::uint32_t>> parse_n_list(const std::string& arg) {
+  std::vector<std::uint32_t> out;
+  std::string cur;
+  for (const char c : arg + ",") {
+    if (c == ',') {
+      if (cur.empty()) continue;
+      const auto v = parse_u64(cur);
+      if (!v || *v == 0 || *v > std::numeric_limits<std::uint32_t>::max()) {
+        return std::nullopt;
+      }
+      out.push_back(static_cast<std::uint32_t>(*v));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "lcsbench: cannot write " << path << "\n";
+    return false;
+  }
+  out << contents;
+  out.close();  // flush before checking, so a full disk is not reported as success
+  if (!out.good()) {
+    std::cerr << "lcsbench: failed writing " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunConfig config;
+  std::vector<std::string> names;
+  bool all = false;
+  std::string json_path;
+  std::string out_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "lcsbench: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    } else if (arg == "--list") {
+      print_list(std::cout);
+      return 0;
+    } else if (arg == "--all") {
+      all = true;
+    } else if (arg == "--smoke") {
+      config.smoke = true;
+    } else if (arg == "--quiet") {
+      config.quiet = true;
+    } else if (arg == "--reps" || arg == "--warmup") {
+      const auto v = parse_u64(next());
+      if (!v || *v > 1'000'000) {
+        std::cerr << "lcsbench: " << arg << " expects a non-negative count\n";
+        return 2;
+      }
+      (arg == "--reps" ? config.repetitions : config.warmup) = static_cast<unsigned>(*v);
+    } else if (arg == "--n") {
+      const auto ns = parse_n_list(next());
+      if (!ns) {
+        std::cerr << "lcsbench: --n expects a comma-separated list of positive sizes\n";
+        return 2;
+      }
+      config.n_override = *ns;
+    } else if (arg == "--beta") {
+      const auto v = parse_double(next());
+      if (!v || !std::isfinite(*v) || *v <= 0) {
+        std::cerr << "lcsbench: --beta expects a positive finite number\n";
+        return 2;
+      }
+      config.beta_override = *v;
+    } else if (arg == "--seed") {
+      const auto v = parse_u64(next());
+      if (!v) {
+        std::cerr << "lcsbench: --seed expects a non-negative integer\n";
+        return 2;
+      }
+      config.seed_override = *v;
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--out-dir") {
+      out_dir = next();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "lcsbench: unknown option " << arg << "\n";
+      print_usage(std::cerr);
+      return 2;
+    } else {
+      names.push_back(arg);
+    }
+  }
+
+  std::vector<Scenario> selected;
+  if (all && !names.empty()) {
+    std::cerr << "lcsbench: pass either --all or scenario names, not both\n";
+    return 2;
+  }
+  if (all) {
+    selected = Registry::instance().scenarios();
+  } else {
+    for (const std::string& name : names) {
+      const Scenario* s = Registry::instance().find(name);
+      if (s == nullptr) {
+        std::cerr << "lcsbench: unknown scenario '" << name << "' (see --list)\n";
+        return 2;
+      }
+      selected.push_back(*s);
+    }
+  }
+  if (selected.empty()) {
+    std::cerr << "lcsbench: nothing to run (name scenarios or pass --all)\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  if (!out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec) {
+      std::cerr << "lcsbench: cannot create --out-dir " << out_dir << ": " << ec.message()
+                << "\n";
+      return 1;
+    }
+  }
+
+  std::vector<Json> records;
+  bool any_failed = false;
+  for (const Scenario& s : selected) {
+    if (!config.quiet) {
+      std::cout << "\n### " << s.name << " — " << s.description << "\n"
+                << "    (paper: Kogan & Parter, PODC 2021; sizes are test-scale,\n"
+                << "     shapes — ratios and exponents — are the reproduced claim)\n\n";
+    }
+    const ScenarioResult result = lcs::bench::run_scenario(s, config, std::cout);
+    const Json record = lcs::bench::result_to_json(s, result, config);
+    // Scenarios own their parameter grids; flag any CLI override the body
+    // never resolved so a sweep is not silently a no-op for this scenario.
+    if (result.ok) {
+      if (config.beta_override && !result.resolved_beta) {
+        std::cerr << "lcsbench: note: " << s.name << " ignores --beta (fixed grid)\n";
+      }
+      if (config.seed_override && !result.resolved_seed) {
+        std::cerr << "lcsbench: note: " << s.name << " ignores --seed\n";
+      }
+      if (config.n_override && !result.resolved_n) {
+        std::cerr << "lcsbench: note: " << s.name << " ignores --n\n";
+      }
+    }
+    if (!result.ok) {
+      any_failed = true;
+      std::cerr << "lcsbench: scenario " << s.name << " FAILED: " << result.error << "\n";
+    } else if (!config.quiet) {
+      double wall = 0;
+      for (const auto& t : result.timings) wall += t.wall_ms;
+      std::cout << "[" << s.name << ": " << result.timings.size() << " rep(s), "
+                << static_cast<std::int64_t>(wall) << " ms wall]\n";
+    }
+    if (!out_dir.empty()) {
+      const std::string path = out_dir + "/BENCH_" + s.name + ".json";
+      if (!write_file(path, record.dump(2))) return 1;
+    }
+    records.push_back(record);
+  }
+
+  if (!json_path.empty()) {
+    // One scenario -> its record object directly; several -> an array.
+    std::string payload;
+    if (records.size() == 1) {
+      payload = records.front().dump(2);
+    } else {
+      Json arr = Json::array();
+      for (Json& r : records) arr.push_back(std::move(r));
+      payload = arr.dump(2);
+    }
+    if (!write_file(json_path, payload)) return 1;
+  }
+
+  return any_failed ? 1 : 0;
+}

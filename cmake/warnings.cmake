@@ -1,0 +1,15 @@
+# Shared warning flags for every target in the tree (gcc and clang only;
+# the project is not built with MSVC).
+add_library(lcs_warnings INTERFACE)
+
+target_compile_options(lcs_warnings INTERFACE
+  -Wall
+  -Wextra
+  -Wpedantic
+  -Wshadow
+  -Wconversion
+  -Wno-sign-conversion)
+
+if(LCS_WERROR)
+  target_compile_options(lcs_warnings INTERFACE -Werror)
+endif()

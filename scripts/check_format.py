@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Machine-checkable style invariants for the tree (CI format-check step).
+
+Enforces the hard rules .clang-format encodes — 100-column limit, 2-space
+indentation (no tabs), no trailing whitespace, newline at EOF — without
+depending on a specific clang-format binary version.  Full clang-format
+runs (with the repo's .clang-format) remain the source of truth for layout;
+this script is the deterministic gate.
+"""
+
+import sys
+from pathlib import Path
+
+ROOTS = ["src", "tests", "bench", "examples"]
+EXTENSIONS = {".cpp", ".hpp", ".h", ".cc"}
+COLUMN_LIMIT = 100
+
+
+def check_file(path: Path) -> list[str]:
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    if text and not text.endswith("\n"):
+        problems.append(f"{path}: missing newline at end of file")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if "\t" in line:
+            problems.append(f"{path}:{lineno}: tab character (use 2-space indent)")
+        if line != line.rstrip():
+            problems.append(f"{path}:{lineno}: trailing whitespace")
+        if len(line) > COLUMN_LIMIT:
+            problems.append(
+                f"{path}:{lineno}: line is {len(line)} columns (limit {COLUMN_LIMIT})"
+            )
+    return problems
+
+
+def main() -> int:
+    repo = Path(__file__).resolve().parent.parent
+    problems = []
+    checked = 0
+    for root in ROOTS:
+        for path in sorted((repo / root).rglob("*")):
+            if path.suffix in EXTENSIONS and path.is_file():
+                checked += 1
+                problems.extend(check_file(path))
+    for p in problems:
+        print(p)
+    print(f"checked {checked} files: " + ("FAIL" if problems else "OK"))
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Schema validation for lcsbench JSON records (CI bench-smoke gate).
+
+Accepts either a single record object (one scenario) or an array of records
+(--all / multiple scenarios).  Usage:
+
+    validate_bench_json.py out.json [--min-scenarios N] [--require-ok]
+"""
+
+import argparse
+import json
+import sys
+
+RECORD_KEYS = {
+    "schema_version",
+    "scenario",
+    "description",
+    "grid",
+    "ok",
+    "config",
+    "params",
+    "repetitions",
+    "metrics",
+    "machine",
+}
+MACHINE_KEYS = {
+    "hostname",
+    "os",
+    "kernel",
+    "arch",
+    "cpu_model",
+    "hardware_threads",
+    "compiler",
+    "build_type",
+    "timestamp_utc",
+}
+
+
+def validate_record(record: dict, require_ok: bool) -> list[str]:
+    problems = []
+    name = record.get("scenario", "<missing scenario>")
+    missing = RECORD_KEYS - record.keys()
+    if missing:
+        problems.append(f"{name}: missing keys {sorted(missing)}")
+        return problems
+    if record["schema_version"] != 1:
+        problems.append(f"{name}: unexpected schema_version {record['schema_version']}")
+    if require_ok and not record["ok"]:
+        problems.append(f"{name}: ok=false ({record.get('error', 'no error text')})")
+    if record["ok"] and not record["repetitions"]:
+        problems.append(f"{name}: ok but no repetition timings")
+    for i, rep in enumerate(record["repetitions"]):
+        for key in ("wall_ms", "cpu_ms"):
+            if not isinstance(rep.get(key), (int, float)) or rep[key] < 0:
+                problems.append(f"{name}: repetition {i} has bad {key}: {rep.get(key)!r}")
+    machine_missing = MACHINE_KEYS - record["machine"].keys()
+    if machine_missing:
+        problems.append(f"{name}: machine info missing {sorted(machine_missing)}")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("path")
+    parser.add_argument("--min-scenarios", type=int, default=1)
+    parser.add_argument("--require-ok", action="store_true")
+    args = parser.parse_args()
+
+    with open(args.path, encoding="utf-8") as f:
+        data = json.load(f)
+    records = data if isinstance(data, list) else [data]
+
+    problems = []
+    if len(records) < args.min_scenarios:
+        problems.append(
+            f"expected >= {args.min_scenarios} scenario records, got {len(records)}"
+        )
+    for record in records:
+        if not isinstance(record, dict):
+            problems.append(f"non-object record: {record!r}")
+            continue
+        problems.extend(validate_record(record, args.require_ok))
+
+    for p in problems:
+        print(p)
+    print(f"{len(records)} record(s): " + ("FAIL" if problems else "OK"))
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

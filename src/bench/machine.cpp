@@ -1,0 +1,112 @@
+#include "bench/machine.hpp"
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#include <unistd.h>
+#endif
+
+namespace lcs::bench {
+namespace {
+
+std::string hostname() {
+#if defined(__unix__) || defined(__APPLE__)
+  char buf[256] = {};
+  if (gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') return buf;
+#endif
+  return "unknown";
+}
+
+std::string cpu_model() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto pos = line.find("model name");
+    if (pos == std::string::npos) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) break;
+    std::size_t start = colon + 1;
+    while (start < line.size() && line[start] == ' ') ++start;
+    return line.substr(start);
+  }
+  return "unknown";
+}
+
+std::string compiler() {
+#if defined(__clang__)
+  std::ostringstream os;
+  os << "clang " << __clang_major__ << '.' << __clang_minor__ << '.' << __clang_patchlevel__;
+  return os.str();
+#elif defined(__GNUC__)
+  std::ostringstream os;
+  os << "gcc " << __GNUC__ << '.' << __GNUC_MINOR__ << '.' << __GNUC_PATCHLEVEL__;
+  return os.str();
+#else
+  return "unknown";
+#endif
+}
+
+std::string build_type() {
+#if defined(LCS_BUILD_TYPE)
+  return LCS_BUILD_TYPE;
+#elif defined(NDEBUG)
+  return "Release";
+#else
+  return "Debug";
+#endif
+}
+
+std::string timestamp_utc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm = {};
+#if defined(__unix__) || defined(__APPLE__)
+  gmtime_r(&now, &tm);
+#else
+  tm = *std::gmtime(&now);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+}  // namespace
+
+Json machine_info() {
+  // One stamp per process: every record of a run carries identical
+  // provenance (and /proc/cpuinfo is not re-read per scenario).
+  static const Json cached = [] {
+    Json j = Json::object();
+    j["hostname"] = hostname();
+#if defined(__unix__) || defined(__APPLE__)
+    utsname u = {};
+    if (uname(&u) == 0) {
+      j["os"] = std::string(u.sysname);
+      j["kernel"] = std::string(u.release);
+      j["arch"] = std::string(u.machine);
+    } else {
+      j["os"] = "unknown";
+      j["kernel"] = "unknown";
+      j["arch"] = "unknown";
+    }
+#else
+    j["os"] = "unknown";
+    j["kernel"] = "unknown";
+    j["arch"] = "unknown";
+#endif
+    j["cpu_model"] = cpu_model();
+    j["hardware_threads"] = static_cast<std::int64_t>(std::thread::hardware_concurrency());
+    j["compiler"] = compiler();
+    j["build_type"] = build_type();
+    j["timestamp_utc"] = timestamp_utc();
+    return j;
+  }();
+  return cached;
+}
+
+}  // namespace lcs::bench

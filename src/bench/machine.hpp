@@ -1,0 +1,14 @@
+// Machine + build provenance stamped into every BENCH_*.json record, so a
+// perf trajectory accumulated across machines stays interpretable.
+#pragma once
+
+#include "util/json.hpp"
+
+namespace lcs::bench {
+
+/// {hostname, os, kernel, arch, cpu_model, hardware_threads, compiler,
+///  build_type, timestamp_utc}.  Unknown fields come back as "unknown"
+/// rather than being omitted, so the schema is stable.
+Json machine_info();
+
+}  // namespace lcs::bench

@@ -1,0 +1,75 @@
+// Wall-clock and CPU timers for the scenario harness, plus the usual
+// optimizer barrier for micro-measurements.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+
+namespace lcs::bench {
+
+/// Monotonic wall clock (std::chrono::steady_clock).
+class MonotonicTimer {
+ public:
+  MonotonicTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  double elapsed_ns() const {
+    return std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Process CPU time (CLOCK_PROCESS_CPUTIME_ID on POSIX, std::clock fallback).
+class CpuTimer {
+ public:
+  CpuTimer() : start_(now()) {}
+
+  void reset() { start_ = now(); }
+
+  double elapsed_ms() const { return (now() - start_) * 1e3; }
+
+ private:
+  static double now() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+      return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+#endif
+    return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+  }
+
+  double start_;
+};
+
+/// Prevents the optimizer from eliding a computed value (the classic
+/// google-benchmark barrier, so micro scenarios survive -O2).
+template <class T>
+inline void do_not_optimize(const T& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "r,m"(value) : "memory");
+#else
+  static volatile const void* sink;
+  sink = &value;
+#endif
+}
+
+/// Times `fn` over `iters` iterations and returns nanoseconds per iteration.
+template <class F>
+inline double time_ns_per_op(std::uint64_t iters, F&& fn) {
+  MonotonicTimer t;
+  for (std::uint64_t i = 0; i < iters; ++i) fn();
+  return t.elapsed_ns() / static_cast<double>(iters == 0 ? 1 : iters);
+}
+
+}  // namespace lcs::bench

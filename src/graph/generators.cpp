@@ -180,7 +180,8 @@ Graph layered_random_graph(std::uint32_t n, std::uint32_t diameter, double avg_e
     const std::uint32_t extras = static_cast<std::uint32_t>(avg_extra * rng.uniform_real() * 2.0);
     for (std::uint32_t i = 0; i < extras; ++i) {
       const std::uint32_t delta = static_cast<std::uint32_t>(rng.uniform(3));  // {-1,0,+1}
-      const std::uint32_t tl = std::min<std::uint32_t>(diameter, std::max<int>(0, static_cast<int>(l) + static_cast<int>(delta) - 1));
+      const std::uint32_t tl = std::min<std::uint32_t>(
+          diameter, std::max<int>(0, static_cast<int>(l) + static_cast<int>(delta) - 1));
       const VertexId u = random_in_layer(tl);
       if (u != v) b.add_edge(v, u);
     }

@@ -5,7 +5,8 @@ namespace lcs::graph {
 EdgeWeights random_weights(const Graph& g, Weight max_weight, Rng& rng) {
   LCS_REQUIRE(max_weight >= 1, "max_weight must be positive");
   EdgeWeights w(g.num_edges());
-  for (auto& x : w) x = 1 + static_cast<Weight>(rng.uniform(static_cast<std::uint64_t>(max_weight)));
+  for (auto& x : w)
+    x = 1 + static_cast<Weight>(rng.uniform(static_cast<std::uint64_t>(max_weight)));
   return w;
 }
 

@@ -1,0 +1,137 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace lcs {
+namespace {
+
+void escape_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(double v, std::string& out) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no inf/nan
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+Json& Json::operator[](const std::string& key) {
+  if (std::holds_alternative<std::nullptr_t>(value_)) value_ = Object{};
+  Object& obj = std::get<Object>(value_);
+  for (auto& [k, v] : obj) {
+    if (k == key) return v;
+  }
+  obj.emplace_back(key, Json{});
+  return obj.back().second;
+}
+
+bool Json::contains(const std::string& key) const {
+  const Object* obj = std::get_if<Object>(&value_);
+  if (obj == nullptr) return false;
+  for (const auto& [k, v] : *obj) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+void Json::push_back(Json v) {
+  if (std::holds_alternative<std::nullptr_t>(value_)) value_ = Array{};
+  std::get<Array>(value_).push_back(std::move(v));
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return std::get<Array>(value_).size();
+  if (is_object()) return std::get<Object>(value_).size();
+  return 0;
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  if (indent >= 0) out += '\n';
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad = pretty ? std::string(static_cast<std::size_t>(indent * (depth + 1)), ' ')
+                                 : std::string();
+  const std::string close_pad =
+      pretty ? std::string(static_cast<std::size_t>(indent * depth), ' ') : std::string();
+  const char* nl = pretty ? "\n" : "";
+  const char* colon = pretty ? ": " : ":";
+
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const bool* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const double* d = std::get_if<double>(&value_)) {
+    append_double(*d, out);
+  } else if (const std::int64_t* num = std::get_if<std::int64_t>(&value_)) {
+    out += std::to_string(*num);
+  } else if (const std::uint64_t* unum = std::get_if<std::uint64_t>(&value_)) {
+    out += std::to_string(*unum);
+  } else if (const std::string* s = std::get_if<std::string>(&value_)) {
+    escape_string(*s, out);
+  } else if (const Array* arr = std::get_if<Array>(&value_)) {
+    if (arr->empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    out += nl;
+    for (std::size_t i = 0; i < arr->size(); ++i) {
+      out += pad;
+      (*arr)[i].dump_to(out, indent, depth + 1);
+      if (i + 1 < arr->size()) out += ',';
+      out += nl;
+    }
+    out += close_pad;
+    out += ']';
+  } else if (const Object* obj = std::get_if<Object>(&value_)) {
+    if (obj->empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    out += nl;
+    for (std::size_t i = 0; i < obj->size(); ++i) {
+      out += pad;
+      escape_string((*obj)[i].first, out);
+      out += colon;
+      (*obj)[i].second.dump_to(out, indent, depth + 1);
+      if (i + 1 < obj->size()) out += ',';
+      out += nl;
+    }
+    out += close_pad;
+    out += '}';
+  }
+}
+
+}  // namespace lcs

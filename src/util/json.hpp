@@ -1,0 +1,68 @@
+// Minimal JSON value + serializer (objects keep insertion order, doubles
+// round-trip via %.17g).  Built for the bench harness's BENCH_*.json records
+// but generic: no bench-specific knowledge lives here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace lcs {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool v) : value_(v) {}
+  Json(double v) : value_(v) {}
+  Json(std::int64_t v) : value_(v) {}
+  Json(std::uint64_t v) : value_(v) {}
+  Json(int v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(unsigned v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(const char* v) : value_(std::string(v)) {}
+  Json(std::string v) : value_(std::move(v)) {}
+
+  static Json object() {
+    Json j;
+    j.value_ = Object{};
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.value_ = Array{};
+    return j;
+  }
+
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+
+  /// Object member lookup (false for non-objects).
+  bool contains(const std::string& key) const;
+
+  /// Object access; inserts a null member on first use.  Converts a
+  /// default-constructed (null) value into an object.
+  Json& operator[](const std::string& key);
+
+  /// Array append.  Converts a default-constructed (null) value into an array.
+  void push_back(Json v);
+
+  std::size_t size() const;
+
+  /// Serialize.  indent < 0 -> compact one-liner; otherwise pretty-printed
+  /// with `indent` spaces per level.
+  std::string dump(int indent = -1) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::int64_t, std::uint64_t, std::string, Array,
+               Object>
+      value_;
+};
+
+}  // namespace lcs
