@@ -26,6 +26,7 @@
 #include "bench/registry.hpp"
 #include "bench/runner.hpp"
 #include "util/json.hpp"
+#include "util/parallel.hpp"
 
 namespace {
 
@@ -47,6 +48,8 @@ void print_usage(std::ostream& os) {
         "  --n A,B,...      override the instance-size sweep\n"
         "  --beta X         override the sampling-probability scale beta\n"
         "  --seed S         override the base RNG seed\n"
+        "  --threads N      thread-pool size for parallel scenarios (default:\n"
+        "                   LCS_THREADS env var, else hardware threads)\n"
         "  --json PATH      write JSON record(s) to PATH (object for one\n"
         "                   scenario, array for several)\n"
         "  --out-dir DIR    write one BENCH_<scenario>.json per scenario\n"
@@ -179,6 +182,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       config.seed_override = *v;
+    } else if (arg == "--threads") {
+      const auto v = parse_u64(next());
+      if (!v || *v == 0 || *v > 1024) {
+        std::cerr << "lcsbench: --threads expects a count in [1, 1024]\n";
+        return 2;
+      }
+      config.threads = static_cast<unsigned>(*v);
     } else if (arg == "--json") {
       json_path = next();
     } else if (arg == "--out-dir") {
@@ -191,6 +201,8 @@ int main(int argc, char** argv) {
       names.push_back(arg);
     }
   }
+
+  if (config.threads) lcs::set_num_threads(*config.threads);
 
   std::vector<Scenario> selected;
   if (all && !names.empty()) {

@@ -36,6 +36,52 @@ MACHINE_KEYS = {
 }
 
 
+def validate_machine(name: str, machine) -> list[str]:
+    """A record without a complete machine stamp is not reproducible: every
+    key must be present and non-empty, and hardware_threads must be a
+    positive integer."""
+    problems = []
+    if not isinstance(machine, dict):
+        return [f"{name}: machine stamp is not an object: {machine!r}"]
+    missing = MACHINE_KEYS - machine.keys()
+    if missing:
+        problems.append(f"{name}: machine info missing {sorted(missing)}")
+    for key in MACHINE_KEYS & machine.keys():
+        value = machine[key]
+        if key == "hardware_threads":
+            if not isinstance(value, int) or value < 1:
+                problems.append(f"{name}: machine.hardware_threads bad: {value!r}")
+        elif not isinstance(value, str) or not value.strip():
+            problems.append(f"{name}: machine.{key} is empty")
+    return problems
+
+
+def validate_s1(record: dict) -> list[str]:
+    """Thread-scaling records must carry the thread sweep and speedup curve
+    (and the inline determinism cross-check must not have failed)."""
+    name = record["scenario"]
+    problems = []
+    if not isinstance(record["params"], dict) or not isinstance(record["metrics"], dict):
+        return [f"{name}: params/metrics must be objects"]
+    threads = record["params"].get("threads")
+    if (
+        not isinstance(threads, list)
+        or not threads
+        or not all(isinstance(t, int) and t >= 1 for t in threads)
+    ):
+        problems.append(f"{name}: params.threads must be a non-empty list of counts")
+    metrics = record["metrics"]
+    speedups = {k: v for k, v in metrics.items() if k.startswith("speedup_")}
+    if not speedups:
+        problems.append(f"{name}: no speedup_* metrics recorded")
+    for key, value in speedups.items():
+        if not isinstance(value, (int, float)) or value < 0:
+            problems.append(f"{name}: bad {key}: {value!r}")
+    if metrics.get("deterministic_across_threads") is not True:
+        problems.append(f"{name}: deterministic_across_threads is not true")
+    return problems
+
+
 def validate_record(record: dict, require_ok: bool) -> list[str]:
     problems = []
     name = record.get("scenario", "<missing scenario>")
@@ -53,9 +99,9 @@ def validate_record(record: dict, require_ok: bool) -> list[str]:
         for key in ("wall_ms", "cpu_ms"):
             if not isinstance(rep.get(key), (int, float)) or rep[key] < 0:
                 problems.append(f"{name}: repetition {i} has bad {key}: {rep.get(key)!r}")
-    machine_missing = MACHINE_KEYS - record["machine"].keys()
-    if machine_missing:
-        problems.append(f"{name}: machine info missing {sorted(machine_missing)}")
+    problems.extend(validate_machine(name, record["machine"]))
+    if record["ok"] and name.lower().startswith("s1_"):
+        problems.extend(validate_s1(record))
     return problems
 
 

@@ -24,6 +24,7 @@ struct RunConfig {
   std::optional<std::vector<std::uint32_t>> n_override;  ///< --n
   std::optional<double> beta_override;                   ///< --beta
   std::optional<std::uint64_t> seed_override;            ///< --seed
+  std::optional<unsigned> threads;                       ///< --threads
 };
 
 /// Handed to a scenario body for each repetition.  Every accessor that

@@ -71,6 +71,7 @@ Json result_to_json(const Scenario& scenario, const ScenarioResult& result,
   }
   if (config.beta_override) cfg["beta_override"] = *config.beta_override;
   if (config.seed_override) cfg["seed_override"] = *config.seed_override;
+  if (config.threads) cfg["threads"] = std::uint64_t{*config.threads};
   j["config"] = std::move(cfg);
 
   j["params"] = result.params;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace lcs::congest {
 
@@ -46,9 +47,20 @@ RunStats Simulator::run(Program& p, std::uint32_t max_rounds) {
     round_ = r;
     std::fill(sent_this_round_.begin(), sent_this_round_.end(), 0);
 
-    for (VertexId v = 0; v < g_->num_vertices(); ++v) {
-      NodeContext ctx(*this, v);
-      p.on_round(ctx);
+    const std::uint32_t n = g_->num_vertices();
+    if (parallel_ && num_threads() > 1) {
+      // Nodes write disjoint per-directed-edge outboxes / send counters, so
+      // the turns commute; a capacity violation still surfaces as the same
+      // exception the sequential loop would throw first (see header).
+      parallel_for(0, n, default_grain(n, 64), [&](std::size_t v) {
+        NodeContext ctx(*this, static_cast<VertexId>(v));
+        p.on_round(ctx);
+      });
+    } else {
+      for (VertexId v = 0; v < n; ++v) {
+        NodeContext ctx(*this, v);
+        p.on_round(ctx);
+      }
     }
     ++stats.rounds;
 

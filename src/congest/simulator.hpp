@@ -11,6 +11,22 @@
 // round.  By convention a program only touches the state of ctx.node() —
 // locality by discipline, which keeps the simulator fast while preserving
 // the round/message accounting the model is about.
+//
+// Parallel mode (set_parallel): the per-node on_round loop runs on the
+// global thread pool.  This is deterministic by construction: outboxes and
+// per-round send counters are indexed by *directed edge*, and each directed
+// edge has exactly one sending node, so concurrently executing nodes write
+// disjoint slots and a node's sends land in its own program order.  The
+// delivery phase stays sequential and walks edges in increasing id order,
+// exactly as in sequential mode — inbox contents, round counts, message
+// counts and edge loads are byte-identical at every thread count.  The
+// node-locality discipline above becomes a hard requirement in this mode,
+// and sharpens to *distinct memory locations*: per-node flags must live in
+// bytes (std::vector<std::uint8_t>), never std::vector<bool> bits, because
+// adjacent bits share a word and concurrent read-modify-writes across a
+// chunk boundary are a data race.  Programs that maintain shared accounting
+// across nodes (the multi-tree / multi-BFS scheduled programs' queue
+// totals) must stay in sequential mode.
 #pragma once
 
 #include <cstdint>
@@ -83,6 +99,12 @@ class Simulator {
   std::uint32_t edge_capacity() const { return capacity_; }
   std::uint32_t round() const { return round_; }
 
+  /// Run node turns on the thread pool (see the header comment for the
+  /// determinism argument).  Off by default; ignored when the resolved
+  /// thread count is 1.
+  void set_parallel(bool on) { parallel_ = on; }
+  bool parallel() const { return parallel_; }
+
   /// Run `p` until quiescence (no in-flight messages, all nodes idle) or
   /// until `max_rounds`.  Statistics accumulate across the whole run.
   RunStats run(Program& p, std::uint32_t max_rounds);
@@ -97,6 +119,7 @@ class Simulator {
   std::uint32_t capacity_;
   std::uint32_t round_ = 0;
   std::uint64_t messages_ = 0;
+  bool parallel_ = false;
 
   // Outboxes of the current round (indexed by directed edge), inboxes of
   // the current round (indexed by node), per-direction sends this round,

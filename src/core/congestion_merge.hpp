@@ -1,0 +1,47 @@
+// Internal helper shared by the parallel quality measurements: merging
+// per-worker congestion scratch into the max edge load.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace lcs::core::detail {
+
+/// Lazily initialised per-worker counter row (size the outer vector with
+/// num_threads()); workers that never run a chunk leave their row empty.
+inline std::vector<std::uint32_t>& worker_load(std::vector<std::vector<std::uint32_t>>& load,
+                                               unsigned worker, std::size_t num_edges) {
+  auto& row = load[worker];
+  if (row.empty() && num_edges > 0) row.assign(num_edges, 0);
+  return row;
+}
+
+/// Edge-wise sum across the non-empty worker rows (commutative, so the
+/// result is identical at every thread count).
+inline std::uint32_t summed_load(const std::vector<std::vector<std::uint32_t>>& load,
+                                 std::size_t e) {
+  std::uint32_t sum = 0;
+  for (const auto& row : load) {
+    if (!row.empty()) sum += row[e];
+  }
+  return sum;
+}
+
+/// Max over edges of the per-worker congestion counters, summed edge-wise.
+inline std::uint32_t merged_congestion(const std::vector<std::vector<std::uint32_t>>& load,
+                                       std::size_t num_edges) {
+  if (num_edges == 0) return 0;
+  return parallel_reduce<std::uint32_t>(
+      0, num_edges, default_grain(num_edges, 4096), 0u,
+      [&](std::size_t begin, std::size_t end) {
+        std::uint32_t best = 0;
+        for (std::size_t e = begin; e < end; ++e) best = std::max(best, summed_load(load, e));
+        return best;
+      },
+      [](std::uint32_t a, std::uint32_t b) { return std::max(a, b); });
+}
+
+}  // namespace lcs::core::detail

@@ -4,9 +4,11 @@
 #include <cmath>
 
 #include "core/coin.hpp"
+#include "core/congestion_merge.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace lcs::core {
 
@@ -89,12 +91,17 @@ KpBuildResult build_kp_shortcuts(const Graph& g, const Partition& parts,
   out.large_index = std::move(c.large_index);
   out.num_large = c.num_large;
 
-  out.shortcuts.h.resize(parts.parts.size());
-  for (std::size_t i = 0; i < parts.parts.size(); ++i) {
-    if (!out.is_large[i]) continue;  // small parts get no shortcut
+  // One task per part; the coin flips are stateless hashes of (seed, edge,
+  // direction, part, repetition), i.e. counter-based streams indexed by the
+  // (repetition x large-part x edge) task coordinates, so the sampled set is
+  // bit-identical at every thread count.
+  const std::size_t np = parts.parts.size();
+  out.shortcuts.h.resize(np);
+  parallel_for(0, np, 1, [&](std::size_t i) {
+    if (!out.is_large[i]) return;  // small parts get no shortcut
     out.shortcuts.h[i] = kp_edges_for_part(g, parts, i, out.params, out.large_index[i],
                                            opt.seed, out.params.repetitions);
-  }
+  });
   return out;
 }
 
@@ -105,25 +112,38 @@ KpStreamReport measure_kp_quality(const Graph& g, const Partition& parts,
   const Classification c = classify(parts, out.params);
   out.num_large = c.num_large;
 
-  std::vector<std::uint32_t> load(g.num_edges(), 0);
+  // Streamed and parallel: each task samples, counts and measures one part's
+  // H_i, then drops it.  Per-part results go to index-addressed slots, the
+  // congestion counts to per-worker scratch; both merges below are
+  // order-insensitive, so the report matches sequential execution exactly.
+  const std::size_t np = parts.parts.size();
   QualityReport& rep = out.quality;
-  for (std::size_t i = 0; i < parts.parts.size(); ++i) {
-    std::vector<EdgeId> h_i;
-    if (c.is_large[i]) {
-      h_i = kp_edges_for_part(g, parts, i, out.params, c.large_index[i], opt.seed,
-                              out.params.repetitions);
-      out.total_shortcut_edges += h_i.size();
-    }
-    for (const EdgeId e : augmented_edges(g, parts.parts[i], h_i)) ++load[e];
-    PartDilation pd =
-        measure_part_dilation(g, parts.parts[i], parts.leader(i), h_i, qopt);
+  rep.parts.resize(np);
+  std::vector<std::uint64_t> h_sizes(np, 0);
+  std::vector<std::vector<std::uint32_t>> load(num_threads());
+  parallel_for_chunked(
+      0, np, default_grain(np), [&](std::size_t begin, std::size_t end, unsigned worker) {
+        auto& l = detail::worker_load(load, worker, g.num_edges());
+        for (std::size_t i = begin; i < end; ++i) {
+          std::vector<EdgeId> h_i;
+          if (c.is_large[i]) {
+            h_i = kp_edges_for_part(g, parts, i, out.params, c.large_index[i], opt.seed,
+                                    out.params.repetitions);
+            h_sizes[i] = h_i.size();
+          }
+          for (const EdgeId e : augmented_edges(g, parts.parts[i], h_i)) ++l[e];
+          rep.parts[i] = measure_part_dilation(g, parts.parts[i], parts.leader(i), h_i, qopt);
+        }
+      });
+  for (std::size_t i = 0; i < np; ++i) {
+    out.total_shortcut_edges += h_sizes[i];
+    const PartDilation& pd = rep.parts[i];
     rep.all_covered = rep.all_covered && pd.covered;
     rep.dilation_lb = std::max(rep.dilation_lb, pd.diameter_lb);
     rep.dilation_ub = std::max(rep.dilation_ub, pd.diameter_ub);
     rep.max_cover_radius = std::max(rep.max_cover_radius, pd.cover_radius);
-    rep.parts.push_back(std::move(pd));
   }
-  if (!load.empty()) rep.congestion = *std::max_element(load.begin(), load.end());
+  rep.congestion = detail::merged_congestion(load, g.num_edges());
   return out;
 }
 
@@ -163,30 +183,37 @@ KpBuildResult build_kp_shortcuts_odd(const Graph& g, const Partition& parts,
   const double p_half = std::sqrt(out.params.sample_prob);
   const CoinFlipper coins(opt.seed, p_half);
 
-  out.shortcuts.h.resize(parts.parts.size());
-  std::vector<bool> in_part(g.num_vertices(), false);
-  for (std::size_t i = 0; i < parts.parts.size(); ++i) {
-    if (!out.is_large[i]) continue;
-    for (const VertexId v : parts.parts[i]) in_part[v] = true;
-    const std::uint32_t li = out.large_index[i];
-    auto& h = out.shortcuts.h[i];
-    for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      const graph::Edge ed = g.edge(e);
-      if (in_part[ed.u] || in_part[ed.v]) {
-        h.push_back(e);  // step 1: the two-edge path with probability 1
-        continue;
+  const std::size_t np = parts.parts.size();
+  out.shortcuts.h.resize(np);
+  // One task per part with a per-worker membership scratch; the coins are
+  // stateless hashes, so the sample is thread-count independent.
+  std::vector<std::vector<bool>> in_part_scratch(num_threads());
+  parallel_for_chunked(0, np, 1, [&](std::size_t begin, std::size_t end, unsigned worker) {
+    auto& in_part = in_part_scratch[worker];
+    if (in_part.size() != g.num_vertices()) in_part.assign(g.num_vertices(), false);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!out.is_large[i]) continue;
+      for (const VertexId v : parts.parts[i]) in_part[v] = true;
+      const std::uint32_t li = out.large_index[i];
+      auto& h = out.shortcuts.h[i];
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        const graph::Edge ed = g.edge(e);
+        if (in_part[ed.u] || in_part[ed.v]) {
+          h.push_back(e);  // step 1: the two-edge path with probability 1
+          continue;
+        }
+        bool taken = false;
+        for (unsigned rep = 0; rep < out.params.repetitions && !taken; ++rep) {
+          // Both halves must be sampled in the same repetition: probability
+          // sqrt(p)^2 = p per repetition, exactly as in the paper.
+          taken = coins.flip(sub.half_a[e], 0, li, rep) &&
+                  coins.flip(sub.half_b[e], 0, li, rep);
+        }
+        if (taken) h.push_back(e);
       }
-      bool taken = false;
-      for (unsigned rep = 0; rep < out.params.repetitions && !taken; ++rep) {
-        // Both halves must be sampled in the same repetition: probability
-        // sqrt(p)^2 = p per repetition, exactly as in the paper.
-        taken = coins.flip(sub.half_a[e], 0, li, rep) &&
-                coins.flip(sub.half_b[e], 0, li, rep);
-      }
-      if (taken) h.push_back(e);
+      for (const VertexId v : parts.parts[i]) in_part[v] = false;
     }
-    for (const VertexId v : parts.parts[i]) in_part[v] = false;
-  }
+  });
   return out;
 }
 

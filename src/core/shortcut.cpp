@@ -2,9 +2,38 @@
 
 #include <algorithm>
 
+#include "core/congestion_merge.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace lcs::core {
+
+namespace {
+
+// Exact diameter of the connected component of `leader` (a parent vertex)
+// inside the subgraph.  Used when stray shortcut edges disconnect the
+// augmented subgraph but the part itself is covered.
+std::uint32_t leader_component_diameter(const graph::EdgeInducedSubgraph& sub,
+                                        VertexId leader) {
+  const Graph& local = sub.local_graph();
+  const auto local_leader = sub.to_local(leader);
+  LCS_CHECK(local_leader.has_value(), "leader must be in the covered subgraph");
+  const graph::Components comp = graph::connected_components(local);
+  const std::uint32_t cid = comp.id[*local_leader];
+  std::vector<VertexId> remap(local.num_vertices(), graph::kNoVertex);
+  std::uint32_t count = 0;
+  for (VertexId v = 0; v < local.num_vertices(); ++v) {
+    if (comp.id[v] == cid) remap[v] = count++;
+  }
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (EdgeId e = 0; e < local.num_edges(); ++e) {
+    const graph::Edge ed = local.edge(e);
+    if (comp.id[ed.u] == cid) edges.emplace_back(remap[ed.u], remap[ed.v]);
+  }
+  return graph::diameter_exact(Graph::from_edges(count, std::move(edges)));
+}
+
+}  // namespace
 
 std::vector<EdgeId> induced_part_edges(const Graph& g, const std::vector<VertexId>& part) {
   std::vector<bool> in_part(g.num_vertices(), false);
@@ -39,22 +68,34 @@ PartDilation measure_part_dilation(const Graph& g, const std::vector<VertexId>& 
   const std::vector<EdgeId> edges = augmented_edges(g, part, h_i);
   if (edges.empty()) {
     // Singleton part with no shortcut edges: trivially covered, diameter 0.
+    // A larger edgeless part is uncovered and therefore never exact.
     out.covered = part.size() == 1;
-    out.exact = true;
+    out.exact = out.covered;
     return out;
   }
   const graph::EdgeInducedSubgraph sub(g, edges);
   const auto radius = graph::cover_radius(sub, leader, part);
-  if (!radius.has_value()) return out;  // not covered
+  if (!radius.has_value()) return out;  // not covered, never exact
   out.covered = true;
   out.cover_radius = *radius;
   const Graph& local = sub.local_graph();
-  if (local.num_vertices() <= opt.exact_diameter_max_vertices && graph::is_connected(local)) {
-    out.diameter_lb = out.diameter_ub = graph::diameter_exact(local);
-    out.exact = true;
+  if (local.num_vertices() <= opt.exact_diameter_max_vertices) {
+    if (graph::is_connected(local)) {
+      out.diameter_lb = out.diameter_ub = graph::diameter_exact(local);
+      out.exact = true;
+    } else {
+      // Stray sampled components disconnect the augmented subgraph, so no
+      // finite exact diameter exists (exact stays false, matching every
+      // other non-exact path).  The exact_diameter_max_vertices budget is
+      // still honoured rather than silently ignored: dilation is measured
+      // as the exact diameter of the leader's component, which contains
+      // all of S_i — the quantity every dilation argument is about.
+      const std::uint32_t d = leader_component_diameter(sub, leader);
+      out.diameter_lb = out.diameter_ub = d;
+    }
   } else {
-    // The augmented subgraph may be disconnected away from S_i (stray
-    // sampled edges); measure from the leader's component via sweeps.
+    // Too large for the exact check: the subgraph may be disconnected away
+    // from S_i; measure the leader's component optimistically via sweeps.
     out.diameter_lb = graph::diameter_double_sweep(local);
     out.diameter_ub = std::max(out.diameter_lb, 2 * out.cover_radius);
   }
@@ -64,28 +105,51 @@ PartDilation measure_part_dilation(const Graph& g, const std::vector<VertexId>& 
 std::vector<std::uint32_t> edge_congestion(const Graph& g, const Partition& parts,
                                            const ShortcutSet& sc) {
   LCS_REQUIRE(sc.h.size() == parts.parts.size(), "shortcut/partition size mismatch");
-  std::vector<std::uint32_t> load(g.num_edges(), 0);
-  for (std::size_t i = 0; i < parts.parts.size(); ++i) {
-    for (const EdgeId e : augmented_edges(g, parts.parts[i], sc.h[i])) ++load[e];
-  }
-  return load;
+  const std::size_t np = parts.parts.size();
+  std::vector<std::vector<std::uint32_t>> load(num_threads());
+  parallel_for_chunked(0, np, default_grain(np),
+                       [&](std::size_t begin, std::size_t end, unsigned worker) {
+                         auto& l = detail::worker_load(load, worker, g.num_edges());
+                         for (std::size_t i = begin; i < end; ++i) {
+                           for (const EdgeId e : augmented_edges(g, parts.parts[i], sc.h[i])) {
+                             ++l[e];
+                           }
+                         }
+                       });
+  std::vector<std::uint32_t> total(g.num_edges(), 0);
+  parallel_for(0, total.size(), default_grain(total.size(), 4096),
+               [&](std::size_t e) { total[e] = detail::summed_load(load, e); });
+  return total;
 }
 
 QualityReport measure_quality(const Graph& g, const Partition& parts, const ShortcutSet& sc,
                               const QualityOptions& opt) {
   LCS_REQUIRE(sc.h.size() == parts.parts.size(), "shortcut/partition size mismatch");
   QualityReport rep;
-  std::vector<std::uint32_t> load(g.num_edges(), 0);
-  for (std::size_t i = 0; i < parts.parts.size(); ++i) {
-    for (const EdgeId e : augmented_edges(g, parts.parts[i], sc.h[i])) ++load[e];
-    PartDilation pd = measure_part_dilation(g, parts.parts[i], parts.leader(i), sc.h[i], opt);
+  const std::size_t np = parts.parts.size();
+  rep.parts.resize(np);
+  // Per-part dilation lands in its own slot; congestion counts go to
+  // per-worker scratch.  Both merges below are order-insensitive, so the
+  // report is byte-identical at any thread count.
+  std::vector<std::vector<std::uint32_t>> load(num_threads());
+  parallel_for_chunked(0, np, default_grain(np),
+                       [&](std::size_t begin, std::size_t end, unsigned worker) {
+                         auto& l = detail::worker_load(load, worker, g.num_edges());
+                         for (std::size_t i = begin; i < end; ++i) {
+                           for (const EdgeId e : augmented_edges(g, parts.parts[i], sc.h[i])) {
+                             ++l[e];
+                           }
+                           rep.parts[i] = measure_part_dilation(g, parts.parts[i],
+                                                                parts.leader(i), sc.h[i], opt);
+                         }
+                       });
+  for (const PartDilation& pd : rep.parts) {
     rep.all_covered = rep.all_covered && pd.covered;
     rep.dilation_lb = std::max(rep.dilation_lb, pd.diameter_lb);
     rep.dilation_ub = std::max(rep.dilation_ub, pd.diameter_ub);
     rep.max_cover_radius = std::max(rep.max_cover_radius, pd.cover_radius);
-    rep.parts.push_back(std::move(pd));
   }
-  if (!load.empty()) rep.congestion = *std::max_element(load.begin(), load.end());
+  rep.congestion = detail::merged_congestion(load, g.num_edges());
   return rep;
 }
 

@@ -36,12 +36,20 @@ std::vector<EdgeId> augmented_edges(const Graph& g, const std::vector<VertexId>&
                                     const std::vector<EdgeId>& h_i);
 
 /// Per-part dilation measurements.
+///
+/// Contract: `exact` is true only when lb == ub is the exact diameter of the
+/// whole (connected) augmented subgraph; an uncovered part is never exact.
+/// When stray shortcut edges disconnect the augmented subgraph away from
+/// S_i, the part still counts as covered (S_i itself is connected through
+/// the leader), and — within QualityOptions::exact_diameter_max_vertices —
+/// lb == ub is the exact diameter of the leader's component with
+/// exact == false recording the disconnection caveat.
 struct PartDilation {
   bool covered = false;            ///< augmented subgraph connects all of S_i
   std::uint32_t cover_radius = 0;  ///< BFS depth from the leader covering S_i
   std::uint32_t diameter_lb = 0;   ///< double-sweep lower bound on diam(G[S_i] ∪ H_i)
   std::uint32_t diameter_ub = 0;   ///< upper bound (exact when small, else 2*radius)
-  bool exact = false;              ///< lb == ub == exact diameter
+  bool exact = false;              ///< lb == ub == exact diameter of the connected subgraph
 };
 
 struct QualityReport {

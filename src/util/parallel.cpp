@@ -1,0 +1,196 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace lcs {
+namespace {
+
+std::atomic<unsigned> g_override{0};
+
+// One region per thread at a time; set for the caller and every worker while
+// chunk bodies run, including the sequential fallback, so nesting is
+// rejected identically at every thread count.
+thread_local bool tl_in_region = false;
+
+unsigned env_threads() {
+  const char* env = std::getenv("LCS_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < 1 || v > 1024) return 0;
+  return static_cast<unsigned>(v);
+}
+
+// One batch of chunks.  Lives in a shared_ptr so a worker that wakes after
+// the caller already returned only observes an exhausted batch instead of a
+// dangling pointer.
+struct Batch {
+  const std::function<void(std::size_t, unsigned)>* fn = nullptr;
+  std::size_t total = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex err_mutex;
+  std::exception_ptr error;
+  std::size_t error_chunk = 0;
+
+  void record_error(std::size_t chunk, std::exception_ptr e) {
+    const std::lock_guard<std::mutex> lock(err_mutex);
+    if (error == nullptr || chunk < error_chunk) {
+      error = std::move(e);
+      error_chunk = chunk;
+    }
+  }
+};
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads) : size_(std::max(1u, threads)) {
+    workers_.reserve(size_ - 1);
+    for (unsigned w = 1; w < size_; ++w) {
+      workers_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  unsigned size() const { return size_; }
+
+  void run(std::size_t num_chunks, const std::function<void(std::size_t, unsigned)>& fn) {
+    auto batch = std::make_shared<Batch>();
+    batch->fn = &fn;
+    batch->total = num_chunks;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      // Serialize batches from independent caller threads.
+      caller_cv_.wait(lock, [this] { return batch_ == nullptr; });
+      batch_ = batch;
+      ++generation_;
+    }
+    wake_cv_.notify_all();
+    execute(*batch, 0);
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_cv_.wait(lock, [&] { return batch->done.load() == batch->total; });
+      batch_ = nullptr;
+    }
+    caller_cv_.notify_one();
+    if (batch->error != nullptr) std::rethrow_exception(batch->error);
+  }
+
+ private:
+  void worker_loop(unsigned worker) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Batch> batch;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        batch = batch_;
+      }
+      if (batch != nullptr) execute(*batch, worker);
+    }
+  }
+
+  void execute(Batch& batch, unsigned worker) {
+    tl_in_region = true;
+    std::size_t finished = 0;
+    for (;;) {
+      const std::size_t chunk = batch.next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= batch.total) break;
+      try {
+        (*batch.fn)(chunk, worker);
+      } catch (...) {
+        batch.record_error(chunk, std::current_exception());
+      }
+      ++finished;
+    }
+    tl_in_region = false;
+    if (finished == 0) return;
+    const std::size_t done = batch.done.fetch_add(finished) + finished;
+    if (done == batch.total) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+
+  const unsigned size_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  std::condition_variable caller_cv_;
+  std::shared_ptr<Batch> batch_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+// The global pool, rebuilt when the resolved thread count changes (cheap:
+// only on set_num_threads / LCS_THREADS transitions, never mid-region).
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool>& pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+ThreadPool& global_pool() {
+  const std::lock_guard<std::mutex> lock(g_pool_mutex);
+  auto& pool = pool_slot();
+  const unsigned want = num_threads();
+  if (pool == nullptr || pool->size() != want) pool = std::make_unique<ThreadPool>(want);
+  return *pool;
+}
+
+}  // namespace
+
+unsigned num_threads() {
+  const unsigned over = g_override.load(std::memory_order_relaxed);
+  if (over > 0) return over;
+  const unsigned env = env_threads();
+  if (env > 0) return env;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void set_num_threads(unsigned n) { g_override.store(n, std::memory_order_relaxed); }
+
+unsigned thread_override() { return g_override.load(std::memory_order_relaxed); }
+
+bool in_parallel_region() { return tl_in_region; }
+
+namespace detail {
+
+void run_chunks(std::size_t num_chunks,
+                const std::function<void(std::size_t, unsigned)>& chunk_fn) {
+  if (num_chunks == 0) return;
+  LCS_REQUIRE(!tl_in_region, "nested parallel regions are not supported");
+  if (num_chunks == 1 || num_threads() == 1) {
+    // Sequential fast path: same chunk order, same nesting rejection.
+    tl_in_region = true;
+    try {
+      for (std::size_t c = 0; c < num_chunks; ++c) chunk_fn(c, 0);
+    } catch (...) {
+      tl_in_region = false;
+      throw;
+    }
+    tl_in_region = false;
+    return;
+  }
+  global_pool().run(num_chunks, chunk_fn);
+}
+
+}  // namespace detail
+
+}  // namespace lcs

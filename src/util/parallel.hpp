@@ -1,0 +1,110 @@
+// Deterministic thread-pool runtime.
+//
+// A small work-stealing-free pool behind three entry points:
+//
+//   parallel_for(begin, end, grain, fn)            — fn(i) per index
+//   parallel_for_chunked(begin, end, grain, fn)    — fn(chunk_begin, chunk_end, worker)
+//   parallel_reduce(begin, end, grain, init, map, combine)
+//
+// Determinism contract: results never depend on thread count or scheduling.
+// The index range is cut into fixed chunks of `grain` up front; chunks are
+// claimed by an atomic counter, but everything that *combines* results does
+// so in chunk-index order (parallel_reduce) or into caller-owned per-index /
+// per-worker slots whose merge is order-insensitive.  An exception thrown by
+// a worker is re-thrown in the caller, and when several chunks throw, the
+// one with the smallest chunk index wins — the same exception a sequential
+// run of the same body would surface first (for bodies whose failure
+// condition is per-index).  Nested parallel regions are rejected
+// (std::invalid_argument) rather than deadlocking or silently serializing
+// differently at different thread counts.
+//
+// Thread count resolution, in priority order: set_num_threads(n) override,
+// the LCS_THREADS environment variable, std::thread::hardware_concurrency.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace lcs {
+
+/// Number of executors (caller + workers) the next parallel region will use.
+unsigned num_threads();
+
+/// Override the thread count (0 restores LCS_THREADS / hardware default).
+/// Not safe to call concurrently with a running parallel region.
+void set_num_threads(unsigned n);
+
+/// Current override as set by set_num_threads (0 when none), so callers that
+/// sweep thread counts (the S1 bench scenario) can restore the prior state.
+unsigned thread_override();
+
+/// True while the calling thread executes inside a parallel region (used to
+/// reject nested parallelism).
+bool in_parallel_region();
+
+namespace detail {
+
+/// Runs chunk_fn(chunk, worker) for every chunk in [0, num_chunks) across
+/// the global pool; worker ids are dense in [0, num_threads()).  Blocks
+/// until every chunk finished; re-throws the smallest-chunk exception.
+void run_chunks(std::size_t num_chunks,
+                const std::function<void(std::size_t, unsigned)>& chunk_fn);
+
+}  // namespace detail
+
+/// fn(chunk_begin, chunk_end, worker_id) per grain-sized chunk.  Use the
+/// worker id to index per-thread scratch (size it with num_threads()).
+template <typename Fn>
+void parallel_for_chunked(std::size_t begin, std::size_t end, std::size_t grain, Fn&& fn) {
+  LCS_REQUIRE(grain > 0, "parallel_for grain must be positive");
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  const std::size_t chunks = (count + grain - 1) / grain;
+  detail::run_chunks(chunks, [&](std::size_t c, unsigned worker) {
+    const std::size_t chunk_begin = begin + c * grain;
+    const std::size_t chunk_end = std::min(end, chunk_begin + grain);
+    fn(chunk_begin, chunk_end, worker);
+  });
+}
+
+/// fn(i) for every i in [begin, end), grain indices per task.
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain, Fn&& fn) {
+  parallel_for_chunked(begin, end, grain,
+                       [&](std::size_t chunk_begin, std::size_t chunk_end, unsigned) {
+                         for (std::size_t i = chunk_begin; i < chunk_end; ++i) fn(i);
+                       });
+}
+
+/// map(chunk_begin, chunk_end) -> T per chunk; partials are combined in
+/// chunk-index order, so non-commutative combines are deterministic.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain, T init, Map&& map,
+                  Combine&& combine) {
+  LCS_REQUIRE(grain > 0, "parallel_reduce grain must be positive");
+  if (begin >= end) return init;
+  const std::size_t count = end - begin;
+  const std::size_t chunks = (count + grain - 1) / grain;
+  std::vector<T> partial(chunks, init);
+  detail::run_chunks(chunks, [&](std::size_t c, unsigned) {
+    const std::size_t chunk_begin = begin + c * grain;
+    const std::size_t chunk_end = std::min(end, chunk_begin + grain);
+    partial[c] = map(chunk_begin, chunk_end);
+  });
+  T acc = std::move(init);
+  for (T& p : partial) acc = combine(std::move(acc), std::move(p));
+  return acc;
+}
+
+/// Grain that yields a few chunks per executor without degenerating to
+/// per-index tasks for huge ranges.
+inline std::size_t default_grain(std::size_t count, std::size_t min_grain = 1) {
+  const std::size_t per = count / (4 * static_cast<std::size_t>(num_threads()) + 1);
+  return std::max<std::size_t>({min_grain, per, 1});
+}
+
+}  // namespace lcs

@@ -20,7 +20,7 @@ namespace {
 inline std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 }  // namespace
 
-Rng::Rng(std::uint64_t seed) {
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
   std::uint64_t sm = seed;
   for (auto& word : s_) word = splitmix64(sm);
 }
@@ -92,6 +92,13 @@ Rng Rng::fork(std::uint64_t stream) const {
   // Combine current state with the stream id through the mixer; the parent
   // generator is left untouched so forks are order-independent.
   return Rng(hash64(s_[0] ^ rotl(s_[3], 13) ^ hash64(stream)));
+}
+
+Rng Rng::split(std::uint64_t stream_id) const {
+  // Counter-based: a pure function of (construction seed, stream id), so the
+  // derived stream is identical no matter when — or on which thread — the
+  // split happens.  Double mixing keeps adjacent stream ids uncorrelated.
+  return Rng(hash64(hash64(seed_ ^ 0xa0761d6478bd642fULL) ^ hash64(stream_id)));
 }
 
 }  // namespace lcs

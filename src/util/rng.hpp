@@ -61,7 +61,19 @@ class Rng {
   /// Derive an independent child generator (stable given the call index).
   Rng fork(std::uint64_t stream) const;
 
+  /// Counter-based stream derivation: split(id) depends only on the seed
+  /// this generator was constructed with and on `id` — not on how many
+  /// values have been drawn since.  Parallel tasks that each take
+  /// split(task_index) therefore observe identical streams at any thread
+  /// count and in any execution order; fork() by contrast mixes in the
+  /// current state, so it is stable only along a fixed draw sequence.
+  Rng split(std::uint64_t stream_id) const;
+
+  /// The seed this generator was constructed from (the split() base).
+  std::uint64_t seed() const { return seed_; }
+
  private:
+  std::uint64_t seed_;
   std::uint64_t s_[4];
 };
 

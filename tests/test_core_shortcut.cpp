@@ -90,6 +90,49 @@ TEST(PartDilation, UncoveredWhenNoConnection) {
   // subgraph (H empty, no induced edges between them).
   const PartDilation pd = measure_part_dilation(g, {0, 3}, 3, {});
   EXPECT_FALSE(pd.covered);
+  EXPECT_FALSE(pd.exact);  // an uncovered part never claims an exact diameter
+}
+
+TEST(PartDilation, UncoveredEdgelessPartNotExact) {
+  // A multi-vertex part with an empty augmented subgraph is uncovered; it
+  // must not report exact=true (regression: the early branch used to).
+  const Graph g = graph::Graph::from_edges(5, {{0, 1}, {2, 3}});
+  const PartDilation pd = measure_part_dilation(g, {0, 4}, 4, {});
+  EXPECT_FALSE(pd.covered);
+  EXPECT_FALSE(pd.exact);
+}
+
+TEST(PartDilation, DisconnectedAugmentedSubgraphNotSilentlyApproximated) {
+  // Regression: part {2,3,4,5} is a path segment, and H adds a stray
+  // component {8,9}.  The subgraph is small enough for the exact-diameter
+  // budget, which used to be silently ignored because the whole augmented
+  // subgraph is disconnected.  Now the budget is honoured on the leader's
+  // component (exact diameter, lb == ub) while exact=false records that no
+  // finite diameter of the full augmented subgraph exists.
+  graph::GraphBuilder b(10);
+  for (VertexId v = 0; v + 1 < 8; ++v) b.add_edge(v, v + 1);
+  b.add_edge(8, 9);
+  const Graph g = std::move(b).build();
+  const std::vector<EdgeId> stray = {g.num_edges() - 1};  // edge 8-9
+
+  QualityOptions within_budget;  // default threshold far above 6 vertices
+  const PartDilation pd = measure_part_dilation(g, {2, 3, 4, 5}, 5, stray, within_budget);
+  EXPECT_TRUE(pd.covered);  // S is connected through its leader
+  EXPECT_FALSE(pd.exact);   // the full augmented subgraph is not
+  // Leader component is exactly the induced path 2-3-4-5: exact diameter 3,
+  // reported as a tight bracket.  (The old sweep bracket reported ub = 6.)
+  EXPECT_EQ(pd.diameter_lb, 3u);
+  EXPECT_EQ(pd.diameter_ub, 3u);
+  EXPECT_EQ(pd.cover_radius, 3u);
+
+  // Beyond the exact budget the optimistic sweep bracket is kept
+  // (documented behaviour for subgraphs too large to check exactly).
+  QualityOptions beyond_budget;
+  beyond_budget.exact_diameter_max_vertices = 1;
+  const PartDilation approx = measure_part_dilation(g, {2, 3, 4, 5}, 5, stray, beyond_budget);
+  EXPECT_TRUE(approx.covered);
+  EXPECT_FALSE(approx.exact);
+  EXPECT_LE(approx.diameter_lb, approx.diameter_ub);
 }
 
 // --- congestion ---------------------------------------------------------------

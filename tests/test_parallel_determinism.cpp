@@ -1,0 +1,266 @@
+// The determinism fleet: every parallelized entry point must produce
+// byte-identical results at 1, 2 and 8 threads, across ~50 randomized
+// (generator, partition, seed) combinations, and the simulator's parallel
+// mode must match sequential execution exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "congest/programs.hpp"
+#include "congest/simulator.hpp"
+#include "core/kp.hpp"
+#include "core/shortcut.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace lcs {
+namespace {
+
+constexpr unsigned kThreadCounts[] = {1, 2, 8};
+
+struct Instance {
+  std::string name;
+  graph::Graph g;
+  graph::Partition parts;
+};
+
+/// ~50 (generator, partition, seed) combos, all test-scale.
+std::vector<Instance> instances() {
+  std::vector<Instance> out;
+  const auto add = [&](std::string name, graph::Graph g, graph::Partition parts) {
+    out.push_back({std::move(name), std::move(g), std::move(parts)});
+  };
+
+  for (const std::uint64_t seed : {11ull, 23ull}) {
+    for (const std::uint32_t n : {60u, 140u, 260u}) {
+      Rng rng(seed);
+      const graph::Graph g = graph::connected_gnm(n, 2 * n, rng);
+      add("gnm_ball/" + std::to_string(n) + "/" + std::to_string(seed), g,
+          graph::ball_partition(g, n / 20, rng));
+      add("gnm_forest/" + std::to_string(n) + "/" + std::to_string(seed), g,
+          graph::forest_partition(g, 12, rng));
+      add("gnm_singleton/" + std::to_string(n) + "/" + std::to_string(seed), g,
+          graph::singleton_partition(g));
+    }
+    for (const std::uint32_t n : {80u, 200u}) {
+      Rng rng(seed + 1);
+      const graph::Graph t = graph::random_tree(n, rng);
+      add("tree_forest/" + std::to_string(n) + "/" + std::to_string(seed), t,
+          graph::forest_partition(t, 9, rng));
+      const graph::Graph pa = graph::preferential_attachment(n, 3, rng);
+      add("pa_ball/" + std::to_string(n) + "/" + std::to_string(seed), pa,
+          graph::ball_partition(pa, 5, rng));
+      const graph::Graph lay = graph::layered_random_graph(n, 6, 1.5, rng);
+      add("layered_ball/" + std::to_string(n) + "/" + std::to_string(seed), lay,
+          graph::ball_partition(lay, 4, rng));
+    }
+  }
+  for (const std::uint32_t n : {150u, 300u, 600u}) {
+    for (const std::uint32_t d : {4u, 5u, 6u}) {
+      graph::HardInstance hi = graph::hard_instance(n, d);
+      add("hard/" + std::to_string(n) + "/D" + std::to_string(d), std::move(hi.g),
+          std::move(hi.paths));
+    }
+  }
+  {
+    Rng rng(7);
+    const graph::Graph grid = graph::grid_graph(12, 14);
+    add("grid_forest", grid, graph::forest_partition(grid, 10, rng));
+    const graph::Graph cyc = graph::cycle_graph(64);
+    add("cycle_ball", cyc, graph::ball_partition(cyc, 4, rng));
+    const graph::Graph path = graph::path_graph(40);
+    add("path_component", path, graph::component_partition(path));
+  }
+  return out;
+}
+
+void expect_part_equal(const core::PartDilation& a, const core::PartDilation& b,
+                       const std::string& ctx) {
+  EXPECT_EQ(a.covered, b.covered) << ctx;
+  EXPECT_EQ(a.cover_radius, b.cover_radius) << ctx;
+  EXPECT_EQ(a.diameter_lb, b.diameter_lb) << ctx;
+  EXPECT_EQ(a.diameter_ub, b.diameter_ub) << ctx;
+  EXPECT_EQ(a.exact, b.exact) << ctx;
+}
+
+void expect_report_equal(const core::QualityReport& a, const core::QualityReport& b,
+                         const std::string& ctx) {
+  EXPECT_EQ(a.congestion, b.congestion) << ctx;
+  EXPECT_EQ(a.dilation_lb, b.dilation_lb) << ctx;
+  EXPECT_EQ(a.dilation_ub, b.dilation_ub) << ctx;
+  EXPECT_EQ(a.max_cover_radius, b.max_cover_radius) << ctx;
+  EXPECT_EQ(a.all_covered, b.all_covered) << ctx;
+  ASSERT_EQ(a.parts.size(), b.parts.size()) << ctx;
+  for (std::size_t i = 0; i < a.parts.size(); ++i) {
+    expect_part_equal(a.parts[i], b.parts[i], ctx + " part " + std::to_string(i));
+  }
+}
+
+/// Runs `compute` at every thread count and asserts `check(reference, run)`.
+template <typename T>
+void across_thread_counts(const std::function<T()>& compute,
+                          const std::function<void(const T&, const T&, unsigned)>& check) {
+  const unsigned previous = thread_override();
+  set_num_threads(kThreadCounts[0]);
+  const T reference = compute();
+  for (const unsigned t : kThreadCounts) {
+    set_num_threads(t);
+    const T run = compute();
+    check(reference, run, t);
+  }
+  set_num_threads(previous);
+}
+
+TEST(ParallelDeterminism, MeasureQualityBitIdentical) {
+  for (const Instance& inst : instances()) {
+    // A KP shortcut set exercises both stray-edge and step-1-only parts.
+    core::KpOptions opt;
+    opt.seed = 97;
+    const core::ShortcutSet sc = core::build_kp_shortcuts(inst.g, inst.parts, opt).shortcuts;
+    across_thread_counts<core::QualityReport>(
+        [&] { return core::measure_quality(inst.g, inst.parts, sc); },
+        [&](const core::QualityReport& ref, const core::QualityReport& got, unsigned t) {
+          expect_report_equal(ref, got, inst.name + " @" + std::to_string(t) + "t");
+        });
+  }
+}
+
+TEST(ParallelDeterminism, EdgeCongestionBitIdentical) {
+  for (const Instance& inst : instances()) {
+    core::KpOptions opt;
+    opt.seed = 131;
+    const core::ShortcutSet sc = core::build_kp_shortcuts(inst.g, inst.parts, opt).shortcuts;
+    across_thread_counts<std::vector<std::uint32_t>>(
+        [&] { return core::edge_congestion(inst.g, inst.parts, sc); },
+        [&](const std::vector<std::uint32_t>& ref, const std::vector<std::uint32_t>& got,
+            unsigned t) {
+          EXPECT_EQ(ref, got) << inst.name << " @" << t << "t";
+        });
+  }
+}
+
+TEST(ParallelDeterminism, KpBuildBitIdentical) {
+  for (const Instance& inst : instances()) {
+    core::KpOptions opt;
+    opt.seed = 53;
+    across_thread_counts<core::KpBuildResult>(
+        [&] { return core::build_kp_shortcuts(inst.g, inst.parts, opt); },
+        [&](const core::KpBuildResult& ref, const core::KpBuildResult& got, unsigned t) {
+          const std::string ctx = inst.name + " @" + std::to_string(t) + "t";
+          EXPECT_EQ(ref.shortcuts.h, got.shortcuts.h) << ctx;
+          EXPECT_EQ(ref.is_large, got.is_large) << ctx;
+          EXPECT_EQ(ref.num_large, got.num_large) << ctx;
+        });
+  }
+}
+
+TEST(ParallelDeterminism, KpStreamedQualityBitIdentical) {
+  // The streamed measurement must match itself across thread counts AND the
+  // materialized build + measure_quality pipeline.
+  for (const Instance& inst : instances()) {
+    core::KpOptions opt;
+    opt.seed = 71;
+    across_thread_counts<core::KpStreamReport>(
+        [&] { return core::measure_kp_quality(inst.g, inst.parts, opt); },
+        [&](const core::KpStreamReport& ref, const core::KpStreamReport& got, unsigned t) {
+          const std::string ctx = inst.name + " @" + std::to_string(t) + "t";
+          EXPECT_EQ(ref.total_shortcut_edges, got.total_shortcut_edges) << ctx;
+          expect_report_equal(ref.quality, got.quality, ctx);
+        });
+    set_num_threads(8);
+    const core::KpStreamReport streamed = core::measure_kp_quality(inst.g, inst.parts, opt);
+    const core::KpBuildResult built = core::build_kp_shortcuts(inst.g, inst.parts, opt);
+    const core::QualityReport direct = core::measure_quality(inst.g, inst.parts, built.shortcuts);
+    expect_report_equal(streamed.quality, direct, inst.name + " streamed-vs-direct");
+    set_num_threads(0);
+  }
+}
+
+TEST(ParallelDeterminism, OddDiameterBuildBitIdentical) {
+  for (const std::uint32_t n : {200u, 400u}) {
+    graph::HardInstance hi = graph::hard_instance(n, 5);
+    core::KpOptions opt;
+    opt.seed = 41;
+    opt.diameter = 5;
+    across_thread_counts<core::KpBuildResult>(
+        [&] { return core::build_kp_shortcuts_odd(hi.g, hi.paths, opt); },
+        [&](const core::KpBuildResult& ref, const core::KpBuildResult& got, unsigned t) {
+          EXPECT_EQ(ref.shortcuts.h, got.shortcuts.h) << "odd n=" << n << " @" << t << "t";
+        });
+  }
+}
+
+TEST(ParallelDeterminism, SimulatorParallelMatchesSequential) {
+  for (const Instance& inst : instances()) {
+    if (inst.g.num_vertices() == 0) continue;
+    // Sequential reference run.
+    congest::Simulator seq_sim(inst.g);
+    congest::BfsProgram seq_bfs(inst.g.num_vertices(), 0);
+    const congest::RunStats seq = seq_sim.run(seq_bfs, inst.g.num_vertices() + 2);
+    for (const unsigned t : kThreadCounts) {
+      set_num_threads(t);
+      congest::Simulator sim(inst.g);
+      sim.set_parallel(true);
+      congest::BfsProgram bfs(inst.g.num_vertices(), 0);
+      const congest::RunStats par = sim.run(bfs, inst.g.num_vertices() + 2);
+      const std::string ctx = inst.name + " @" + std::to_string(t) + "t";
+      EXPECT_EQ(seq.rounds, par.rounds) << ctx;
+      EXPECT_EQ(seq.messages, par.messages) << ctx;
+      EXPECT_EQ(seq.max_edge_load, par.max_edge_load) << ctx;
+      EXPECT_EQ(seq.completed, par.completed) << ctx;
+      EXPECT_EQ(seq_bfs.dist(), bfs.dist()) << ctx;
+      EXPECT_EQ(seq_bfs.parent(), bfs.parent()) << ctx;
+    }
+    set_num_threads(0);
+  }
+}
+
+TEST(ParallelDeterminism, BellmanFordParallelMatchesSequential) {
+  Rng rng(5);
+  // 777 nodes: the node range chunks to non-word-aligned boundaries at every
+  // thread count, so a per-node flag packed into shared words (the
+  // vector<bool> hazard simulator.hpp warns about) would surface under TSan.
+  const graph::Graph g = graph::connected_gnm(777, 2000, rng);
+  graph::EdgeWeights w(g.num_edges());
+  for (auto& x : w) x = static_cast<graph::Weight>(1 + rng.uniform(50));
+  congest::Simulator seq_sim(g);
+  congest::BellmanFordProgram seq_bf(g, w, 0);
+  const congest::RunStats seq = seq_sim.run(seq_bf, 200);
+  for (const unsigned t : kThreadCounts) {
+    set_num_threads(t);
+    congest::Simulator sim(g);
+    sim.set_parallel(true);
+    congest::BellmanFordProgram bf(g, w, 0);
+    const congest::RunStats par = sim.run(bf, 200);
+    EXPECT_EQ(seq.rounds, par.rounds) << t;
+    EXPECT_EQ(seq.messages, par.messages) << t;
+    EXPECT_EQ(seq_bf.dist(), bf.dist()) << t;
+  }
+  set_num_threads(0);
+}
+
+TEST(ParallelDeterminism, RngSplitIsCounterBased) {
+  Rng base(12345);
+  // Draining the parent does not change split streams (unlike fork).
+  Rng drained(12345);
+  for (int i = 0; i < 100; ++i) (void)drained();
+  for (const std::uint64_t stream : {0ull, 1ull, 2ull, 1ull << 40}) {
+    Rng a = base.split(stream);
+    Rng b = drained.split(stream);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), b()) << stream;
+  }
+  // Distinct streams diverge.
+  Rng s0 = base.split(0);
+  Rng s1 = base.split(1);
+  bool differs = false;
+  for (int i = 0; i < 16; ++i) differs = differs || (s0() != s1());
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace lcs

@@ -1,0 +1,252 @@
+// Stress and edge-case tests for the deterministic thread-pool runtime:
+// degenerate ranges, nesting rejection, exception propagation, thread-count
+// resolution, and n=0 / n=1 graphs through every parallelized entry point.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "congest/programs.hpp"
+#include "congest/simulator.hpp"
+#include "core/kp.hpp"
+#include "core/shortcut.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+#include "util/parallel.hpp"
+
+namespace lcs {
+namespace {
+
+/// Runs each test body at a fixed thread count, restoring the prior state.
+class ParallelPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = thread_override(); }
+  void TearDown() override { set_num_threads(previous_); }
+
+ private:
+  unsigned previous_ = 0;
+};
+
+TEST_F(ParallelPoolTest, EmptyRangeRunsNothing) {
+  for (const unsigned t : {1u, 4u}) {
+    set_num_threads(t);
+    std::atomic<int> calls{0};
+    parallel_for(5, 5, 1, [&](std::size_t) { ++calls; });
+    parallel_for(7, 3, 2, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+  }
+}
+
+TEST_F(ParallelPoolTest, GrainLargerThanRange) {
+  for (const unsigned t : {1u, 4u}) {
+    set_num_threads(t);
+    std::vector<int> hits(10, 0);
+    parallel_for(0, 10, 1000, [&](std::size_t i) { ++hits[i]; });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10);
+  }
+}
+
+TEST_F(ParallelPoolTest, EveryIndexExecutedExactlyOnce) {
+  for (const unsigned t : {1u, 2u, 8u}) {
+    set_num_threads(t);
+    std::vector<int> hits(1000, 0);
+    parallel_for(0, hits.size(), 7, [&](std::size_t i) { ++hits[i]; });
+    for (const int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST_F(ParallelPoolTest, ZeroGrainRejected) {
+  EXPECT_THROW(parallel_for(0, 4, 0, [](std::size_t) {}), std::invalid_argument);
+}
+
+TEST_F(ParallelPoolTest, NestedParallelForRejected) {
+  for (const unsigned t : {1u, 4u}) {
+    set_num_threads(t);
+    EXPECT_THROW(parallel_for(0, 8, 1,
+                              [&](std::size_t) {
+                                parallel_for(0, 2, 1, [](std::size_t) {});
+                              }),
+                 std::invalid_argument);
+    // The region flag is restored: a fresh top-level region still works.
+    std::atomic<int> calls{0};
+    parallel_for(0, 4, 1, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 4);
+  }
+}
+
+TEST_F(ParallelPoolTest, ExceptionPropagatesOutOfWorker) {
+  for (const unsigned t : {1u, 2u, 8u}) {
+    set_num_threads(t);
+    EXPECT_THROW(parallel_for(0, 64, 1,
+                              [](std::size_t i) {
+                                if (i == 13) throw std::runtime_error("boom");
+                              }),
+                 std::runtime_error);
+  }
+}
+
+TEST_F(ParallelPoolTest, SmallestChunkExceptionWins) {
+  // Several chunks throw; the propagated exception is deterministically the
+  // one a sequential run would surface first.
+  for (const unsigned t : {1u, 2u, 8u}) {
+    set_num_threads(t);
+    std::string what;
+    try {
+      parallel_for(0, 100, 1, [](std::size_t i) {
+        if (i == 17 || i == 55 || i == 91) throw std::runtime_error(std::to_string(i));
+      });
+      FAIL() << "expected a throw";
+    } catch (const std::runtime_error& e) {
+      what = e.what();
+    }
+    EXPECT_EQ(what, "17");
+  }
+}
+
+TEST_F(ParallelPoolTest, ReduceCombinesInIndexOrder) {
+  // String concatenation does not commute: any out-of-order combine shows.
+  std::string sequential;
+  for (int i = 0; i < 40; ++i) sequential += std::to_string(i) + ",";
+  for (const unsigned t : {1u, 2u, 8u}) {
+    set_num_threads(t);
+    const std::string got = parallel_reduce<std::string>(
+        0, 40, 3, std::string{},
+        [](std::size_t b, std::size_t e) {
+          std::string s;
+          for (std::size_t i = b; i < e; ++i) s += std::to_string(i) + ",";
+          return s;
+        },
+        [](std::string a, std::string b) { return std::move(a) + b; });
+    EXPECT_EQ(got, sequential);
+  }
+}
+
+TEST_F(ParallelPoolTest, WorkerIdsAreDense) {
+  set_num_threads(4);
+  const unsigned workers = num_threads();
+  EXPECT_EQ(workers, 4u);
+  std::vector<std::atomic<int>> seen(workers);
+  parallel_for_chunked(0, 64, 1, [&](std::size_t, std::size_t, unsigned w) {
+    ASSERT_LT(w, workers);
+    ++seen[w];
+  });
+  int total = 0;
+  for (auto& s : seen) total += s.load();
+  EXPECT_EQ(total, 64);
+}
+
+TEST_F(ParallelPoolTest, ThreadCountResolutionOrder) {
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3u);
+  EXPECT_EQ(thread_override(), 3u);
+  set_num_threads(0);  // back to LCS_THREADS / hardware
+  EXPECT_GE(num_threads(), 1u);
+  EXPECT_EQ(thread_override(), 0u);
+}
+
+TEST_F(ParallelPoolTest, PoolSurvivesReconfiguration) {
+  for (const unsigned t : {2u, 8u, 1u, 4u}) {
+    set_num_threads(t);
+    std::atomic<int> calls{0};
+    parallel_for(0, 32, 1, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 32);
+  }
+}
+
+TEST_F(ParallelPoolTest, InParallelRegionFlag) {
+  EXPECT_FALSE(in_parallel_region());
+  parallel_for(0, 1, 1, [](std::size_t) { EXPECT_TRUE(in_parallel_region()); });
+  EXPECT_FALSE(in_parallel_region());
+}
+
+// --- degenerate graphs through every parallelized entry point ---------------
+
+TEST_F(ParallelPoolTest, EmptyPartitionThroughQualityPaths) {
+  for (const unsigned t : {1u, 8u}) {
+    set_num_threads(t);
+    const graph::Graph g = graph::path_graph(1);  // n=1, no edges
+    graph::Partition parts;                       // no parts at all
+    core::ShortcutSet sc;
+    const core::QualityReport rep = core::measure_quality(g, parts, sc);
+    EXPECT_TRUE(rep.all_covered);
+    EXPECT_EQ(rep.congestion, 0u);
+    EXPECT_TRUE(core::edge_congestion(g, parts, sc).empty());
+  }
+}
+
+TEST_F(ParallelPoolTest, TinyGraphsThroughKpPaths) {
+  for (const unsigned t : {1u, 8u}) {
+    set_num_threads(t);
+    // n=1 is rejected by the parameter contract identically at any thread
+    // count (ShortcutParams needs n >= 2)...
+    const graph::Graph one = graph::path_graph(1);
+    core::KpOptions opt;
+    opt.diameter = 1;
+    EXPECT_THROW(core::build_kp_shortcuts(one, graph::singleton_partition(one), opt),
+                 std::invalid_argument);
+    // ...and n=2 is the smallest instance that flows through the parallel
+    // sampling + streamed measurement end to end.
+    const graph::Graph two = graph::path_graph(2);
+    const graph::Partition parts = graph::singleton_partition(two);
+    const core::KpBuildResult built = core::build_kp_shortcuts(two, parts, opt);
+    EXPECT_EQ(built.shortcuts.h.size(), 2u);
+    const core::KpStreamReport stream = core::measure_kp_quality(two, parts, opt);
+    EXPECT_TRUE(stream.quality.all_covered);
+  }
+}
+
+TEST_F(ParallelPoolTest, TwoVertexGraphThroughQuality) {
+  for (const unsigned t : {1u, 8u}) {
+    set_num_threads(t);
+    const graph::Graph g = graph::path_graph(2);
+    graph::Partition parts;
+    parts.parts = {{0, 1}};
+    core::ShortcutSet sc;
+    sc.h.resize(1);
+    const core::QualityReport rep = core::measure_quality(g, parts, sc);
+    EXPECT_TRUE(rep.all_covered);
+    EXPECT_EQ(rep.congestion, 1u);
+    EXPECT_EQ(rep.dilation_ub, 1u);
+  }
+}
+
+TEST_F(ParallelPoolTest, SingleNodeSimulatorParallelMode) {
+  for (const unsigned t : {1u, 8u}) {
+    set_num_threads(t);
+    const graph::Graph g = graph::path_graph(1);
+    congest::Simulator sim(g);
+    sim.set_parallel(true);
+    congest::BfsProgram bfs(1, 0, 10);
+    const congest::RunStats stats = sim.run(bfs, 10);
+    EXPECT_TRUE(stats.completed);
+    EXPECT_EQ(stats.messages, 0u);
+    EXPECT_EQ(bfs.dist()[0], 0u);
+  }
+}
+
+TEST_F(ParallelPoolTest, CapacityViolationPropagatesFromParallelRound) {
+  // A program that over-sends must surface the same precondition error in
+  // parallel mode as in sequential mode.
+  struct Flooder : congest::Program {
+    void on_round(congest::NodeContext& ctx) override {
+      const auto neighbors = ctx.topology().neighbors(ctx.node());
+      for (const graph::HalfEdge he : neighbors) {
+        for (int k = 0; k < 3; ++k) ctx.send(he.edge, congest::Message{});
+      }
+    }
+  };
+  for (const unsigned t : {1u, 8u}) {
+    set_num_threads(t);
+    const graph::Graph g = graph::path_graph(8);
+    congest::Simulator sim(g, 1);
+    sim.set_parallel(true);
+    Flooder p;
+    EXPECT_THROW(sim.run(p, 2), std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace lcs
