@@ -5,6 +5,7 @@ Accepts either a single record object (one scenario) or an array of records
 (--all / multiple scenarios).  Usage:
 
     validate_bench_json.py out.json [--min-scenarios N] [--require-ok]
+                           [--speedup-floor X [--speedup-floor-min-threads T]]
 """
 
 import argparse
@@ -56,9 +57,20 @@ def validate_machine(name: str, machine) -> list[str]:
     return problems
 
 
-def validate_s1(record: dict) -> list[str]:
-    """Thread-scaling records must carry the thread sweep and speedup curve
-    (and the inline determinism cross-check must not have failed)."""
+# Thread-scaling scenarios and the legs whose speedup curves they must record.
+SCALING_LEGS = {
+    "s1_": ["kp_build", "quality", "congest"],
+    "s2_": ["stoer_wagner", "karger", "boruvka", "diameter"],
+}
+
+
+def validate_scaling(record: dict, legs: list[str], args) -> list[str]:
+    """Thread-scaling records must carry the thread sweep and a speedup curve
+    per leg (and the inline determinism cross-check must not have failed).
+    When --speedup-floor is set and the recording machine has at least
+    --speedup-floor-min-threads hardware threads, the best leg's speedup at
+    8 threads must clear the floor — a total parallelization regression
+    gates, timing noise on a single leg does not."""
     name = record["scenario"]
     problems = []
     if not isinstance(record["params"], dict) or not isinstance(record["metrics"], dict):
@@ -77,12 +89,31 @@ def validate_s1(record: dict) -> list[str]:
     for key, value in speedups.items():
         if not isinstance(value, (int, float)) or value < 0:
             problems.append(f"{name}: bad {key}: {value!r}")
+    for leg in legs:
+        if not any(k.startswith(f"speedup_{leg}_t") for k in speedups):
+            problems.append(f"{name}: missing speedup curve for leg {leg!r}")
     if metrics.get("deterministic_across_threads") is not True:
         problems.append(f"{name}: deterministic_across_threads is not true")
+    if args.speedup_floor is not None:
+        machine = record.get("machine", {})
+        host_threads = machine.get("hardware_threads", 0) if isinstance(machine, dict) else 0
+        if isinstance(host_threads, int) and host_threads >= args.speedup_floor_min_threads:
+            at8 = [
+                v
+                for k, v in speedups.items()
+                if k.endswith("_t8") and isinstance(v, (int, float))
+            ]
+            if not at8:
+                problems.append(f"{name}: no speedup_*_t8 metrics for the floor gate")
+            elif max(at8) < args.speedup_floor:
+                problems.append(
+                    f"{name}: best t8 speedup {max(at8):.2f} below floor "
+                    f"{args.speedup_floor} on a {host_threads}-thread host"
+                )
     return problems
 
 
-def validate_record(record: dict, require_ok: bool) -> list[str]:
+def validate_record(record: dict, require_ok: bool, args) -> list[str]:
     problems = []
     name = record.get("scenario", "<missing scenario>")
     missing = RECORD_KEYS - record.keys()
@@ -100,8 +131,10 @@ def validate_record(record: dict, require_ok: bool) -> list[str]:
             if not isinstance(rep.get(key), (int, float)) or rep[key] < 0:
                 problems.append(f"{name}: repetition {i} has bad {key}: {rep.get(key)!r}")
     problems.extend(validate_machine(name, record["machine"]))
-    if record["ok"] and name.lower().startswith("s1_"):
-        problems.extend(validate_s1(record))
+    if record["ok"]:
+        for prefix, legs in SCALING_LEGS.items():
+            if name.lower().startswith(prefix):
+                problems.extend(validate_scaling(record, legs, args))
     return problems
 
 
@@ -110,6 +143,15 @@ def main() -> int:
     parser.add_argument("path")
     parser.add_argument("--min-scenarios", type=int, default=1)
     parser.add_argument("--require-ok", action="store_true")
+    parser.add_argument(
+        "--speedup-floor",
+        type=float,
+        default=None,
+        help="require the best t8 speedup of each thread-scaling record to "
+        "reach this value (only enforced for records from hosts with at "
+        "least --speedup-floor-min-threads hardware threads)",
+    )
+    parser.add_argument("--speedup-floor-min-threads", type=int, default=8)
     args = parser.parse_args()
 
     with open(args.path, encoding="utf-8") as f:
@@ -125,7 +167,7 @@ def main() -> int:
         if not isinstance(record, dict):
             problems.append(f"non-object record: {record!r}")
             continue
-        problems.extend(validate_record(record, args.require_ok))
+        problems.extend(validate_record(record, args.require_ok, args))
 
     for p in problems:
         print(p)

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace lcs::congest {
 
@@ -16,7 +17,10 @@ MultiBfsProgram::MultiBfsProgram(const Graph& g, std::vector<BfsInstanceSpec> sp
   instances_rooted_at_.resize(g.num_vertices());
   queue_.resize(2 * static_cast<std::size_t>(g.num_edges()));
 
-  for (std::size_t i = 0; i < specs_.size(); ++i) {
+  // Per-instance setup writes only its own inst_ slot, so it fans out over
+  // instances (serialized when a caller already holds a parallel region).
+  // The rooted-at registration below stays sequential: roots may repeat.
+  parallel_for_or_serial(0, specs_.size(), default_grain(specs_.size(), 8), [&](std::size_t i) {
     const BfsInstanceSpec& spec = specs_[i];
     LCS_REQUIRE(spec.root < g.num_vertices(), "instance root out of range");
     Instance& in = inst_[i];
@@ -59,9 +63,9 @@ MultiBfsProgram::MultiBfsProgram(const Graph& g, std::vector<BfsInstanceSpec> sp
     in.dist.assign(in.members.size(), graph::kUnreached);
     in.parent.assign(in.members.size(), graph::kNoVertex);
     in.parent_edge.assign(in.members.size(), graph::kNoEdge);
-
-    instances_rooted_at_[spec.root].push_back(i);
-  }
+  });
+  for (std::size_t i = 0; i < specs_.size(); ++i)
+    instances_rooted_at_[specs_[i].root].push_back(i);
 }
 
 std::size_t MultiBfsProgram::dir_of(EdgeId e, VertexId from) const {
@@ -168,6 +172,9 @@ const std::vector<VertexId>& MultiBfsProgram::members(std::size_t i) const {
 MultiBfsOutcome run_multi_bfs(const Graph& g, MultiBfsProgram& program,
                               std::uint32_t max_rounds) {
   Simulator sim(g, 1);
+  // Node turns must stay sequential (shared queue accounting), but the
+  // simulator-owned delivery phase is safe to fan out for any program.
+  sim.set_parallel_delivery(true);
   MultiBfsOutcome out;
   out.stats = sim.run(program, max_rounds);
   return out;

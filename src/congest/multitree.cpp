@@ -4,6 +4,7 @@
 
 #include "congest/multibfs.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace lcs::congest {
 
@@ -45,7 +46,10 @@ MultiConvergecastProgram::MultiConvergecastProgram(const Graph& g,
     : g_(&g), op_(std::move(op)) {
   queue_.resize(2 * static_cast<std::size_t>(g.num_edges()));
   inst_.resize(specs.size());
-  for (std::size_t i = 0; i < specs.size(); ++i) {
+  // Per-instance validation and state setup write only inst_[i]; the leaf
+  // enqueue below stays sequential because instances share the per-edge
+  // queues and the queue order is part of the simulated execution.
+  parallel_for_or_serial(0, specs.size(), default_grain(specs.size(), 8), [&](std::size_t i) {
     TreeInstanceSpec& s = specs[i];
     validate_spec(g, s);
     LCS_REQUIRE(s.value.size() == s.members.size(), "convergecast needs a value per member");
@@ -64,9 +68,10 @@ MultiConvergecastProgram::MultiConvergecastProgram(const Graph& g,
       LCS_REQUIRE(it != in.index.end(), "parent must be a member");
       ++in.pending_children[it->second];
     }
-    // Leaves enqueue immediately (round 0 drains them).
-    for (std::uint32_t k = 0; k < s.members.size(); ++k) maybe_enqueue_up(i, k);
-  }
+  });
+  // Leaves enqueue immediately (round 0 drains them).
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    for (std::uint32_t k = 0; k < specs[i].members.size(); ++k) maybe_enqueue_up(i, k);
 }
 
 void MultiConvergecastProgram::maybe_enqueue_up(std::size_t i, std::uint32_t local) {
@@ -130,7 +135,9 @@ MultiBroadcastProgram::MultiBroadcastProgram(const Graph& g,
   LCS_REQUIRE(root_values.size() == specs.size(), "one root value per instance");
   queue_.resize(2 * static_cast<std::size_t>(g.num_edges()));
   inst_.resize(specs.size());
-  for (std::size_t i = 0; i < specs.size(); ++i) {
+  // Same split as the convergecast: per-instance setup fans out, the root
+  // deliveries stay sequential (they enqueue into the shared edge queues).
+  parallel_for_or_serial(0, specs.size(), default_grain(specs.size(), 8), [&](std::size_t i) {
     TreeInstanceSpec& s = specs[i];
     validate_spec(g, s);
     Instance& in = inst_[i];
@@ -144,8 +151,9 @@ MultiBroadcastProgram::MultiBroadcastProgram(const Graph& g,
       if (s.parent[k] == graph::kNoVertex) continue;
       in.children[in.index.at(s.parent[k])].emplace_back(k, s.parent_edge[k]);
     }
-    deliver(i, in.index.at(s.root), root_values[i]);
-  }
+  });
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    deliver(i, inst_[i].index.at(specs[i].root), root_values[i]);
 }
 
 void MultiBroadcastProgram::deliver(std::size_t i, std::uint32_t local,

@@ -65,23 +65,54 @@ RunStats Simulator::run(Program& p, std::uint32_t max_rounds) {
     ++stats.rounds;
 
     // Deliver: move outboxes into the receivers' inboxes for next round.
+    // The per-node body below mirrors the sequential edge walk exactly: a
+    // node's inbox receives from its incident edges in increasing edge-id
+    // order (the CSR adjacency order), and every incoming directed-edge
+    // slot (outbox, cumulative load) has that node as its only receiver.
     bool in_flight = false;
-    for (auto& box : inbox_) box.clear();
-    for (EdgeId e = 0; e < g_->num_edges(); ++e) {
-      const graph::Edge ed = g_->edge(e);
-      for (int dir = 0; dir < 2; ++dir) {
-        const std::size_t d = 2 * static_cast<std::size_t>(e) + dir;
+    const auto deliver_node = [&](VertexId v, std::uint64_t& delivered) {
+      bool any = false;
+      auto& box = inbox_[v];
+      box.clear();
+      for (const graph::HalfEdge he : g_->neighbors(v)) {
+        // Incoming direction: the neighbour is the sender.
+        const std::size_t d = 2 * static_cast<std::size_t>(he.edge) +
+                              (g_->edge(he.edge).u == v ? 1 : 0);
         if (outbox_[d].empty()) continue;
-        in_flight = true;
-        const VertexId to = dir == 0 ? ed.v : ed.u;
+        any = true;
         cumulative_load_[d] += outbox_[d].size();
-        messages_ += outbox_[d].size();
-        stats.messages += outbox_[d].size();
-        auto& box = inbox_[to];
+        delivered += outbox_[d].size();
         box.insert(box.end(), outbox_[d].begin(), outbox_[d].end());
         outbox_[d].clear();
       }
+      return any;
+    };
+    std::uint64_t delivered = 0;
+    if ((parallel_ || parallel_delivery_) && num_threads() > 1) {
+      struct Partial {
+        std::uint64_t delivered = 0;
+        bool in_flight = false;
+      };
+      const Partial total = parallel_reduce<Partial>(
+          0, n, default_grain(n, 64), Partial{},
+          [&](std::size_t begin, std::size_t end) {
+            Partial part;
+            for (std::size_t v = begin; v < end; ++v)
+              part.in_flight |= deliver_node(static_cast<VertexId>(v), part.delivered);
+            return part;
+          },
+          [](Partial acc, Partial part) {
+            acc.delivered += part.delivered;
+            acc.in_flight |= part.in_flight;
+            return acc;
+          });
+      delivered = total.delivered;
+      in_flight = total.in_flight;
+    } else {
+      for (VertexId v = 0; v < n; ++v) in_flight |= deliver_node(v, delivered);
     }
+    messages_ += delivered;
+    stats.messages += delivered;
 
     if (!in_flight && p.idle()) {
       stats.completed = true;

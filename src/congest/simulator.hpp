@@ -17,9 +17,6 @@
 // per-round send counters are indexed by *directed edge*, and each directed
 // edge has exactly one sending node, so concurrently executing nodes write
 // disjoint slots and a node's sends land in its own program order.  The
-// delivery phase stays sequential and walks edges in increasing id order,
-// exactly as in sequential mode — inbox contents, round counts, message
-// counts and edge loads are byte-identical at every thread count.  The
 // node-locality discipline above becomes a hard requirement in this mode,
 // and sharpens to *distinct memory locations*: per-node flags must live in
 // bytes (std::vector<std::uint8_t>), never std::vector<bool> bits, because
@@ -27,6 +24,17 @@
 // chunk boundary are a data race.  Programs that maintain shared accounting
 // across nodes (the multi-tree / multi-BFS scheduled programs' queue
 // totals) must stay in sequential mode.
+//
+// Parallel delivery (set_parallel_delivery, implied by set_parallel): the
+// delivery phase fans out partitioned by *receiver*.  Each directed edge has
+// exactly one receiving node, so a node chunk owns the inboxes, outbox
+// clears and cumulative loads of all its incoming directed edges; a node
+// drains its incident edges in increasing edge-id order (the CSR adjacency
+// order), which is exactly the order the sequential edge walk appends to
+// that inbox.  Message totals are summed per chunk and combined in chunk
+// order.  Delivery touches only simulator-owned state, so — unlike parallel
+// node turns — it is safe for every program, including the scheduled
+// multi-BFS/multi-tree programs with shared queue accounting.
 #pragma once
 
 #include <cstdint>
@@ -101,9 +109,15 @@ class Simulator {
 
   /// Run node turns on the thread pool (see the header comment for the
   /// determinism argument).  Off by default; ignored when the resolved
-  /// thread count is 1.
+  /// thread count is 1.  Also enables parallel delivery.
   void set_parallel(bool on) { parallel_ = on; }
   bool parallel() const { return parallel_; }
+
+  /// Run only the delivery phase on the thread pool (receiver-partitioned;
+  /// see header).  Safe for every program — including the scheduled
+  /// multi-BFS/multi-tree programs whose node turns must stay sequential.
+  void set_parallel_delivery(bool on) { parallel_delivery_ = on; }
+  bool parallel_delivery() const { return parallel_delivery_; }
 
   /// Run `p` until quiescence (no in-flight messages, all nodes idle) or
   /// until `max_rounds`.  Statistics accumulate across the whole run.
@@ -120,6 +134,7 @@ class Simulator {
   std::uint32_t round_ = 0;
   std::uint64_t messages_ = 0;
   bool parallel_ = false;
+  bool parallel_delivery_ = false;
 
   // Outboxes of the current round (indexed by directed edge), inboxes of
   // the current round (indexed by node), per-direction sends this round,

@@ -93,15 +93,17 @@ void ShortcutTree::build_aux_graph(const Graph& g) {
   for (std::uint32_t j = 0; j < q_.size(); ++j) b.add_edge(root_, q_base + j);
 
   // "Next layer" resolver: aux id of G-vertex v in layer k+1 (or Q match).
-  // Q may contain duplicates of a vertex only once (Q is a set).
-  std::unordered_map<VertexId, std::uint32_t> q_index;
-  for (std::uint32_t j = 0; j < q_.size(); ++j) q_index[q_[j]] = q_base + j;
+  // Q may contain duplicates of a vertex only once (Q is a set).  Dense
+  // vector indexed by G-vertex id: O(1) without hashing, and no hash-order
+  // surface anywhere near the construction.
+  std::vector<VertexId> q_index(n_g_, graph::kNoVertex);
+  for (std::uint32_t j = 0; j < q_.size(); ++j) {
+    LCS_REQUIRE(q_[j] < n_g_, "Q vertex out of range");
+    q_index[q_[j]] = q_base + j;
+  }
 
   auto upper_of = [&](std::uint32_t upper_layer, VertexId v) -> VertexId {
-    if (upper_layer == ell_ + 1) {
-      const auto it = q_index.find(v);
-      return it == q_index.end() ? graph::kNoVertex : it->second;
-    }
+    if (upper_layer == ell_ + 1) return q_index[v];
     return aux_of_copy(upper_layer, v);
   };
 

@@ -3,9 +3,42 @@
 #include <algorithm>
 #include <queue>
 
+#include "util/parallel.hpp"
+
 namespace lcs::graph {
 
 namespace {
+
+/// Reusable BFS buffers: one set per worker, so the all-pairs sweep of
+/// diameter_exact never allocates per source.
+struct BfsScratch {
+  std::vector<std::uint32_t> dist;
+  std::vector<VertexId> frontier;
+  std::vector<VertexId> next;
+};
+
+/// Eccentricity of `source` using caller-owned scratch.  Equivalent to
+/// bfs(g, source).max_dist without the per-call allocations.
+std::uint32_t eccentricity_scratch(const Graph& g, VertexId source, BfsScratch& s) {
+  s.dist.assign(g.num_vertices(), kUnreached);
+  s.frontier.clear();
+  s.dist[source] = 0;
+  s.frontier.push_back(source);
+  std::uint32_t depth = 0;
+  while (!s.frontier.empty()) {
+    s.next.clear();
+    for (const VertexId u : s.frontier) {
+      for (const HalfEdge he : g.neighbors(u)) {
+        if (s.dist[he.to] != kUnreached) continue;
+        s.dist[he.to] = depth + 1;
+        s.next.push_back(he.to);
+      }
+    }
+    s.frontier.swap(s.next);
+    if (!s.frontier.empty()) ++depth;
+  }
+  return depth;
+}
 
 BfsResult bfs_impl(const Graph& g, const std::vector<VertexId>& sources,
                    std::uint32_t depth_cap) {
@@ -104,9 +137,31 @@ bool is_connected(const Graph& g) {
 std::uint32_t diameter_exact(const Graph& g) {
   LCS_REQUIRE(g.num_vertices() > 0, "diameter of empty graph");
   LCS_REQUIRE(is_connected(g), "diameter of a disconnected graph is infinite");
-  std::uint32_t best = 0;
-  for (VertexId v = 0; v < g.num_vertices(); ++v) best = std::max(best, bfs(g, v).max_dist);
-  return best;
+  const std::uint32_t n = g.num_vertices();
+  // All-pairs BFS over source vertices.  The per-vertex eccentricities are
+  // independent, so the sweep fans out across the pool with per-worker
+  // scratch; the result is a max over all sources, which is
+  // order-insensitive.  measure_part_dilation calls this from inside a
+  // parallel region, where it serializes on the caller's thread (still with
+  // reused scratch instead of per-source allocation).
+  if (in_parallel_region() || num_threads() == 1) {
+    BfsScratch s;
+    std::uint32_t best = 0;
+    for (VertexId v = 0; v < n; ++v) best = std::max(best, eccentricity_scratch(g, v, s));
+    return best;
+  }
+  std::vector<BfsScratch> scratch(num_threads());
+  std::vector<std::uint32_t> best(num_threads(), 0);
+  parallel_for_chunked(0, n, default_grain(n, 8),
+                       [&](std::size_t begin, std::size_t end, unsigned worker) {
+                         BfsScratch& s = scratch[worker];
+                         for (std::size_t v = begin; v < end; ++v) {
+                           best[worker] = std::max(
+                               best[worker],
+                               eccentricity_scratch(g, static_cast<VertexId>(v), s));
+                         }
+                       });
+  return *std::max_element(best.begin(), best.end());
 }
 
 std::uint32_t diameter_double_sweep(const Graph& g, unsigned sweeps) {

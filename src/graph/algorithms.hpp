@@ -44,7 +44,9 @@ Components connected_components(const Graph& g);
 bool is_connected(const Graph& g);
 
 /// Exact diameter by all-pairs BFS.  Intended for n up to a few thousand.
-/// Requires a connected graph.
+/// Requires a connected graph.  Sources fan out across the thread pool with
+/// per-worker reusable BFS scratch (bit-identical at any thread count);
+/// inside an existing parallel region it serializes on the calling thread.
 std::uint32_t diameter_exact(const Graph& g);
 
 /// Lower bound on the diameter by repeated double-sweep (exact on trees and

