@@ -20,16 +20,6 @@
 #include "util/parallel.hpp"
 #include "util/table.hpp"
 
-namespace {
-
-/// Restores the prior thread-count override even when a leg throws.
-struct ThreadOverrideGuard {
-  unsigned previous = lcs::thread_override();
-  ~ThreadOverrideGuard() { lcs::set_num_threads(previous); }
-};
-
-}  // namespace
-
 LCS_BENCH_SCENARIO(S1_thread_scaling,
                    "parallel runtime speedup with bit-identical outputs",
                    "threads in {1,2,4,8} x {kp_build, measure_quality, congest} on D=4") {

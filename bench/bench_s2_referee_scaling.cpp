@@ -23,15 +23,6 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-namespace {
-
-struct ThreadOverrideGuard {
-  unsigned previous = lcs::thread_override();
-  ~ThreadOverrideGuard() { lcs::set_num_threads(previous); }
-};
-
-}  // namespace
-
 LCS_BENCH_SCENARIO(S2_referee_scaling,
                    "mincut/MST/exact-diameter referee speedup with bit-identical outputs",
                    "threads in {1,2,4,8} x {stoer_wagner, karger, boruvka, diameter}") {

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Anchor validation for docs/*.md (CI docs job).
+
+The paper-to-code tables in docs/ tie theorems to implementations with
+anchors of the form
+
+    `src/core/kp.cpp:85` (`build_kp_shortcuts`)
+
+This gate keeps them from rotting silently:
+
+  * every backticked `path:line` must name an existing file and a line
+    within it;
+  * when the anchor is followed by a backticked (`symbol`), the symbol's
+    last identifier must occur within a few lines of the anchored line
+    (so an anchor that drifted away from its function fails loudly);
+  * every backticked repo path (a token with a '/' under a known root)
+    must exist.
+
+Run from anywhere: paths resolve against the repository root.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOTS = ("src/", "tests/", "bench/", "examples/", "scripts/", "docs/", ".github/")
+
+# `path:line` optionally followed by (`symbol`)
+ANCHOR_RE = re.compile(
+    r"`(?P<path>[A-Za-z0-9_./-]+\.(?:hpp|cpp|h|cc|py|md|yml|txt)):(?P<line>\d+)`"
+    r"(?:\s*\(`(?P<symbol>[A-Za-z0-9_:~<>]+)`\))?"
+)
+PATH_RE = re.compile(r"`(?P<path>[A-Za-z0-9_.-]+/[A-Za-z0-9_./-]+)`")
+
+# The anchored symbol must appear within this many lines of the anchor.
+SYMBOL_WINDOW = 3
+
+
+def check_doc(doc: Path, repo: Path) -> list[str]:
+    problems = []
+    text = doc.read_text(encoding="utf-8")
+    rel = doc.relative_to(repo)
+
+    for m in ANCHOR_RE.finditer(text):
+        path, line = m.group("path"), int(m.group("line"))
+        target = repo / path
+        if not target.is_file():
+            problems.append(f"{rel}: anchor `{path}:{line}` — file does not exist")
+            continue
+        lines = target.read_text(encoding="utf-8").splitlines()
+        if line < 1 or line > len(lines):
+            problems.append(
+                f"{rel}: anchor `{path}:{line}` — file has only {len(lines)} lines"
+            )
+            continue
+        symbol = m.group("symbol")
+        if symbol:
+            # Strip namespaces / destructor markers; match the identifier.
+            ident = symbol.split("::")[-1].lstrip("~")
+            lo = max(0, line - 1 - SYMBOL_WINDOW)
+            hi = min(len(lines), line + SYMBOL_WINDOW)
+            window = "\n".join(lines[lo:hi])
+            if not re.search(rf"\b{re.escape(ident)}\b", window):
+                problems.append(
+                    f"{rel}: anchor `{path}:{line}` — symbol `{symbol}` not found "
+                    f"within {SYMBOL_WINDOW} lines (anchor drifted?)"
+                )
+
+    # `path:line` tokens never match PATH_RE (':' is outside its character
+    # class), so every match here is a plain path reference.
+    for m in PATH_RE.finditer(text):
+        path = m.group("path")
+        if not path.startswith(ROOTS):
+            continue
+        target = repo / path
+        if not target.exists():
+            problems.append(f"{rel}: referenced path `{path}` does not exist")
+
+    return problems
+
+
+def main() -> int:
+    repo = Path(__file__).resolve().parent.parent
+    docs = sorted((repo / "docs").glob("*.md"))
+    if not docs:
+        print("no docs/*.md files found")
+        return 1
+    problems = []
+    anchors = 0
+    for doc in docs:
+        anchors += len(ANCHOR_RE.findall(doc.read_text(encoding="utf-8")))
+        problems.extend(check_doc(doc, repo))
+    for p in problems:
+        print(p)
+    print(
+        f"checked {len(docs)} doc(s), {anchors} line anchor(s): "
+        + ("FAIL" if problems else "OK")
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

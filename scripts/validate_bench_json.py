@@ -6,6 +6,8 @@ Accepts either a single record object (one scenario) or an array of records
 
     validate_bench_json.py out.json [--min-scenarios N] [--require-ok]
                            [--speedup-floor X [--speedup-floor-min-threads T]]
+
+The schema and the gating rules are documented in docs/bench.md.
 """
 
 import argparse
@@ -61,6 +63,17 @@ def validate_machine(name: str, machine) -> list[str]:
 SCALING_LEGS = {
     "s1_": ["kp_build", "quality", "congest"],
     "s2_": ["stoer_wagner", "karger", "boruvka", "diameter"],
+    "s3_": ["batch"],
+}
+
+# Extra boolean metrics a scaling scenario must record as true (beyond the
+# deterministic_across_threads check every scaling record gets).
+SCALING_EXTRA_CHECKS = {
+    "s3_": [
+        "deterministic_across_orders",
+        "deterministic_vs_sequential",
+        "all_queries_ok",
+    ],
 }
 
 
@@ -94,6 +107,11 @@ def validate_scaling(record: dict, legs: list[str], args) -> list[str]:
             problems.append(f"{name}: missing speedup curve for leg {leg!r}")
     if metrics.get("deterministic_across_threads") is not True:
         problems.append(f"{name}: deterministic_across_threads is not true")
+    for prefix, extra_keys in SCALING_EXTRA_CHECKS.items():
+        if name.lower().startswith(prefix):
+            for key in extra_keys:
+                if metrics.get(key) is not True:
+                    problems.append(f"{name}: {key} is not true")
     if args.speedup_floor is not None:
         machine = record.get("machine", {})
         host_threads = machine.get("hardware_threads", 0) if isinstance(machine, dict) else 0
@@ -139,7 +157,11 @@ def validate_record(record: dict, require_ok: bool, args) -> list[str]:
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser()
+    parser = argparse.ArgumentParser(
+        description="Schema validation for lcsbench JSON records.",
+        epilog="The record schema, the S1/S2/S3 leg-curve fields and the "
+        "--speedup-floor gating rules are documented in docs/bench.md.",
+    )
     parser.add_argument("path")
     parser.add_argument("--min-scenarios", type=int, default=1)
     parser.add_argument("--require-ok", action="store_true")

@@ -310,19 +310,28 @@ SparsifiedResult sparsified_mincut(const Graph& g, const EdgeWeights& w, double 
 
   // Skeleton: binomial thinning of each edge's capacity (w[e] unit trials
   // at probability p); multigraph multiplicities become skeleton weights.
+  // One state-advancing draw seeds a counter-based per-edge family (the same
+  // keying as Karger's trials): edge e thins all its units with a single
+  // O(1) binomial draw on base.split(e), so the loop fans out over edges and
+  // the kept skeleton is independent of thread count and scheduling.
+  std::vector<Weight> units(g.num_edges(), 0);
+  if (out.sample_prob >= 1.0) {
+    units.assign(w.begin(), w.end());
+  } else {
+    const Rng base(rng());
+    parallel_for_or_serial(0, g.num_edges(), default_grain(g.num_edges(), 2048),
+                           [&](std::size_t e) {
+                             Rng stream = base.split(e);
+                             units[e] = static_cast<Weight>(stream.binomial(
+                                 static_cast<std::uint64_t>(w[e]), out.sample_prob));
+                           });
+  }
   std::vector<std::pair<graph::VertexId, graph::VertexId>> kept_edges;
   std::vector<Weight> kept_weight;
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    Weight units = 0;
-    if (out.sample_prob >= 1.0) {
-      units = w[e];
-    } else {
-      for (Weight t = 0; t < w[e]; ++t)
-        if (rng.bernoulli(out.sample_prob)) ++units;
-    }
-    if (units > 0) {
+    if (units[e] > 0) {
       kept_edges.emplace_back(g.edge(e).u, g.edge(e).v);
-      kept_weight.push_back(units);
+      kept_weight.push_back(units[e]);
     }
   }
   const Graph skeleton = Graph::from_edges(n, kept_edges);

@@ -41,8 +41,9 @@ CutResult stoer_wagner(const Graph& g, const EdgeWeights& w);
 /// upper bound that equals the min cut w.h.p. for trials = Omega(n^2 log n).
 /// Trials run concurrently on counter-based RNG streams (one draw of `rng`
 /// seeds the family; trial t uses split(t)), so the result is independent of
-/// thread count and scheduling.  Top-level entry: must not be called from
-/// inside a parallel region.
+/// thread count and scheduling.  Callable at top level (trials fan out on
+/// the pool) or inside a parallel_tasks task (trials serialize, same bytes);
+/// plain parallel_for bodies must not call it.
 CutResult karger_mincut(const Graph& g, const EdgeWeights& w, std::uint32_t trials,
                         Rng& rng);
 
@@ -63,7 +64,11 @@ TreePackingResult tree_packing_mincut(const Graph& g, const EdgeWeights& w,
 /// probability p = min(1, c·ln n / (eps^2 · lambda_hat)) (lambda_hat from a
 /// quick tree packing), find the skeleton's minimum cut, rescale by 1/p.
 /// Monte Carlo: the returned *side* realises a (1+eps)-near-minimum cut of
-/// G w.h.p.; `value` is that side's exact cut value in G.
+/// G w.h.p.; `value` is that side's exact cut value in G.  The binomial
+/// thinning draws one O(1) Binomial(w[e], p) per edge on a counter-based
+/// per-edge stream seeded by a single `rng` draw, so the skeleton is
+/// parallel and scheduling-independent (draw semantics changed from the
+/// seed's one-bernoulli-per-capacity-unit sequential loop).
 struct SparsifiedResult {
   CutResult cut;          ///< side + exact value in G
   double sample_prob = 1.0;

@@ -1,0 +1,89 @@
+// The query model of the shortcut service.
+//
+// A QueryRequest names one self-contained unit of work against a shared
+// GraphSnapshot; a QueryResult carries its outcome.  The determinism
+// contract of the service hinges on one rule: a result is a pure function
+// of (snapshot, service seed, request) — never of batch composition, batch
+// order, thread count, or what other batches run concurrently.  The request
+// `id` doubles as the counter-based RNG stream key, so two queries with the
+// same id and parameters produce byte-identical results wherever and
+// whenever they execute.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace lcs::service {
+
+enum class QueryKind : std::uint8_t {
+  kShortcutQuality,  ///< KP construction + streamed Definition-1.1 quality
+  kShortcutBuild,    ///< materialize the KP shortcut assignment
+  kMst,              ///< shortcut-accelerated Boruvka (Corollary 1.2)
+  kMincut,           ///< Karger trials or Karger's sparsified estimator
+};
+
+inline const char* query_kind_name(QueryKind k) {
+  switch (k) {
+    case QueryKind::kShortcutQuality: return "shortcut_quality";
+    case QueryKind::kShortcutBuild: return "shortcut_build";
+    case QueryKind::kMst: return "mst";
+    case QueryKind::kMincut: return "mincut";
+  }
+  return "unknown";
+}
+
+struct QueryRequest {
+  /// Correlation id and RNG stream key.  Unique within a batch (run_batch
+  /// rejects duplicates — two queries sharing a stream would be the one
+  /// thing that silently breaks per-query independence).
+  std::uint64_t id = 0;
+  QueryKind kind = QueryKind::kShortcutQuality;
+
+  // -- shortcut / MST knobs --------------------------------------------------
+  double beta = 1.0;                 ///< KP sampling-probability scale
+  std::uint32_t num_parts = 0;       ///< ball-partition seeds; 0 = ~sqrt(n)
+  std::optional<unsigned> diameter;  ///< override the snapshot's cached estimate
+
+  // -- mincut knobs ----------------------------------------------------------
+  std::uint32_t karger_trials = 0;  ///< > 0: Karger with this many trials
+  double eps = 0.5;                 ///< otherwise: sparsified estimator at this eps
+};
+
+struct QueryResult {
+  std::uint64_t id = 0;
+  QueryKind kind = QueryKind::kShortcutQuality;
+  bool ok = false;
+  std::string error;  ///< exception text when !ok
+
+  /// Wall-clock latency of this query (measurement only: the one field the
+  /// determinism digest excludes).
+  double latency_ms = 0.0;
+
+  // Deterministic outcome fields (meaning depends on kind; unused stay 0).
+  std::uint64_t congestion = 0;    ///< shortcut queries: Definition-1.1 c
+  std::uint64_t dilation = 0;      ///< shortcut queries: Definition-1.1 d (ub)
+  std::uint64_t value = 0;         ///< headline: c+d quality / MST weight / cut value
+  std::uint64_t cardinality = 0;   ///< num large parts / MST edges / cut side size
+  std::uint64_t rounds = 0;        ///< CONGEST rounds charged (MST legs)
+  std::uint64_t content_hash = 0;  ///< order-sensitive hash of the full structure
+
+  /// Fingerprint of every deterministic field — what the cross-thread,
+  /// cross-order and cross-service checks compare.
+  std::uint64_t digest() const {
+    std::uint64_t h = hash64(id ^ (static_cast<std::uint64_t>(kind) << 56));
+    h = hash64(h ^ (ok ? 0x6f6bULL : 0x657272ULL));
+    for (const char c : error) h = hash64(h ^ static_cast<unsigned char>(c));
+    h = hash64(h ^ congestion);
+    h = hash64(h ^ dilation);
+    h = hash64(h ^ value);
+    h = hash64(h ^ cardinality);
+    h = hash64(h ^ rounds);
+    h = hash64(h ^ content_hash);
+    return h;
+  }
+};
+
+}  // namespace lcs::service

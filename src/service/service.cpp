@@ -1,0 +1,181 @@
+#include "service/service.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "core/kp.hpp"
+#include "graph/partition.hpp"
+#include "mincut/mincut.hpp"
+#include "mst/mst.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+
+namespace lcs::service {
+
+namespace {
+
+/// The vertex-disjoint connected parts a shortcut-shaped query runs on:
+/// BFS-Voronoi balls around num_parts (default ~sqrt(n)) seeds drawn from
+/// the query's own stream.
+graph::Partition query_partition(const GraphSnapshot& snap, const QueryRequest& q, Rng& rng) {
+  const std::uint32_t n = snap.num_vertices();
+  LCS_REQUIRE(n > 0, "query needs a non-empty snapshot");
+  std::uint32_t seeds = q.num_parts;
+  if (seeds == 0)
+    seeds = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(std::lround(std::sqrt(static_cast<double>(n)))));
+  seeds = std::min(seeds, n);
+  return graph::ball_partition(snap.graph(), seeds, rng);
+}
+
+core::KpOptions kp_options(const GraphSnapshot& snap, const QueryRequest& q,
+                           std::uint64_t kp_seed) {
+  core::KpOptions opt;
+  opt.beta = q.beta;
+  opt.seed = kp_seed;
+  opt.diameter = q.diameter.has_value() ? q.diameter
+                 : snap.connected()     ? std::optional<unsigned>(snap.diameter_estimate())
+                                        : std::nullopt;
+  return opt;
+}
+
+std::uint64_t hash_vertices(const std::vector<graph::VertexId>& vs) {
+  std::uint64_t h = hash64(vs.size());
+  for (const graph::VertexId v : vs) h = hash64(h ^ v);
+  return h;
+}
+
+void run_shortcut_quality(const GraphSnapshot& snap, const QueryRequest& q, Rng& stream,
+                          QueryResult& r) {
+  const std::uint64_t kp_seed = stream();
+  const graph::Partition parts = query_partition(snap, q, stream);
+  const core::KpStreamReport rep =
+      core::measure_kp_quality(snap.graph(), parts, kp_options(snap, q, kp_seed), {});
+  r.congestion = rep.quality.congestion;
+  r.dilation = rep.quality.dilation_ub;
+  r.value = rep.quality.quality();
+  r.cardinality = rep.num_large;
+  // Hash the full per-part structure, not just the maxima: instances whose
+  // aggregates coincide (e.g. when the sampling probability clamps to 1)
+  // must still be distinguishable by their partition-level results.
+  std::uint64_t h = hash64(rep.total_shortcut_edges);
+  h = hash64(h ^ rep.quality.dilation_lb);
+  h = hash64(h ^ rep.quality.max_cover_radius);
+  h = hash64(h ^ (rep.quality.all_covered ? 1ULL : 0ULL));
+  for (const core::PartDilation& pd : rep.quality.parts) {
+    h = hash64(h ^ ((static_cast<std::uint64_t>(pd.cover_radius) << 32) | pd.diameter_ub));
+    h = hash64(h ^ ((static_cast<std::uint64_t>(pd.diameter_lb) << 2) |
+                    (pd.covered ? 2ULL : 0ULL) | (pd.exact ? 1ULL : 0ULL)));
+  }
+  r.content_hash = h;
+}
+
+void run_shortcut_build(const GraphSnapshot& snap, const QueryRequest& q, Rng& stream,
+                        QueryResult& r) {
+  const std::uint64_t kp_seed = stream();
+  const graph::Partition parts = query_partition(snap, q, stream);
+  const core::KpBuildResult built =
+      core::build_kp_shortcuts(snap.graph(), parts, kp_options(snap, q, kp_seed));
+  std::uint64_t total = 0;
+  std::uint64_t h = hash64(built.shortcuts.num_parts());
+  for (const auto& h_i : built.shortcuts.h) {
+    total += h_i.size();
+    h = hash64(h ^ h_i.size());
+    for (const graph::EdgeId e : h_i) h = hash64(h ^ e);
+  }
+  r.value = total;
+  r.cardinality = built.num_large;
+  r.content_hash = h;
+}
+
+void run_mst(const GraphSnapshot& snap, const QueryRequest& q, Rng& stream, QueryResult& r) {
+  mst::BoruvkaOptions opt;
+  opt.beta = q.beta;
+  opt.seed = stream();
+  if (q.diameter.has_value())
+    opt.diameter = q.diameter;
+  else if (snap.connected())
+    opt.diameter = snap.diameter_estimate();
+  const mst::BoruvkaResult res = mst::boruvka_mst(snap.graph(), snap.weights(), opt);
+  r.value = static_cast<std::uint64_t>(res.mst.weight);
+  r.cardinality = res.mst.edges.size();
+  r.rounds = res.total_rounds();
+  std::uint64_t h = hash64(res.phases);
+  for (const graph::EdgeId e : res.mst.edges) h = hash64(h ^ e);
+  h = hash64(h ^ res.messages);
+  r.content_hash = h;
+}
+
+void run_mincut(const GraphSnapshot& snap, const QueryRequest& q, Rng& stream,
+                QueryResult& r) {
+  Rng local(stream());
+  mincut::CutResult cut;
+  if (q.karger_trials > 0) {
+    cut = mincut::karger_mincut(snap.graph(), snap.weights(), q.karger_trials, local);
+    r.rounds = q.karger_trials;
+  } else {
+    const mincut::SparsifiedResult sp =
+        mincut::sparsified_mincut(snap.graph(), snap.weights(), q.eps, local);
+    cut = sp.cut;
+    r.rounds = static_cast<std::uint64_t>(sp.skeleton_cut);
+  }
+  r.value = static_cast<std::uint64_t>(cut.value);
+  r.cardinality = cut.side.size();
+  r.content_hash = hash_vertices(cut.side);
+}
+
+}  // namespace
+
+ShortcutService::ShortcutService(std::shared_ptr<const GraphSnapshot> snapshot,
+                                 std::uint64_t seed)
+    : snap_(std::move(snapshot)), seed_(seed) {
+  LCS_REQUIRE(snap_ != nullptr, "service needs a snapshot");
+}
+
+QueryResult ShortcutService::execute(const QueryRequest& q) const {
+  // Catch misuse before the try below would fold it into a deterministic
+  // ok=false result: queries execute at top level or as parallel_tasks
+  // tasks, never from inside a plain parallel region.
+  LCS_REQUIRE(!in_parallel_region() || in_parallel_task(),
+              "service queries cannot run inside a parallel region");
+  QueryResult r;
+  r.id = q.id;
+  r.kind = q.kind;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    // The query's whole randomness budget: a stream keyed by (service seed,
+    // query id) alone, so the result cannot depend on batch composition.
+    Rng stream = Rng(seed_).split(q.id);
+    switch (q.kind) {
+      case QueryKind::kShortcutQuality: run_shortcut_quality(*snap_, q, stream, r); break;
+      case QueryKind::kShortcutBuild: run_shortcut_build(*snap_, q, stream, r); break;
+      case QueryKind::kMst: run_mst(*snap_, q, stream, r); break;
+      case QueryKind::kMincut: run_mincut(*snap_, q, stream, r); break;
+    }
+    r.ok = true;
+  } catch (const std::exception& e) {
+    r.ok = false;
+    r.error = e.what();
+  }
+  r.latency_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  return r;
+}
+
+QueryResult ShortcutService::run(const QueryRequest& request) const { return execute(request); }
+
+std::vector<QueryResult> ShortcutService::run_batch(
+    const std::vector<QueryRequest>& batch) const {
+  std::unordered_set<std::uint64_t> ids;
+  ids.reserve(batch.size());
+  for (const QueryRequest& q : batch)
+    LCS_REQUIRE(ids.insert(q.id).second, "batch has duplicate query ids");
+  std::vector<QueryResult> out(batch.size());
+  parallel_tasks(batch.size(), [&](std::size_t t) { out[t] = execute(batch[t]); });
+  return out;
+}
+
+}  // namespace lcs::service

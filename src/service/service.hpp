@@ -1,0 +1,54 @@
+// ShortcutService: concurrent heterogeneous queries over one shared
+// GraphSnapshot.
+//
+// Each query (shortcut construction, quality measurement, MST, mincut) is a
+// pure function of (snapshot, service seed, request) running on its own
+// counter-based RNG stream Rng(seed).split(request.id).  run_batch() fans a
+// batch out as parallel_tasks on the deterministic pool — inside a task the
+// library's own parallel regions serialize, so a batch is bit-identical to
+// running every query alone via run(), at any thread count, in any batch
+// order, interleaved with any other batches.  Services are stateless beyond
+// (snapshot pointer, seed): two services over one snapshot with one seed
+// are interchangeable, and a service may be queried from several caller
+// threads at once (the pool serializes their batches).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "service/query.hpp"
+#include "service/snapshot.hpp"
+
+namespace lcs::service {
+
+class ShortcutService {
+ public:
+  /// `seed` is the base of every per-query RNG stream; services that must
+  /// be result-interchangeable must agree on it.
+  explicit ShortcutService(std::shared_ptr<const GraphSnapshot> snapshot,
+                           std::uint64_t seed = 1);
+
+  const GraphSnapshot& snapshot() const { return *snap_; }
+  const std::shared_ptr<const GraphSnapshot>& snapshot_ptr() const { return snap_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Execute one query on the calling thread (top level: the query body may
+  /// itself use the pool).  A failing query reports ok=false + error text;
+  /// only misuse of the service throws.
+  QueryResult run(const QueryRequest& request) const;
+
+  /// Execute a batch concurrently on the pool, one task per query; results
+  /// are positionally parallel to `batch`.  Requires pairwise-distinct
+  /// request ids (duplicates would alias RNG streams) and must be called at
+  /// top level — not from inside a parallel region or another batch's task.
+  std::vector<QueryResult> run_batch(const std::vector<QueryRequest>& batch) const;
+
+ private:
+  QueryResult execute(const QueryRequest& request) const;
+
+  std::shared_ptr<const GraphSnapshot> snap_;
+  std::uint64_t seed_;
+};
+
+}  // namespace lcs::service

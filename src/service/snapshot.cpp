@@ -1,0 +1,49 @@
+#include "service/snapshot.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "util/rng.hpp"
+
+namespace lcs::service {
+
+std::shared_ptr<const GraphSnapshot> GraphSnapshot::make(graph::Graph g) {
+  return make(std::move(g), Options{});
+}
+
+std::shared_ptr<const GraphSnapshot> GraphSnapshot::make(graph::Graph g, const Options& opt) {
+  auto snap = std::shared_ptr<GraphSnapshot>(new GraphSnapshot());
+  snap->g_ = std::move(g);
+  const graph::Graph& gr = snap->g_;
+
+  Rng wrng(opt.weight_seed);
+  snap->weights_ = graph::random_weights(gr, std::max<graph::Weight>(1, opt.max_weight), wrng);
+
+  snap->connected_ = gr.num_vertices() > 0 && graph::is_connected(gr);
+  for (graph::VertexId v = 0; v < gr.num_vertices(); ++v)
+    snap->max_degree_ = std::max(snap->max_degree_, gr.degree(v));
+
+  if (snap->connected_) {
+    if (gr.num_vertices() <= opt.exact_diameter_max_vertices) {
+      const std::uint32_t d = graph::diameter_exact(gr);
+      snap->diameter_lb_ = d;
+      snap->diameter_ub_ = d;
+      snap->diameter_exact_ = true;
+    } else {
+      snap->diameter_lb_ = graph::diameter_double_sweep(gr);
+      // Any eccentricity brackets the diameter within a factor of two.
+      snap->diameter_ub_ = 2 * graph::eccentricity(gr, 0);
+    }
+  }
+
+  std::uint64_t h = hash64(0x5eedULL ^ gr.num_vertices());
+  for (graph::EdgeId e = 0; e < gr.num_edges(); ++e) {
+    const graph::Edge ed = gr.edge(e);
+    h = hash64(h ^ (static_cast<std::uint64_t>(ed.u) << 32 | ed.v));
+    h = hash64(h ^ static_cast<std::uint64_t>(snap->weights_[e]));
+  }
+  snap->fingerprint_ = h;
+  return snap;
+}
+
+}  // namespace lcs::service

@@ -1,0 +1,73 @@
+// Immutable, shareable graph snapshots for the query service.
+//
+// A GraphSnapshot freezes one graph together with everything independent
+// queries would otherwise recompute per call: the CSR adjacency (the Graph
+// itself), a fixed edge-weight vector, connectivity, degree extrema, and
+// cached diameter bounds (exact when the graph is small enough for the
+// all-pairs referee, double-sweep bracket otherwise).  Snapshots are
+// immutable after make() and handed around as shared_ptr<const ...>: any
+// number of services, batches and threads may read one concurrently —
+// there is no mutable state to guard.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "graph/graph.hpp"
+#include "graph/weighted.hpp"
+
+namespace lcs::service {
+
+class GraphSnapshot {
+ public:
+  struct Options {
+    /// Weights are part of the snapshot (queries over one snapshot must
+    /// agree on them); generated as uniform [1, max_weight] from this seed.
+    std::uint64_t weight_seed = 7;
+    graph::Weight max_weight = 16;
+    /// The diameter cache is exact (all-pairs BFS on the pool) up to this
+    /// many vertices; larger snapshots record the double-sweep lower bound
+    /// and a 2*eccentricity upper bound.
+    std::uint32_t exact_diameter_max_vertices = 2048;
+  };
+
+  /// Build a snapshot (the only constructor).  Top-level entry: the diameter
+  /// precomputation may use the thread pool.
+  static std::shared_ptr<const GraphSnapshot> make(graph::Graph g, const Options& opt);
+  static std::shared_ptr<const GraphSnapshot> make(graph::Graph g);
+
+  const graph::Graph& graph() const { return g_; }
+  const graph::EdgeWeights& weights() const { return weights_; }
+
+  std::uint32_t num_vertices() const { return g_.num_vertices(); }
+  std::uint32_t num_edges() const { return g_.num_edges(); }
+  bool connected() const { return connected_; }
+  std::uint32_t max_degree() const { return max_degree_; }
+
+  /// Cached unweighted diameter bracket (meaningful only when connected()).
+  std::uint32_t diameter_lb() const { return diameter_lb_; }
+  std::uint32_t diameter_ub() const { return diameter_ub_; }
+  bool diameter_is_exact() const { return diameter_exact_; }
+  /// The estimate queries use when they carry no explicit diameter: the
+  /// exact value when cached, else the double-sweep lower bound (what the
+  /// KP options would estimate themselves).
+  std::uint32_t diameter_estimate() const { return diameter_exact_ ? diameter_ub_ : diameter_lb_; }
+
+  /// Stable identity of (edges, weights): two services agreeing on this
+  /// fingerprint are provably querying the same frozen inputs.
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
+ private:
+  GraphSnapshot() = default;
+
+  graph::Graph g_;
+  graph::EdgeWeights weights_;
+  bool connected_ = false;
+  std::uint32_t max_degree_ = 0;
+  std::uint32_t diameter_lb_ = 0;
+  std::uint32_t diameter_ub_ = 0;
+  bool diameter_exact_ = false;
+  std::uint64_t fingerprint_ = 0;
+};
+
+}  // namespace lcs::service

@@ -17,6 +17,14 @@ std::atomic<unsigned> g_override{0};
 // rejected identically at every thread count.
 thread_local bool tl_in_region = false;
 
+// Set while a parallel_tasks task body runs on this thread: nested entry
+// points serialize inline instead of throwing.  tl_worker_id is the dense
+// worker id the current chunk executes under (always < num_threads()); the
+// serialized nested chunks inherit it so per-worker scratch indexed by it
+// stays disjoint between tasks running concurrently on different workers.
+thread_local bool tl_in_task = false;
+thread_local unsigned tl_worker_id = 0;
+
 unsigned env_threads() {
   const char* env = std::getenv("LCS_THREADS");
   if (env == nullptr || *env == '\0') return 0;
@@ -107,6 +115,7 @@ class ThreadPool {
 
   void execute(Batch& batch, unsigned worker) {
     tl_in_region = true;
+    tl_worker_id = worker;
     std::size_t finished = 0;
     for (;;) {
       const std::size_t chunk = batch.next.fetch_add(1, std::memory_order_relaxed);
@@ -170,15 +179,44 @@ unsigned thread_override() { return g_override.load(std::memory_order_relaxed); 
 
 bool in_parallel_region() { return tl_in_region; }
 
+bool in_parallel_task() { return tl_in_task; }
+
+void parallel_tasks(std::size_t count, const std::function<void(std::size_t)>& task) {
+  LCS_REQUIRE(!tl_in_region, "parallel_tasks is a top-level entry point");
+  detail::run_chunks(count, [&](std::size_t t, unsigned) {
+    // One task per chunk.  The flag makes every parallel entry point the
+    // task body reaches serialize inline instead of throwing; it is restored
+    // per task because the surrounding worker loop keeps tl_in_region set
+    // across tasks of the same batch.
+    tl_in_task = true;
+    try {
+      task(t);
+    } catch (...) {
+      tl_in_task = false;
+      throw;
+    }
+    tl_in_task = false;
+  });
+}
+
 namespace detail {
 
 void run_chunks(std::size_t num_chunks,
                 const std::function<void(std::size_t, unsigned)>& chunk_fn) {
   if (num_chunks == 0) return;
-  LCS_REQUIRE(!tl_in_region, "nested parallel regions are not supported");
+  if (tl_in_region) {
+    // A region opened inside a region is a bug — unless this thread runs a
+    // parallel_tasks task, where nested entry points compose by running
+    // their chunks serially inline, in chunk order (the same results by the
+    // determinism contract, the same first exception by sequential order).
+    LCS_REQUIRE(tl_in_task, "nested parallel regions are not supported");
+    for (std::size_t c = 0; c < num_chunks; ++c) chunk_fn(c, tl_worker_id);
+    return;
+  }
   if (num_chunks == 1 || num_threads() == 1) {
     // Sequential fast path: same chunk order, same nesting rejection.
     tl_in_region = true;
+    tl_worker_id = 0;
     try {
       for (std::size_t c = 0; c < num_chunks; ++c) chunk_fn(c, 0);
     } catch (...) {

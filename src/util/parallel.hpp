@@ -1,11 +1,13 @@
 // Deterministic thread-pool runtime.
 //
-// A small work-stealing-free pool behind four entry points:
+// A small work-stealing-free pool behind five entry points:
 //
 //   parallel_for(begin, end, grain, fn)            — fn(i) per index
 //   parallel_for_chunked(begin, end, grain, fn)    — fn(chunk_begin, chunk_end, worker)
 //   parallel_reduce(begin, end, grain, init, map, combine)
 //   parallel_sort(first, last, cmp)                — == std::stable_sort at any thread count
+//   parallel_tasks(count, task)                    — coarse tasks that may themselves
+//                                                    call the entry points above
 //
 // Determinism contract: results never depend on thread count or scheduling.
 // The index range is cut into fixed chunks of `grain` up front; chunks are
@@ -17,7 +19,10 @@
 // run of the same body would surface first (for bodies whose failure
 // condition is per-index).  Nested parallel regions are rejected
 // (std::invalid_argument) rather than deadlocking or silently serializing
-// differently at different thread counts.
+// differently at different thread counts — with one deliberate exception:
+// inside a parallel_tasks task, a nested entry point *composes* by running
+// its chunks serially inline on the task's thread (identical results by
+// this contract), so whole library calls can be batched as tasks.
 //
 // Thread count resolution, in priority order: set_num_threads(n) override,
 // the LCS_THREADS environment variable, std::thread::hardware_concurrency.
@@ -42,12 +47,42 @@ unsigned num_threads();
 void set_num_threads(unsigned n);
 
 /// Current override as set by set_num_threads (0 when none), so callers that
-/// sweep thread counts (the S1 bench scenario) can restore the prior state.
+/// sweep thread counts (the S1/S2/S3 bench scenarios) can restore the prior
+/// state.
 unsigned thread_override();
+
+/// RAII restore of the thread-count override: thread-sweeping scenario and
+/// test bodies call set_num_threads() freely and the destructor puts the
+/// prior override back, even on exceptions.
+struct ThreadOverrideGuard {
+  unsigned previous = thread_override();
+  ThreadOverrideGuard() = default;
+  ThreadOverrideGuard(const ThreadOverrideGuard&) = delete;
+  ThreadOverrideGuard& operator=(const ThreadOverrideGuard&) = delete;
+  ~ThreadOverrideGuard() { set_num_threads(previous); }
+};
 
 /// True while the calling thread executes inside a parallel region (used to
 /// reject nested parallelism).
 bool in_parallel_region();
+
+/// True while the calling thread executes a parallel_tasks task body (where
+/// nested parallel entry points serialize instead of throwing).
+bool in_parallel_task();
+
+/// Batch-submission entry point: runs task(t) for every t in [0, count)
+/// across the pool.  Unlike parallel_for bodies, a task body MAY call the
+/// other parallel entry points — such nested regions degrade to serial
+/// execution on the task's thread (carrying the task's worker id, so
+/// per-worker scratch sized with num_threads() stays disjoint between
+/// concurrently running tasks).  By the determinism contract the serialized
+/// execution produces the very bytes the parallel one would, so a batch of
+/// heterogeneous library calls (the service layer's queries) is bit-identical
+/// at any thread count and in any scheduling order.  Top-level entry: calling
+/// it from inside a region or a task throws std::invalid_argument.  An
+/// exception thrown by a task is re-thrown in the caller (smallest task index
+/// wins); batch runners that must not abort siblings catch inside the task.
+void parallel_tasks(std::size_t count, const std::function<void(std::size_t)>& task);
 
 namespace detail {
 

@@ -51,6 +51,13 @@ class Rng {
   /// Bernoulli trial with success probability p (clamped to [0,1]).
   bool bernoulli(double p);
 
+  /// Binomial(n, p) draw in O(1) expected time, independent of n: geometric-
+  /// skip inversion while n*min(p,1-p) < 10 (expected n*p + 1 iterations),
+  /// Hörmann's BTRS transformed rejection above it (expected ~1.15 rounds).
+  /// Replaces n sequential bernoulli(p) draws wherever a whole capacity is
+  /// thinned at once (sparsified_mincut's skeleton sampling).
+  std::uint64_t binomial(std::uint64_t n, double p);
+
   /// Fisher–Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& v) {

@@ -77,6 +77,76 @@ TEST_F(ParallelPoolTest, NestedParallelForRejected) {
   }
 }
 
+TEST_F(ParallelPoolTest, ParallelTasksComposeWithNestedEntryPoints) {
+  // Inside a parallel_tasks task, the other entry points serialize inline
+  // instead of throwing; results must equal plain top-level execution.
+  std::vector<std::uint64_t> reference(6);
+  for (std::size_t t = 0; t < reference.size(); ++t) {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < 100; ++i) sum += t * 1000 + i;
+    reference[t] = sum;
+  }
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    set_num_threads(threads);
+    std::vector<std::uint64_t> got(reference.size(), 0);
+    parallel_tasks(got.size(), [&](std::size_t t) {
+      EXPECT_TRUE(in_parallel_task());
+      EXPECT_TRUE(in_parallel_region());
+      got[t] = parallel_reduce<std::uint64_t>(
+          0, 100, 7, 0,
+          [&](std::size_t b, std::size_t e) {
+            std::uint64_t s = 0;
+            for (std::size_t i = b; i < e; ++i) s += t * 1000 + i;
+            return s;
+          },
+          [](std::uint64_t a, std::uint64_t b) { return a + b; });
+      // Doubly nested regions inside the serialized one also compose.
+      parallel_for(0, 4, 1, [&](std::size_t) {});
+    });
+    EXPECT_EQ(got, reference);
+    EXPECT_FALSE(in_parallel_task());
+  }
+}
+
+TEST_F(ParallelPoolTest, ParallelTasksIsTopLevelOnly) {
+  for (const unsigned threads : {1u, 4u}) {
+    set_num_threads(threads);
+    // ...not callable from a parallel_for body...
+    EXPECT_THROW(parallel_for(0, 2, 1,
+                              [&](std::size_t) {
+                                parallel_tasks(2, [](std::size_t) {});
+                              }),
+                 std::invalid_argument);
+    // ...nor from another task.
+    EXPECT_THROW(parallel_tasks(2,
+                                [&](std::size_t) {
+                                  parallel_tasks(2, [](std::size_t) {});
+                                }),
+                 std::invalid_argument);
+    // The flags unwind: a fresh batch still works.
+    std::atomic<int> calls{0};
+    parallel_tasks(3, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 3);
+  }
+}
+
+TEST_F(ParallelPoolTest, ParallelTasksSmallestTaskExceptionWins) {
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    set_num_threads(threads);
+    std::string what;
+    try {
+      parallel_tasks(40, [](std::size_t t) {
+        if (t == 11 || t == 29) throw std::runtime_error(std::to_string(t));
+      });
+      FAIL() << "expected a throw";
+    } catch (const std::runtime_error& e) {
+      what = e.what();
+    }
+    EXPECT_EQ(what, "11");
+    EXPECT_FALSE(in_parallel_task());
+  }
+}
+
 TEST_F(ParallelPoolTest, ExceptionPropagatesOutOfWorker) {
   for (const unsigned t : {1u, 2u, 8u}) {
     set_num_threads(t);

@@ -1,0 +1,244 @@
+// Query-service determinism and snapshot-sharing tests.
+//
+// The contract under test: a QueryResult is a pure function of (snapshot,
+// service seed, request) — independent of thread count, batch order, batch
+// composition, which service instance ran it, and whether it ran alone via
+// run() or inside a concurrent batch via run_batch().
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "service/service.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lcs;
+using service::GraphSnapshot;
+using service::QueryKind;
+using service::QueryRequest;
+using service::QueryResult;
+using service::ShortcutService;
+
+std::shared_ptr<const GraphSnapshot> small_snapshot(std::uint64_t seed = 11,
+                                                    std::uint32_t n = 300) {
+  Rng gen(seed);
+  GraphSnapshot::Options opt;
+  opt.weight_seed = seed ^ 0x55ULL;
+  opt.max_weight = 9;
+  return GraphSnapshot::make(graph::connected_gnm(n, 3 * n, gen), opt);
+}
+
+std::vector<QueryRequest> mixed_batch(std::uint32_t count) {
+  std::vector<QueryRequest> batch;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    QueryRequest q;
+    q.id = 100 + i;
+    q.kind = static_cast<QueryKind>(i % 4);
+    q.beta = (i % 3 == 0) ? 0.5 : 1.0;
+    q.karger_trials = (i % 8 == 3) ? 8 : 0;
+    batch.push_back(q);
+  }
+  return batch;
+}
+
+void expect_same_result(const QueryResult& a, const QueryResult& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.error, b.error);
+  EXPECT_EQ(a.congestion, b.congestion);
+  EXPECT_EQ(a.dilation, b.dilation);
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.cardinality, b.cardinality);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.content_hash, b.content_hash);
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(GraphSnapshot, PrecomputedFactsMatchDirectComputation) {
+  Rng gen(5);
+  graph::Graph g = graph::connected_gnm(120, 400, gen);
+  const graph::Graph reference = g;  // Graph is a value type; keep a copy
+  const auto snap = GraphSnapshot::make(std::move(g));
+
+  EXPECT_EQ(snap->num_vertices(), reference.num_vertices());
+  EXPECT_EQ(snap->num_edges(), reference.num_edges());
+  EXPECT_TRUE(snap->connected());
+  EXPECT_TRUE(snap->diameter_is_exact());
+  EXPECT_EQ(snap->diameter_lb(), snap->diameter_ub());
+  EXPECT_EQ(snap->diameter_ub(), graph::diameter_exact(reference));
+  EXPECT_EQ(snap->diameter_estimate(), snap->diameter_ub());
+  std::uint32_t max_deg = 0;
+  for (graph::VertexId v = 0; v < reference.num_vertices(); ++v)
+    max_deg = std::max(max_deg, reference.degree(v));
+  EXPECT_EQ(snap->max_degree(), max_deg);
+  EXPECT_EQ(snap->weights().size(), reference.num_edges());
+  EXPECT_NE(snap->fingerprint(), 0u);
+}
+
+TEST(GraphSnapshot, LargeSnapshotGetsDiameterBracket) {
+  Rng gen(6);
+  GraphSnapshot::Options opt;
+  opt.exact_diameter_max_vertices = 50;  // force the bracket path
+  const auto snap = GraphSnapshot::make(graph::connected_gnm(200, 600, gen), opt);
+  EXPECT_FALSE(snap->diameter_is_exact());
+  EXPECT_GE(snap->diameter_ub(), snap->diameter_lb());
+  EXPECT_GT(snap->diameter_lb(), 0u);
+  EXPECT_EQ(snap->diameter_estimate(), snap->diameter_lb());
+}
+
+TEST(ShortcutService, BatchMatchesSequentialSingleQueryExecution) {
+  const auto snap = small_snapshot();
+  const ShortcutService svc(snap, 3);
+  const auto batch = mixed_batch(12);
+
+  const std::vector<QueryResult> batched = svc.run_batch(batch);
+  ASSERT_EQ(batched.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const QueryResult alone = svc.run(batch[i]);
+    expect_same_result(batched[i], alone);
+    EXPECT_TRUE(batched[i].ok) << batched[i].error;
+  }
+}
+
+TEST(ShortcutService, BitIdenticalAcrossThreadCounts) {
+  const auto snap = small_snapshot();
+  const ShortcutService svc(snap, 3);
+  const auto batch = mixed_batch(12);
+
+  ThreadOverrideGuard guard;
+  set_num_threads(1);
+  const std::vector<QueryResult> ref = svc.run_batch(batch);
+  for (const unsigned threads : {2u, 8u}) {
+    set_num_threads(threads);
+    const std::vector<QueryResult> got = svc.run_batch(batch);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) expect_same_result(got[i], ref[i]);
+  }
+}
+
+TEST(ShortcutService, BatchOrderAndCompositionInvariance) {
+  const auto snap = small_snapshot();
+  const ShortcutService svc(snap, 3);
+  const auto batch = mixed_batch(10);
+  const std::vector<QueryResult> ref = svc.run_batch(batch);
+
+  // Reversed order: same per-id results.
+  std::vector<QueryRequest> reversed(batch.rbegin(), batch.rend());
+  const std::vector<QueryResult> rev_results = svc.run_batch(reversed);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    expect_same_result(rev_results[batch.size() - 1 - i], ref[i]);
+
+  // A sub-batch: results do not depend on what else was in the batch.
+  const std::vector<QueryRequest> sub(batch.begin() + 2, batch.begin() + 5);
+  const std::vector<QueryResult> sub_results = svc.run_batch(sub);
+  for (std::size_t i = 0; i < sub.size(); ++i) expect_same_result(sub_results[i], ref[i + 2]);
+}
+
+TEST(ShortcutService, TwoServicesShareOneSnapshot) {
+  const auto snap = small_snapshot();
+  const long base_use_count = snap.use_count();
+  const ShortcutService a(snap, 9);
+  const ShortcutService b(snap, 9);
+  EXPECT_EQ(snap.use_count(), base_use_count + 2);  // shared, never copied
+  EXPECT_EQ(&a.snapshot(), &b.snapshot());
+
+  const auto batch = mixed_batch(8);
+  const std::vector<QueryResult> ra = a.run_batch(batch);
+  const std::vector<QueryResult> rb = b.run_batch(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) expect_same_result(ra[i], rb[i]);
+}
+
+TEST(ShortcutService, ConcurrentBatchesFromTwoCallerThreads) {
+  const auto snap = small_snapshot();
+  const ShortcutService a(snap, 9);
+  const ShortcutService b(snap, 9);
+  const auto batch_a = mixed_batch(8);
+  auto batch_b = mixed_batch(8);
+  std::reverse(batch_b.begin(), batch_b.end());
+
+  // Sequential references first.
+  const std::vector<QueryResult> ref_a = a.run_batch(batch_a);
+  const std::vector<QueryResult> ref_b = b.run_batch(batch_b);
+
+  // Then both batches at once from two caller threads: the pool serializes
+  // the batches, the snapshot is shared read-only, and the interleaving
+  // must not leak into any result.
+  std::vector<QueryResult> got_a, got_b;
+  std::thread ta([&] { got_a = a.run_batch(batch_a); });
+  std::thread tb([&] { got_b = b.run_batch(batch_b); });
+  ta.join();
+  tb.join();
+  ASSERT_EQ(got_a.size(), ref_a.size());
+  ASSERT_EQ(got_b.size(), ref_b.size());
+  for (std::size_t i = 0; i < ref_a.size(); ++i) expect_same_result(got_a[i], ref_a[i]);
+  for (std::size_t i = 0; i < ref_b.size(); ++i) expect_same_result(got_b[i], ref_b[i]);
+}
+
+TEST(ShortcutService, DifferentIdsGiveIndependentStreams) {
+  const auto snap = small_snapshot();
+  const ShortcutService svc(snap, 3);
+  QueryRequest q1;
+  q1.id = 1;
+  q1.kind = QueryKind::kShortcutQuality;
+  QueryRequest q2 = q1;
+  q2.id = 2;
+  const QueryResult r1 = svc.run(q1);
+  const QueryResult r2 = svc.run(q2);
+  // Same parameters, different streams: the sampled partitions/coins differ
+  // (content hashes collide with probability ~2^-64).
+  EXPECT_NE(r1.content_hash, r2.content_hash);
+  // And the same id twice is bitwise-reproducible.
+  expect_same_result(r1, svc.run(q1));
+}
+
+TEST(ShortcutService, RunInsideParallelRegionIsRejected) {
+  // Misuse surfaces as a throw, not as a deterministic ok=false result:
+  // queries run at top level or as parallel_tasks tasks only.
+  const auto snap = small_snapshot();
+  const ShortcutService svc(snap, 3);
+  QueryRequest q;
+  q.id = 1;
+  EXPECT_THROW(parallel_for(0, 1, 1, [&](std::size_t) { svc.run(q); }),
+               std::invalid_argument);
+}
+
+TEST(ShortcutService, DuplicateIdsInBatchAreRejected) {
+  const auto snap = small_snapshot();
+  const ShortcutService svc(snap, 3);
+  auto batch = mixed_batch(4);
+  batch[3].id = batch[0].id;
+  EXPECT_THROW(svc.run_batch(batch), std::invalid_argument);
+}
+
+TEST(ShortcutService, QueryErrorsAreCapturedAndDeterministic) {
+  // A disconnected snapshot: mincut queries must fail identically at every
+  // thread count, not crash the batch.
+  graph::GraphBuilder b(10);
+  for (graph::VertexId v = 0; v + 1 < 5; ++v) b.add_edge(v, v + 1);
+  for (graph::VertexId v = 5; v + 1 < 10; ++v) b.add_edge(v, v + 1);
+  const auto snap = GraphSnapshot::make(std::move(b).build());
+  EXPECT_FALSE(snap->connected());
+
+  const ShortcutService svc(snap, 3);
+  QueryRequest q;
+  q.id = 7;
+  q.kind = QueryKind::kMincut;
+  q.karger_trials = 0;  // sparsified requires connectivity
+
+  ThreadOverrideGuard guard;
+  set_num_threads(1);
+  const QueryResult ref = svc.run_batch({q})[0];
+  EXPECT_FALSE(ref.ok);
+  EXPECT_FALSE(ref.error.empty());
+  set_num_threads(4);
+  expect_same_result(svc.run_batch({q})[0], ref);
+}
+
+}  // namespace

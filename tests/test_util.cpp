@@ -151,6 +151,49 @@ TEST(Rng, HashIsStable) {
   EXPECT_NE(hash64(12345), hash64(12346));
 }
 
+TEST(Rng, BinomialExtremes) {
+  Rng r(41);
+  EXPECT_EQ(r.binomial(0, 0.5), 0u);
+  EXPECT_EQ(r.binomial(100, 0.0), 0u);
+  EXPECT_EQ(r.binomial(100, 1.0), 100u);
+  EXPECT_EQ(r.binomial(100, -0.3), 0u);
+  EXPECT_EQ(r.binomial(100, 1.7), 100u);
+  for (int i = 0; i < 200; ++i) EXPECT_LE(r.binomial(7, 0.9), 7u);
+}
+
+TEST(Rng, BinomialDeterministicForSameSeed) {
+  Rng a(43), b(43);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.binomial(1000, 0.37), b.binomial(1000, 0.37));
+}
+
+TEST(Rng, BinomialMatchesMomentsInBothRegimes) {
+  // Small n*p exercises the geometric-skip inversion, large n*p the BTRS
+  // rejection; both must track mean n*p and variance n*p*(1-p).  p > 0.5
+  // additionally exercises the complement reflection.
+  struct Case {
+    std::uint64_t n;
+    double p;
+  };
+  Rng r(47);
+  const int draws = 20000;
+  for (const Case c : {Case{40, 0.05}, Case{12, 0.5}, Case{400, 0.2}, Case{1000, 0.85}}) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < draws; ++i) {
+      const double k = static_cast<double>(r.binomial(c.n, c.p));
+      ASSERT_LE(k, static_cast<double>(c.n));
+      sum += k;
+      sum_sq += k * k;
+    }
+    const double mean = sum / draws;
+    const double var = sum_sq / draws - mean * mean;
+    const double want_mean = static_cast<double>(c.n) * c.p;
+    const double want_var = want_mean * (1.0 - c.p);
+    EXPECT_NEAR(mean, want_mean, 5.0 * std::sqrt(want_var / draws) + 0.05)
+        << "n=" << c.n << " p=" << c.p;
+    EXPECT_NEAR(var, want_var, 0.12 * want_var + 0.1) << "n=" << c.n << " p=" << c.p;
+  }
+}
+
 // --- math --------------------------------------------------------------------
 
 TEST(Math, CeilDiv) {
