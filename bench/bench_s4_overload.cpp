@@ -1,0 +1,222 @@
+// S4 — admission-controlled service under overload, with artifact-cache
+// reuse (PR 5).
+//
+// A heavy-skewed mixed batch is pushed through ShortcutService::run_admitted
+// at offered loads of 1x/4x/16x the per-wave admission capacity.  Recorded
+// per load leg (suffix _x<mult>): wall time, qps, queue-wait p99, p50/p99
+// execution latency per cost class, and the snapshot artifact cache's
+// hit rate over a hot re-run of the same load.  Four inline determinism
+// cross-checks guard the curves' meaning — per-query digests must be
+// bit-identical (a) from a saturated admission queue vs idle one-at-a-time
+// execution, (b) from a cache-enabled vs cache-disabled service, (c) across
+// thread counts, and (d) structurally, cheap queries must never wait on the
+// heavy backlog (strict per-class slots).
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/registry.hpp"
+#include "bench/timer.hpp"
+#include "graph/generators.hpp"
+#include "service/service.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using lcs::service::CostClass;
+using lcs::service::QueryKind;
+using lcs::service::QueryRequest;
+using lcs::service::QueryResult;
+
+/// Heavy-skewed workload: half the queries are mincut/MST (heavy class), so
+/// an unscheduled pool would convoy the cheap half behind them.
+std::vector<QueryRequest> overload_batch(std::uint32_t count, std::uint64_t id_base) {
+  std::vector<QueryRequest> batch;
+  batch.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    QueryRequest q;
+    q.id = id_base + i;
+    switch (i % 4) {
+      case 0: q.kind = QueryKind::kShortcutQuality; break;
+      case 1: q.kind = QueryKind::kMincut; break;
+      case 2: q.kind = QueryKind::kShortcutBuild; break;
+      default: q.kind = QueryKind::kMst; break;
+    }
+    q.beta = (i % 3 == 0) ? 0.5 : 1.0;
+    q.karger_trials = (i % 8 == 1) ? 10 : 0;  // alternate Karger / sparsified
+    q.eps = 0.5;
+    batch.push_back(q);
+  }
+  return batch;
+}
+
+std::vector<std::uint64_t> digests(const std::vector<QueryResult>& rs) {
+  std::vector<std::uint64_t> d;
+  d.reserve(rs.size());
+  for (const auto& r : rs) d.push_back(r.digest());
+  return d;
+}
+
+}  // namespace
+
+LCS_BENCH_SCENARIO(S4_overload,
+                   "admission-controlled overload sweep with artifact-cache reuse",
+                   "offered load in {1,4,16}x wave capacity x heavy-skewed batch") {
+  using namespace lcs;
+
+  const std::uint32_t n = ctx.pick_n(300, 1200);
+  const std::uint64_t seed = ctx.seed(58);
+
+  Rng gen(seed);
+  graph::Graph g = graph::connected_gnm(n, 3 * n, gen);
+  service::GraphSnapshot::Options sopt;
+  sopt.weight_seed = seed ^ 0x99ULL;
+  sopt.max_weight = 12;
+  // Headroom above the full sweep's distinct artifact keys (63 partitions
+  // at {1,4,16} x capacity 6): a capacity flush mid-scenario would quietly
+  // zero the hot-pass hit-rate legs.
+  sopt.max_cached_partitions = 256;
+  sopt.max_cached_samples = 256;
+  const auto snapshot = service::GraphSnapshot::make(std::move(g), sopt);
+  const service::ShortcutService svc(snapshot, seed);
+  const service::ShortcutService uncached(
+      snapshot, seed, service::ShortcutService::Options{/*use_artifact_cache=*/false});
+
+  service::AdmissionOptions adm;
+  adm.cheap_slots = 4;
+  adm.heavy_slots = 2;
+  adm.max_queue = 4096;  // the sweep saturates waves, not the bound
+  const std::uint32_t wave_capacity = adm.cheap_slots + adm.heavy_slots;
+  ctx.param("cheap_slots", std::uint64_t{adm.cheap_slots});
+  ctx.param("heavy_slots", std::uint64_t{adm.heavy_slots});
+
+  const std::vector<std::uint32_t> multiples = ctx.smoke()
+                                                   ? std::vector<std::uint32_t>{1, 2, 4}
+                                                   : std::vector<std::uint32_t>{1, 4, 16};
+  {
+    Json arr = Json::array();
+    for (const std::uint32_t m : multiples) arr.push_back(std::uint64_t{m});
+    ctx.param("offered_multiples", std::move(arr));
+  }
+
+  ThreadOverrideGuard guard;
+  set_num_threads(4);
+
+  Table t({"load", "queries", "waves", "wall_ms", "qps", "queue_p99", "p99_cheap", "p99_heavy",
+           "hit_rate"});
+  bool all_ok = true;
+  bool hot_vs_cold = true;
+  bool cheap_never_starved = true;
+  std::vector<QueryRequest> top_batch;       // the largest offered load
+  std::vector<std::uint64_t> top_reference;  // its admitted digests
+
+  for (const std::uint32_t mult : multiples) {
+    const std::uint32_t count = mult * wave_capacity;
+    const std::vector<QueryRequest> batch = overload_batch(count, 10'000 * mult);
+
+    // Cold pass: the timed leg (artifacts materialize on first touch).
+    bench::MonotonicTimer timer;
+    const std::vector<QueryResult> results = svc.run_admitted(batch, adm);
+    const double wall_ms = timer.elapsed_ms();
+
+    // Hot pass: same load again, now against materialized artifacts.
+    const service::ArtifactStats before = snapshot->artifact_stats();
+    const std::vector<QueryResult> hot = svc.run_admitted(batch, adm);
+    const service::ArtifactStats after = snapshot->artifact_stats();
+    const std::uint64_t lookups = after.total().lookups() - before.total().lookups();
+    const std::uint64_t hits = after.total().hits - before.total().hits;
+    const double hit_rate =
+        lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
+
+    Stats cheap_lat, heavy_lat, queue_wait;
+    std::uint32_t waves = 0;
+    std::uint32_t cheap_total = 0, cheap_max_wave = 0;
+    bool ok = true;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const QueryResult& r = results[i];
+      ok = ok && r.ok;
+      queue_wait.add(r.queue_ms);
+      waves = std::max(waves, r.wave + 1);
+      if (service::query_cost_class(batch[i]) == CostClass::kCheap) {
+        cheap_lat.add(r.latency_ms);
+        ++cheap_total;
+        cheap_max_wave = std::max(cheap_max_wave, r.wave);
+      } else {
+        heavy_lat.add(r.latency_ms);
+      }
+      hot_vs_cold = hot_vs_cold && r.digest() == hot[i].digest();
+    }
+    all_ok = all_ok && ok;
+    // Strict per-class slots: cheap query k runs in wave k / cheap_slots no
+    // matter how much heavy work is queued — starvation would show as a
+    // later wave.
+    const std::uint32_t cheap_wave_bound =
+        cheap_total == 0 ? 0 : (cheap_total + adm.cheap_slots - 1) / adm.cheap_slots;
+    cheap_never_starved = cheap_never_starved &&
+                          (cheap_total == 0 || cheap_max_wave + 1 <= cheap_wave_bound);
+
+    const double qps =
+        wall_ms > 1e-6 ? 1000.0 * static_cast<double>(count) / wall_ms : 0.0;
+    // Lvalue on purpose: gcc 12's -Wrestrict false-fires on the
+    // operator+(const char*, std::string&&) inlining path under -O2.
+    const std::string mult_str = std::to_string(mult);
+    t.row()
+        .cell("x" + mult_str)
+        .cell(std::uint64_t{count})
+        .cell(std::uint64_t{waves})
+        .cell(wall_ms, 1)
+        .cell(qps, 1)
+        .cell(queue_wait.percentile(99.0), 2)
+        .cell(cheap_lat.percentile(99.0), 2)
+        .cell(heavy_lat.percentile(99.0), 2)
+        .cell(hit_rate, 2);
+
+    const std::string suffix = "_x" + mult_str;
+    ctx.metric("wall_ms" + suffix, wall_ms);
+    ctx.metric("qps" + suffix, qps);
+    ctx.metric("queue_p99_ms" + suffix, queue_wait.percentile(99.0));
+    ctx.metric("latency_p50_ms_cheap" + suffix, cheap_lat.percentile(50.0));
+    ctx.metric("latency_p99_ms_cheap" + suffix, cheap_lat.percentile(99.0));
+    ctx.metric("latency_p50_ms_heavy" + suffix, heavy_lat.percentile(50.0));
+    ctx.metric("latency_p99_ms_heavy" + suffix, heavy_lat.percentile(99.0));
+    ctx.metric("cache_hit_rate" + suffix, hit_rate);
+
+    if (mult == multiples.back()) {
+      top_batch = batch;
+      top_reference = digests(results);
+    }
+  }
+
+  // Cross-check (a): overload vs idle — the saturated admission queue must
+  // answer every query with the bytes idle one-at-a-time execution produces.
+  bool overload_vs_idle = true;
+  for (std::size_t i = 0; i < top_batch.size(); ++i)
+    overload_vs_idle = overload_vs_idle && svc.run(top_batch[i]).digest() == top_reference[i];
+
+  // Cross-check (b): cached vs uncached — a service computing every artifact
+  // privately must agree bit for bit with the artifact-cache path.
+  const std::vector<QueryResult> uncached_results = uncached.run_admitted(top_batch, adm);
+  bool cached_vs_uncached = digests(uncached_results) == top_reference;
+
+  // Cross-check (c): thread counts — the admitted batch at 1/2/8 threads.
+  bool across_threads = true;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    set_num_threads(threads);
+    across_threads = across_threads && digests(svc.run_admitted(top_batch, adm)) == top_reference;
+  }
+
+  t.print(ctx.out(), "S4: admission-controlled overload (shared snapshot, 4 threads)");
+  ctx.out() << "\nnote: queue_p99 is admission wait, p99_* are per-class execution\n"
+            << "latencies; hit_rate is the artifact-cache rate over a hot re-run.\n";
+
+  ctx.metric("all_queries_ok", all_ok);
+  ctx.metric("cheap_never_starved", cheap_never_starved);
+  ctx.metric("deterministic_hot_vs_cold", hot_vs_cold);
+  ctx.metric("deterministic_overload_vs_idle", overload_vs_idle);
+  ctx.metric("deterministic_cached_vs_uncached", cached_vs_uncached);
+  ctx.metric("deterministic_across_threads", across_threads);
+}

@@ -76,6 +76,63 @@ SCALING_EXTRA_CHECKS = {
     ],
 }
 
+# Per-load-leg metric prefixes every s4_ (admission/overload) record must
+# carry for each swept offered-load multiple, plus boolean gates that must
+# be true.  Schema documented in docs/bench.md.
+S4_LEG_PREFIXES = [
+    "qps",
+    "queue_p99_ms",
+    "latency_p50_ms_cheap",
+    "latency_p99_ms_cheap",
+    "latency_p50_ms_heavy",
+    "latency_p99_ms_heavy",
+    "cache_hit_rate",
+]
+S4_TRUE_CHECKS = [
+    "all_queries_ok",
+    "cheap_never_starved",
+    "deterministic_hot_vs_cold",
+    "deterministic_overload_vs_idle",
+    "deterministic_cached_vs_uncached",
+    "deterministic_across_threads",
+]
+
+
+def validate_overload(record: dict, args) -> list[str]:
+    """s4_ records sweep offered load, not threads: per load multiple there
+    must be a complete per-class latency + cache-hit-rate leg, hit rates
+    must be valid ratios, and every inline determinism cross-check
+    (cached-vs-uncached, overload-vs-idle, across-threads) must have
+    passed."""
+    del args
+    name = record["scenario"]
+    problems = []
+    if not isinstance(record["params"], dict) or not isinstance(record["metrics"], dict):
+        return [f"{name}: params/metrics must be objects"]
+    multiples = record["params"].get("offered_multiples")
+    if (
+        not isinstance(multiples, list)
+        or not multiples
+        or not all(isinstance(m, int) and m >= 1 for m in multiples)
+    ):
+        problems.append(
+            f"{name}: params.offered_multiples must be a non-empty list of multiples"
+        )
+        multiples = []
+    metrics = record["metrics"]
+    for mult in multiples:
+        for prefix in S4_LEG_PREFIXES:
+            key = f"{prefix}_x{mult}"
+            value = metrics.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(f"{name}: missing or bad leg metric {key}: {value!r}")
+            elif prefix == "cache_hit_rate" and value > 1:
+                problems.append(f"{name}: {key} is not a ratio: {value!r}")
+    for key in S4_TRUE_CHECKS:
+        if metrics.get(key) is not True:
+            problems.append(f"{name}: {key} is not true")
+    return problems
+
 
 def validate_scaling(record: dict, legs: list[str], args) -> list[str]:
     """Thread-scaling records must carry the thread sweep and a speedup curve
@@ -153,14 +210,17 @@ def validate_record(record: dict, require_ok: bool, args) -> list[str]:
         for prefix, legs in SCALING_LEGS.items():
             if name.lower().startswith(prefix):
                 problems.extend(validate_scaling(record, legs, args))
+        if name.lower().startswith("s4_"):
+            problems.extend(validate_overload(record, args))
     return problems
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="Schema validation for lcsbench JSON records.",
-        epilog="The record schema, the S1/S2/S3 leg-curve fields and the "
-        "--speedup-floor gating rules are documented in docs/bench.md.",
+        epilog="The record schema, the S1/S2/S3 leg-curve fields, the S4 "
+        "overload legs and the --speedup-floor gating rules are documented "
+        "in docs/bench.md.",
     )
     parser.add_argument("path")
     parser.add_argument("--min-scenarios", type=int, default=1)

@@ -293,8 +293,15 @@ TreePackingResult tree_packing_mincut(const Graph& g, const EdgeWeights& w,
   return out;
 }
 
-SparsifiedResult sparsified_mincut(const Graph& g, const EdgeWeights& w, double eps,
-                                   Rng& rng) {
+namespace {
+
+// Shared body of the two sparsify entry points.  `seed_of` is consulted
+// only when sample_prob < 1 and only after the validity checks, so the
+// rng-driven wrapper preserves the pre-refactor draw semantics exactly:
+// no state is consumed on a throwing call or in the p >= 1 regime.
+template <typename SeedFn>
+SparsifiedSample sparsify_edges_impl(const Graph& g, const EdgeWeights& w, double eps,
+                                     SeedFn&& seed_of) {
   LCS_REQUIRE(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
   LCS_REQUIRE(graph::is_connected(g), "min cut of a disconnected graph is zero");
   const std::uint32_t n = g.num_vertices();
@@ -303,29 +310,54 @@ SparsifiedResult sparsified_mincut(const Graph& g, const EdgeWeights& w, double 
   const Weight lambda_hat = tree_packing_mincut(g, w, 3).cut.value;
   LCS_REQUIRE(lambda_hat > 0, "lambda estimate must be positive");
 
-  SparsifiedResult out;
+  SparsifiedSample out;
   const double c = 3.0;
   out.sample_prob =
       std::min(1.0, c * ln_clamped(n) / (eps * eps * static_cast<double>(lambda_hat)));
 
-  // Skeleton: binomial thinning of each edge's capacity (w[e] unit trials
-  // at probability p); multigraph multiplicities become skeleton weights.
-  // One state-advancing draw seeds a counter-based per-edge family (the same
+  // Skeleton sample: binomial thinning of each edge's capacity (w[e] unit
+  // trials at probability p); multigraph multiplicities become skeleton
+  // weights.  The seed keys a counter-based per-edge family (the same
   // keying as Karger's trials): edge e thins all its units with a single
-  // O(1) binomial draw on base.split(e), so the loop fans out over edges and
-  // the kept skeleton is independent of thread count and scheduling.
-  std::vector<Weight> units(g.num_edges(), 0);
+  // O(1) binomial draw on base.split(e), so the loop fans out over edges
+  // and the kept sample is a pure function of (g, w, eps, seed) —
+  // independent of thread count and scheduling, shareable across callers.
+  out.units.assign(g.num_edges(), 0);
   if (out.sample_prob >= 1.0) {
-    units.assign(w.begin(), w.end());
+    out.units.assign(w.begin(), w.end());
   } else {
-    const Rng base(rng());
+    const Rng base(seed_of());
     parallel_for_or_serial(0, g.num_edges(), default_grain(g.num_edges(), 2048),
                            [&](std::size_t e) {
                              Rng stream = base.split(e);
-                             units[e] = static_cast<Weight>(stream.binomial(
+                             out.units[e] = static_cast<Weight>(stream.binomial(
                                  static_cast<std::uint64_t>(w[e]), out.sample_prob));
                            });
   }
+  return out;
+}
+
+}  // namespace
+
+SparsifiedSample sparsify_edges(const Graph& g, const EdgeWeights& w, double eps,
+                                std::uint64_t seed) {
+  return sparsify_edges_impl(g, w, eps, [seed] { return seed; });
+}
+
+SparsifiedResult sparsified_mincut(const Graph& g, const EdgeWeights& w, double eps,
+                                   Rng& rng) {
+  return sparsified_mincut_on_sample(g, w,
+                                     sparsify_edges_impl(g, w, eps, [&] { return rng(); }));
+}
+
+SparsifiedResult sparsified_mincut_on_sample(const Graph& g, const EdgeWeights& w,
+                                             const SparsifiedSample& sample) {
+  LCS_REQUIRE(sample.units.size() == g.num_edges(),
+              "sample does not match the graph's edge count");
+  const std::uint32_t n = g.num_vertices();
+  const std::vector<Weight>& units = sample.units;
+  SparsifiedResult out;
+  out.sample_prob = sample.sample_prob;
   std::vector<std::pair<graph::VertexId, graph::VertexId>> kept_edges;
   std::vector<Weight> kept_weight;
   for (EdgeId e = 0; e < g.num_edges(); ++e) {

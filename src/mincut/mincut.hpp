@@ -77,6 +77,25 @@ struct SparsifiedResult {
 SparsifiedResult sparsified_mincut(const Graph& g, const EdgeWeights& w, double eps,
                                    Rng& rng);
 
+/// The reusable sampling phase of sparsified_mincut: per-edge thinned
+/// capacities (units[e] ~ Binomial(w[e], p)).  A pure function of
+/// (g, w, eps, seed) — the artifact the snapshot cache shares across
+/// queries that agree on (seed, eps).
+struct SparsifiedSample {
+  double sample_prob = 1.0;
+  std::vector<Weight> units;  ///< thinned capacity per edge of g
+};
+SparsifiedSample sparsify_edges(const Graph& g, const EdgeWeights& w, double eps,
+                                std::uint64_t seed);
+
+/// The solve phase: skeleton assembly + Stoer–Wagner on the sample.
+/// sparsified_mincut(g, w, eps, rng) is exactly this over the rng-seeded
+/// sample, with the pre-existing draw semantics: rng advances once, only
+/// when the computed sample_prob is < 1 (a p >= 1 or throwing call
+/// consumes no state).
+SparsifiedResult sparsified_mincut_on_sample(const Graph& g, const EdgeWeights& w,
+                                             const SparsifiedSample& sample);
+
 /// Cut value of a vertex subset (sum of crossing edge weights).
 Weight cut_value(const Graph& g, const EdgeWeights& w, const std::vector<VertexId>& side);
 

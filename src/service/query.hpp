@@ -35,6 +35,19 @@ inline const char* query_kind_name(QueryKind k) {
   return "unknown";
 }
 
+/// Admission cost class of a query: the scheduler gives each class its own
+/// concurrency slots so cheap shortcut queries are never starved behind
+/// heavy referee work.  A pure function of the query kind (below), so the
+/// classification itself can never make results scheduling-dependent.
+enum class CostClass : std::uint8_t {
+  kCheap,  ///< shortcut_quality / shortcut_build: one partition + sampling pass
+  kHeavy,  ///< mst / mincut: simulator rounds or repeated contraction trials
+};
+
+inline const char* cost_class_name(CostClass c) {
+  return c == CostClass::kCheap ? "cheap" : "heavy";
+}
+
 struct QueryRequest {
   /// Correlation id and RNG stream key.  Unique within a batch (run_batch
   /// rejects duplicates — two queries sharing a stream would be the one
@@ -52,15 +65,32 @@ struct QueryRequest {
   double eps = 0.5;                 ///< otherwise: sparsified estimator at this eps
 };
 
+/// The admission scheduler's cost classification of a request.
+inline CostClass query_cost_class(const QueryRequest& q) {
+  switch (q.kind) {
+    case QueryKind::kShortcutQuality:
+    case QueryKind::kShortcutBuild: return CostClass::kCheap;
+    case QueryKind::kMst:
+    case QueryKind::kMincut: return CostClass::kHeavy;
+  }
+  return CostClass::kHeavy;
+}
+
 struct QueryResult {
   std::uint64_t id = 0;
   QueryKind kind = QueryKind::kShortcutQuality;
   bool ok = false;
   std::string error;  ///< exception text when !ok
 
-  /// Wall-clock latency of this query (measurement only: the one field the
-  /// determinism digest excludes).
+  /// Wall-clock latency of this query's execution.  Measurement only — like
+  /// the two admission fields below it is excluded from digest(), which
+  /// covers deterministic content exclusively.
   double latency_ms = 0.0;
+
+  // Admission telemetry (run_admitted fills these; run/run_batch leave them
+  // zero).  Scheduling observations, never content: digest-excluded.
+  double queue_ms = 0.0;   ///< wait from admission to wave dispatch
+  std::uint32_t wave = 0;  ///< index of the admission wave that ran the query
 
   // Deterministic outcome fields (meaning depends on kind; unused stay 0).
   std::uint64_t congestion = 0;    ///< shortcut queries: Definition-1.1 c

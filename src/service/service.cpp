@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <unordered_set>
 
 #include "core/kp.hpp"
@@ -17,9 +18,14 @@ namespace lcs::service {
 namespace {
 
 /// The vertex-disjoint connected parts a shortcut-shaped query runs on:
-/// BFS-Voronoi balls around num_parts (default ~sqrt(n)) seeds drawn from
-/// the query's own stream.
-graph::Partition query_partition(const GraphSnapshot& snap, const QueryRequest& q, Rng& rng) {
+/// BFS-Voronoi balls around num_parts (default ~sqrt(n)) seeds grown from a
+/// partition seed drawn from the query's own stream.  Cached: the shared
+/// artifact keyed by (part_seed, part_count); uncached: the identical pure
+/// function computed privately — bit-equal by construction, verified by the
+/// cached-vs-uncached test fleet.
+std::shared_ptr<const graph::Partition> query_partition(const GraphSnapshot& snap,
+                                                        const QueryRequest& q, Rng& stream,
+                                                        bool use_cache) {
   const std::uint32_t n = snap.num_vertices();
   LCS_REQUIRE(n > 0, "query needs a non-empty snapshot");
   std::uint32_t seeds = q.num_parts;
@@ -27,7 +33,10 @@ graph::Partition query_partition(const GraphSnapshot& snap, const QueryRequest& 
     seeds = std::max<std::uint32_t>(
         1, static_cast<std::uint32_t>(std::lround(std::sqrt(static_cast<double>(n)))));
   seeds = std::min(seeds, n);
-  return graph::ball_partition(snap.graph(), seeds, rng);
+  const std::uint64_t part_seed = stream();
+  if (use_cache) return snap.partition(part_seed, seeds);
+  return std::make_shared<const graph::Partition>(
+      GraphSnapshot::compute_partition(snap.graph(), part_seed, seeds));
 }
 
 core::KpOptions kp_options(const GraphSnapshot& snap, const QueryRequest& q,
@@ -48,11 +57,11 @@ std::uint64_t hash_vertices(const std::vector<graph::VertexId>& vs) {
 }
 
 void run_shortcut_quality(const GraphSnapshot& snap, const QueryRequest& q, Rng& stream,
-                          QueryResult& r) {
+                          bool use_cache, QueryResult& r) {
   const std::uint64_t kp_seed = stream();
-  const graph::Partition parts = query_partition(snap, q, stream);
+  const auto parts = query_partition(snap, q, stream, use_cache);
   const core::KpStreamReport rep =
-      core::measure_kp_quality(snap.graph(), parts, kp_options(snap, q, kp_seed), {});
+      core::measure_kp_quality(snap.graph(), *parts, kp_options(snap, q, kp_seed), {});
   r.congestion = rep.quality.congestion;
   r.dilation = rep.quality.dilation_ub;
   r.value = rep.quality.quality();
@@ -73,11 +82,11 @@ void run_shortcut_quality(const GraphSnapshot& snap, const QueryRequest& q, Rng&
 }
 
 void run_shortcut_build(const GraphSnapshot& snap, const QueryRequest& q, Rng& stream,
-                        QueryResult& r) {
+                        bool use_cache, QueryResult& r) {
   const std::uint64_t kp_seed = stream();
-  const graph::Partition parts = query_partition(snap, q, stream);
+  const auto parts = query_partition(snap, q, stream, use_cache);
   const core::KpBuildResult built =
-      core::build_kp_shortcuts(snap.graph(), parts, kp_options(snap, q, kp_seed));
+      core::build_kp_shortcuts(snap.graph(), *parts, kp_options(snap, q, kp_seed));
   std::uint64_t total = 0;
   std::uint64_t h = hash64(built.shortcuts.num_parts());
   for (const auto& h_i : built.shortcuts.h) {
@@ -108,7 +117,7 @@ void run_mst(const GraphSnapshot& snap, const QueryRequest& q, Rng& stream, Quer
   r.content_hash = h;
 }
 
-void run_mincut(const GraphSnapshot& snap, const QueryRequest& q, Rng& stream,
+void run_mincut(const GraphSnapshot& snap, const QueryRequest& q, Rng& stream, bool use_cache,
                 QueryResult& r) {
   Rng local(stream());
   mincut::CutResult cut;
@@ -116,8 +125,16 @@ void run_mincut(const GraphSnapshot& snap, const QueryRequest& q, Rng& stream,
     cut = mincut::karger_mincut(snap.graph(), snap.weights(), q.karger_trials, local);
     r.rounds = q.karger_trials;
   } else {
+    // The binomial edge thinning is the shareable intermediate: seeded by
+    // the same one draw the library entry point would take, then reused
+    // from the (sample_seed, eps) cache or recomputed identically.
+    const std::uint64_t sample_seed = local();
+    std::shared_ptr<const mincut::SparsifiedSample> sample =
+        use_cache ? snap.sparsified_sample(sample_seed, q.eps)
+                  : std::make_shared<const mincut::SparsifiedSample>(mincut::sparsify_edges(
+                        snap.graph(), snap.weights(), q.eps, sample_seed));
     const mincut::SparsifiedResult sp =
-        mincut::sparsified_mincut(snap.graph(), snap.weights(), q.eps, local);
+        mincut::sparsified_mincut_on_sample(snap.graph(), snap.weights(), *sample);
     cut = sp.cut;
     r.rounds = static_cast<std::uint64_t>(sp.skeleton_cut);
   }
@@ -126,11 +143,22 @@ void run_mincut(const GraphSnapshot& snap, const QueryRequest& q, Rng& stream,
   r.content_hash = hash_vertices(cut.side);
 }
 
+void check_distinct_ids(const std::vector<QueryRequest>& batch) {
+  std::unordered_set<std::uint64_t> ids;
+  ids.reserve(batch.size());
+  for (const QueryRequest& q : batch)
+    LCS_REQUIRE(ids.insert(q.id).second, "batch has duplicate query ids");
+}
+
 }  // namespace
 
 ShortcutService::ShortcutService(std::shared_ptr<const GraphSnapshot> snapshot,
                                  std::uint64_t seed)
-    : snap_(std::move(snapshot)), seed_(seed) {
+    : ShortcutService(std::move(snapshot), seed, Options{}) {}
+
+ShortcutService::ShortcutService(std::shared_ptr<const GraphSnapshot> snapshot,
+                                 std::uint64_t seed, const Options& options)
+    : snap_(std::move(snapshot)), seed_(seed), opt_(options) {
   LCS_REQUIRE(snap_ != nullptr, "service needs a snapshot");
 }
 
@@ -148,11 +176,12 @@ QueryResult ShortcutService::execute(const QueryRequest& q) const {
     // The query's whole randomness budget: a stream keyed by (service seed,
     // query id) alone, so the result cannot depend on batch composition.
     Rng stream = Rng(seed_).split(q.id);
+    const bool cache = opt_.use_artifact_cache;
     switch (q.kind) {
-      case QueryKind::kShortcutQuality: run_shortcut_quality(*snap_, q, stream, r); break;
-      case QueryKind::kShortcutBuild: run_shortcut_build(*snap_, q, stream, r); break;
+      case QueryKind::kShortcutQuality: run_shortcut_quality(*snap_, q, stream, cache, r); break;
+      case QueryKind::kShortcutBuild: run_shortcut_build(*snap_, q, stream, cache, r); break;
       case QueryKind::kMst: run_mst(*snap_, q, stream, r); break;
-      case QueryKind::kMincut: run_mincut(*snap_, q, stream, r); break;
+      case QueryKind::kMincut: run_mincut(*snap_, q, stream, cache, r); break;
     }
     r.ok = true;
   } catch (const std::exception& e) {
@@ -169,12 +198,59 @@ QueryResult ShortcutService::run(const QueryRequest& request) const { return exe
 
 std::vector<QueryResult> ShortcutService::run_batch(
     const std::vector<QueryRequest>& batch) const {
-  std::unordered_set<std::uint64_t> ids;
-  ids.reserve(batch.size());
-  for (const QueryRequest& q : batch)
-    LCS_REQUIRE(ids.insert(q.id).second, "batch has duplicate query ids");
+  check_distinct_ids(batch);
   std::vector<QueryResult> out(batch.size());
   parallel_tasks(batch.size(), [&](std::size_t t) { out[t] = execute(batch[t]); });
+  return out;
+}
+
+std::vector<QueryResult> ShortcutService::run_admitted(
+    const std::vector<QueryRequest>& batch, const AdmissionOptions& admission) const {
+  LCS_REQUIRE(admission.cheap_slots > 0, "admission needs cheap_slots > 0");
+  LCS_REQUIRE(admission.heavy_slots > 0, "admission needs heavy_slots > 0");
+  check_distinct_ids(batch);
+  const auto admitted_at = std::chrono::steady_clock::now();
+  std::vector<QueryResult> out(batch.size());
+
+  // Admission bound first: a pure function of batch position and the bound,
+  // so a rejection digest can never depend on timing or thread count.
+  std::vector<std::size_t> cheap_fifo, heavy_fifo;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (i >= admission.max_queue) {
+      QueryResult& r = out[i];
+      r.id = batch[i].id;
+      r.kind = batch[i].kind;
+      r.ok = false;
+      r.error = "rejected: admission queue full (capacity " +
+                std::to_string(admission.max_queue) + ")";
+      continue;
+    }
+    (query_cost_class(batch[i]) == CostClass::kCheap ? cheap_fifo : heavy_fifo).push_back(i);
+  }
+
+  // Waves: each grants every class its own slots (strict caps, FIFO within
+  // a class), so heavy backlog can delay cheap queries by at most one wave
+  // of heavy_slots tasks — never monopolize the pool.
+  std::size_t next_cheap = 0, next_heavy = 0;
+  std::uint32_t wave = 0;
+  std::vector<std::size_t> wave_members;
+  while (next_cheap < cheap_fifo.size() || next_heavy < heavy_fifo.size()) {
+    wave_members.clear();
+    for (unsigned s = 0; s < admission.cheap_slots && next_cheap < cheap_fifo.size(); ++s)
+      wave_members.push_back(cheap_fifo[next_cheap++]);
+    for (unsigned s = 0; s < admission.heavy_slots && next_heavy < heavy_fifo.size(); ++s)
+      wave_members.push_back(heavy_fifo[next_heavy++]);
+    const double queued_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - admitted_at)
+                                 .count();
+    parallel_tasks(wave_members.size(), [&](std::size_t t) {
+      const std::size_t i = wave_members[t];
+      out[i] = execute(batch[i]);
+      out[i].queue_ms = queued_ms;
+      out[i].wave = wave;
+    });
+    ++wave;
+  }
   return out;
 }
 

@@ -8,9 +8,24 @@
 // library's own parallel regions serialize, so a batch is bit-identical to
 // running every query alone via run(), at any thread count, in any batch
 // order, interleaved with any other batches.  Services are stateless beyond
-// (snapshot pointer, seed): two services over one snapshot with one seed
-// are interchangeable, and a service may be queried from several caller
+// (snapshot pointer, seed, options): two services over one snapshot with one
+// seed are interchangeable, and a service may be queried from several caller
 // threads at once (the pool serializes their batches).
+//
+// PR 5 adds two layers on that contract:
+//
+//  * Artifact reuse — queries derive their expensive intermediates (ball
+//    partitions, sparsified edge samples, the diameter bracket) through the
+//    snapshot's deterministically keyed artifact cache, so repeat queries
+//    hit shared bytes instead of re-deriving.  Options::use_artifact_cache
+//    switches to the uncached pure-function path, which must be (and is
+//    tested to be) bit-identical.
+//  * Admission control — run_admitted() pushes a batch through a bounded
+//    admission queue with per-cost-class concurrency caps, executing it as
+//    a deterministic sequence of waves: every wave grants the cheap class
+//    its own slots, so cheap shortcut queries are never starved behind
+//    heavy mincut/MST work.  Scheduling changes only latency and the
+//    queue/wave telemetry; executed result content is identical to run().
 #pragma once
 
 #include <cstdint>
@@ -22,16 +37,44 @@
 
 namespace lcs::service {
 
+/// Admission-queue configuration for ShortcutService::run_admitted.
+struct AdmissionOptions {
+  /// Bound of the admission queue.  Queries beyond the first `max_queue`
+  /// batch positions are rejected with a deterministic ok=false result
+  /// (rejection depends only on batch position and this bound — never on
+  /// timing).  Admitted queries are never dropped; saturation shows up as
+  /// queue_ms, not as different results.
+  std::size_t max_queue = 1024;
+  /// Per-wave concurrency cap of the cheap class (> 0).  Strict: a class
+  /// never borrows the other's idle slots, so the cap is also a guarantee —
+  /// every wave has cheap capacity regardless of how much heavy work waits.
+  unsigned cheap_slots = 4;
+  /// Per-wave concurrency cap of the heavy class (> 0).
+  unsigned heavy_slots = 2;
+};
+
 class ShortcutService {
  public:
+  struct Options {
+    /// Derive partitions / sparsified samples / diameter estimates through
+    /// the snapshot's shared artifact cache.  Off = compute the identical
+    /// pure functions privately per query (the reference path the cache is
+    /// tested against).
+    bool use_artifact_cache = true;
+  };
+
   /// `seed` is the base of every per-query RNG stream; services that must
-  /// be result-interchangeable must agree on it.
+  /// be result-interchangeable must agree on it (options may differ: they
+  /// never influence result content).
   explicit ShortcutService(std::shared_ptr<const GraphSnapshot> snapshot,
                            std::uint64_t seed = 1);
+  ShortcutService(std::shared_ptr<const GraphSnapshot> snapshot, std::uint64_t seed,
+                  const Options& options);
 
   const GraphSnapshot& snapshot() const { return *snap_; }
   const std::shared_ptr<const GraphSnapshot>& snapshot_ptr() const { return snap_; }
   std::uint64_t seed() const { return seed_; }
+  const Options& options() const { return opt_; }
 
   /// Execute one query on the calling thread (top level: the query body may
   /// itself use the pool).  A failing query reports ok=false + error text;
@@ -44,11 +87,22 @@ class ShortcutService {
   /// top level — not from inside a parallel region or another batch's task.
   std::vector<QueryResult> run_batch(const std::vector<QueryRequest>& batch) const;
 
+  /// Execute a batch through the bounded admission queue: cost-classed
+  /// queries run in deterministic waves of at most cheap_slots + heavy_slots
+  /// concurrent tasks, FIFO within each class by batch position.  Results
+  /// are positionally parallel to `batch`; executed queries carry the same
+  /// deterministic content (and digest) as run() plus queue_ms / wave
+  /// telemetry, and positions beyond max_queue are deterministically
+  /// rejected.  Same top-level and distinct-id requirements as run_batch.
+  std::vector<QueryResult> run_admitted(const std::vector<QueryRequest>& batch,
+                                        const AdmissionOptions& admission) const;
+
  private:
   QueryResult execute(const QueryRequest& request) const;
 
   std::shared_ptr<const GraphSnapshot> snap_;
   std::uint64_t seed_;
+  Options opt_;
 };
 
 }  // namespace lcs::service

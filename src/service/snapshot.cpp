@@ -1,8 +1,10 @@
 #include "service/snapshot.hpp"
 
 #include <algorithm>
+#include <cstring>
 
-#include "graph/algorithms.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace lcs::service {
@@ -22,19 +24,21 @@ std::shared_ptr<const GraphSnapshot> GraphSnapshot::make(graph::Graph g, const O
   snap->connected_ = gr.num_vertices() > 0 && graph::is_connected(gr);
   for (graph::VertexId v = 0; v < gr.num_vertices(); ++v)
     snap->max_degree_ = std::max(snap->max_degree_, gr.degree(v));
+  snap->exact_diameter_max_vertices_ = opt.exact_diameter_max_vertices;
 
-  if (snap->connected_) {
-    if (gr.num_vertices() <= opt.exact_diameter_max_vertices) {
-      const std::uint32_t d = graph::diameter_exact(gr);
-      snap->diameter_lb_ = d;
-      snap->diameter_ub_ = d;
-      snap->diameter_exact_ = true;
-    } else {
-      snap->diameter_lb_ = graph::diameter_double_sweep(gr);
-      // Any eccentricity brackets the diameter within a factor of two.
-      snap->diameter_ub_ = 2 * graph::eccentricity(gr, 0);
-    }
-  }
+  snap->bfs_memo_ = std::make_unique<OnceMemo<graph::VertexId, graph::BfsResult>>(
+      opt.max_cached_bfs_trees);
+  snap->partition_memo_ =
+      std::make_unique<OnceMemo<PartitionKey, graph::Partition, PartitionKeyHash>>(
+          opt.max_cached_partitions);
+  snap->sample_memo_ =
+      std::make_unique<OnceMemo<SampleKey, mincut::SparsifiedSample, SampleKeyHash>>(
+          opt.max_cached_samples);
+
+  // Prewarm at the one place guaranteed to be a top-level entry (the exact
+  // path fans its all-pairs BFS out on the pool).  Lazy first access inside
+  // a query task computes the same bytes, just serially.
+  if (opt.prewarm_diameter && snap->connected_) snap->bracket();
 
   std::uint64_t h = hash64(0x5eedULL ^ gr.num_vertices());
   for (graph::EdgeId e = 0; e < gr.num_edges(); ++e) {
@@ -44,6 +48,104 @@ std::shared_ptr<const GraphSnapshot> GraphSnapshot::make(graph::Graph g, const O
   }
   snap->fingerprint_ = h;
   return snap;
+}
+
+GraphSnapshot::DiameterBracket GraphSnapshot::compute_bracket() const {
+  DiameterBracket b;
+  if (!connected_) return b;
+  if (g_.num_vertices() <= exact_diameter_max_vertices_) {
+    const std::uint32_t d = graph::diameter_exact(g_);
+    b.lb = d;
+    b.ub = d;
+    b.exact = true;
+  } else {
+    // The same bracket the eager pre-PR-5 make() recorded: the restarted
+    // double-sweep lower bound, and 2x the eccentricity of vertex 0 — the
+    // latter read off the shared BFS-tree artifact, which this also
+    // materializes for later bfs_tree() callers.
+    const auto t0 = bfs_tree(0);
+    b.lb = graph::diameter_double_sweep(g_);
+    b.ub = 2 * t0->max_dist;
+    b.exact = false;
+  }
+  return b;
+}
+
+GraphSnapshot::DiameterBracket GraphSnapshot::bracket() const {
+  // Lock-free fast path: bracket_val_ is immutable once published.
+  if (bracket_ready_.load(std::memory_order_acquire)) return bracket_val_;
+  std::unique_lock<std::mutex> lock(bracket_mutex_);
+  for (;;) {
+    if (bracket_ready_.load(std::memory_order_relaxed)) return bracket_val_;
+    if (!bracket_inflight_) break;
+    if (in_parallel_region()) {
+      // No-deadlock rule (see util/once_memo.hpp): the in-flight owner may
+      // be a top-level thread that needs the pool this caller occupies.
+      // The bracket is pure — derive a private bit-identical copy.
+      lock.unlock();
+      return compute_bracket();
+    }
+    bracket_cv_.wait(lock);
+  }
+  bracket_inflight_ = true;
+  lock.unlock();
+  DiameterBracket b;
+  try {
+    b = compute_bracket();
+  } catch (...) {
+    lock.lock();
+    bracket_inflight_ = false;
+    bracket_cv_.notify_all();
+    throw;
+  }
+  lock.lock();
+  bracket_val_ = b;
+  bracket_ready_.store(true, std::memory_order_release);
+  bracket_inflight_ = false;
+  bracket_cv_.notify_all();
+  return b;
+}
+
+std::shared_ptr<const graph::BfsResult> GraphSnapshot::bfs_tree(graph::VertexId root) const {
+  LCS_REQUIRE(root < g_.num_vertices(), "bfs_tree root out of range");
+  return bfs_memo_->get_or_compute(root, [&] { return graph::bfs(g_, root); });
+}
+
+graph::Partition GraphSnapshot::compute_partition(const graph::Graph& g, std::uint64_t seed,
+                                                  std::uint32_t part_count) {
+  Rng rng(seed);
+  return graph::ball_partition(g, part_count, rng);
+}
+
+std::shared_ptr<const graph::Partition> GraphSnapshot::partition(
+    std::uint64_t seed, std::uint32_t part_count) const {
+  const PartitionKey key{seed, part_count};
+  return partition_memo_->get_or_compute(
+      key, [&] { return compute_partition(g_, seed, part_count); });
+}
+
+std::shared_ptr<const mincut::SparsifiedSample> GraphSnapshot::sparsified_sample(
+    std::uint64_t seed, double eps) const {
+  std::uint64_t eps_bits = 0;
+  static_assert(sizeof(eps_bits) == sizeof(eps));
+  std::memcpy(&eps_bits, &eps, sizeof(eps));
+  const SampleKey key{seed, eps_bits};
+  return sample_memo_->get_or_compute(
+      key, [&] { return mincut::sparsify_edges(g_, weights_, eps, seed); });
+}
+
+ArtifactStats GraphSnapshot::artifact_stats() const {
+  ArtifactStats s;
+  s.bfs_tree = bfs_memo_->stats();
+  s.partition = partition_memo_->stats();
+  s.sparsified = sample_memo_->stats();
+  return s;
+}
+
+void GraphSnapshot::clear_artifacts() const {
+  bfs_memo_->clear();
+  partition_memo_->clear();
+  sample_memo_->clear();
 }
 
 }  // namespace lcs::service

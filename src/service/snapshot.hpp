@@ -6,17 +6,58 @@
 // cached diameter bounds (exact when the graph is small enough for the
 // all-pairs referee, double-sweep bracket otherwise).  Snapshots are
 // immutable after make() and handed around as shared_ptr<const ...>: any
-// number of services, batches and threads may read one concurrently —
-// there is no mutable state to guard.
+// number of services, batches and threads may read one concurrently.
+//
+// PR 5: snapshots additionally own an *artifact cache* — lazily
+// materialized, deterministically keyed intermediates that repeat queries
+// share instead of re-deriving (ROADMAP "snapshot-level artifact caching"):
+//
+//   | artifact            | key                  | compute (pure in key)        |
+//   | ------------------- | -------------------- | ---------------------------- |
+//   | diameter bracket    | (none — per snapshot)| all-pairs BFS when small,    |
+//   |                     |                      | else via two bfs_tree trees  |
+//   | global BFS tree     | root vertex          | graph::bfs(g, root)          |
+//   | ball partition      | (seed, part_count)   | ball_partition on Rng(seed)  |
+//   | sparsified sample   | (seed, eps)          | mincut::sparsify_edges       |
+//
+// Every compute function is a pure function of (frozen graph, weights, key),
+// so a cache hit returns bit-identical bytes to an uncached re-derivation —
+// the cache can change only latency and the hit/miss telemetry, never a
+// result.  The graph/weight/fact members stay physically immutable; the
+// artifact memos are mutable but internally synchronized (once-per-key,
+// see util/once_memo.hpp), so the share-freely contract is unchanged.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 
+#include "graph/algorithms.hpp"
 #include "graph/graph.hpp"
+#include "graph/partition.hpp"
 #include "graph/weighted.hpp"
+#include "mincut/mincut.hpp"
+#include "util/once_memo.hpp"
 
 namespace lcs::service {
+
+/// Hit/miss/eviction counters of every artifact memo of one snapshot.
+struct ArtifactStats {
+  MemoStats bfs_tree;
+  MemoStats partition;
+  MemoStats sparsified;
+
+  MemoStats total() const {
+    MemoStats t;
+    t.hits = bfs_tree.hits + partition.hits + sparsified.hits;
+    t.misses = bfs_tree.misses + partition.misses + sparsified.misses;
+    t.bypasses = bfs_tree.bypasses + partition.bypasses + sparsified.bypasses;
+    t.evictions = bfs_tree.evictions + partition.evictions + sparsified.evictions;
+    return t;
+  }
+};
 
 class GraphSnapshot {
  public:
@@ -29,6 +70,16 @@ class GraphSnapshot {
     /// many vertices; larger snapshots record the double-sweep lower bound
     /// and a 2*eccentricity upper bound.
     std::uint32_t exact_diameter_max_vertices = 2048;
+    /// Materialize the diameter bracket inside make() (a top-level entry,
+    /// so the all-pairs BFS may use the pool).  When false the bracket is
+    /// computed on first access — same values, different place.
+    bool prewarm_diameter = true;
+    /// Artifact-cache capacities (entries per memo; 0 = unbounded).  On
+    /// overflow a memo drops its completed entries and rebuilds on demand —
+    /// results are unaffected by construction.
+    std::size_t max_cached_bfs_trees = 64;
+    std::size_t max_cached_partitions = 64;
+    std::size_t max_cached_samples = 64;
   };
 
   /// Build a snapshot (the only constructor).  Top-level entry: the diameter
@@ -45,13 +96,49 @@ class GraphSnapshot {
   std::uint32_t max_degree() const { return max_degree_; }
 
   /// Cached unweighted diameter bracket (meaningful only when connected()).
-  std::uint32_t diameter_lb() const { return diameter_lb_; }
-  std::uint32_t diameter_ub() const { return diameter_ub_; }
-  bool diameter_is_exact() const { return diameter_exact_; }
+  /// Materialized lazily through the artifact cache; bit-identical whether
+  /// it was prewarmed by make() or computed on first use.
+  std::uint32_t diameter_lb() const { return bracket().lb; }
+  std::uint32_t diameter_ub() const { return bracket().ub; }
+  bool diameter_is_exact() const { return bracket().exact; }
   /// The estimate queries use when they carry no explicit diameter: the
   /// exact value when cached, else the double-sweep lower bound (what the
   /// KP options would estimate themselves).
-  std::uint32_t diameter_estimate() const { return diameter_exact_ ? diameter_ub_ : diameter_lb_; }
+  std::uint32_t diameter_estimate() const {
+    const DiameterBracket b = bracket();
+    return b.exact ? b.ub : b.lb;
+  }
+
+  // -- shared artifacts -------------------------------------------------------
+
+  /// Global BFS tree rooted at `root` (parents, distances, eccentricity).
+  /// Each tree is one diameter estimate: dist-max brackets the diameter
+  /// within a factor of two.  Computed once per root, shared by reference.
+  std::shared_ptr<const graph::BfsResult> bfs_tree(graph::VertexId root) const;
+
+  /// BFS-Voronoi ball partition grown from `part_count` seeds drawn from
+  /// Rng(seed) — the partition family shortcut-shaped queries run on,
+  /// computed once per (seed, part_count) and shared across queries,
+  /// services and caller threads.
+  std::shared_ptr<const graph::Partition> partition(std::uint64_t seed,
+                                                    std::uint32_t part_count) const;
+
+  /// Sparsified-mincut edge sample (binomial capacity thinning), computed
+  /// once per (seed, eps).
+  std::shared_ptr<const mincut::SparsifiedSample> sparsified_sample(std::uint64_t seed,
+                                                                    double eps) const;
+
+  /// The pure function behind partition(): what an uncached caller computes
+  /// and what a cached caller must receive bit for bit.
+  static graph::Partition compute_partition(const graph::Graph& g, std::uint64_t seed,
+                                            std::uint32_t part_count);
+
+  /// Snapshot-lifetime artifact-cache telemetry (monotone counters).
+  ArtifactStats artifact_stats() const;
+
+  /// Drop every completed cache entry (a capacity/telemetry event only:
+  /// artifacts rebuild bit-identical on the next access).
+  void clear_artifacts() const;
 
   /// Stable identity of (edges, weights): two services agreeing on this
   /// fingerprint are provably querying the same frozen inputs.
@@ -60,14 +147,64 @@ class GraphSnapshot {
  private:
   GraphSnapshot() = default;
 
+  struct DiameterBracket {
+    std::uint32_t lb = 0;
+    std::uint32_t ub = 0;
+    bool exact = false;
+  };
+  struct PartitionKey {
+    std::uint64_t seed = 0;
+    std::uint32_t parts = 0;
+    bool operator==(const PartitionKey&) const = default;
+  };
+  struct PartitionKeyHash {
+    std::size_t operator()(const PartitionKey& k) const {
+      return static_cast<std::size_t>(hash64(k.seed ^ (std::uint64_t{k.parts} << 32)));
+    }
+  };
+  struct SampleKey {
+    std::uint64_t seed = 0;
+    std::uint64_t eps_bits = 0;  ///< bit pattern of the eps double (exact key)
+    bool operator==(const SampleKey&) const = default;
+  };
+  struct SampleKeyHash {
+    std::size_t operator()(const SampleKey& k) const {
+      return static_cast<std::size_t>(hash64(k.seed ^ hash64(k.eps_bits)));
+    }
+  };
+
+  DiameterBracket bracket() const;
+  DiameterBracket compute_bracket() const;
+
   graph::Graph g_;
   graph::EdgeWeights weights_;
   bool connected_ = false;
   std::uint32_t max_degree_ = 0;
-  std::uint32_t diameter_lb_ = 0;
-  std::uint32_t diameter_ub_ = 0;
-  bool diameter_exact_ = false;
+  std::uint32_t exact_diameter_max_vertices_ = 0;
   std::uint64_t fingerprint_ = 0;
+
+  // Artifact memos: mutable because materialization is lazy behind const
+  // accessors; each is internally synchronized and computes pure functions,
+  // so logical immutability (and the share-freely contract) holds.  The
+  // bracket is single-valued and never evicted, so it lives behind its own
+  // once-latch rather than a memo; like OnceMemo it obeys the no-deadlock
+  // rule (an in-region caller finding the compute in flight derives a
+  // private bit-identical copy instead of blocking), and a failed compute
+  // clears the in-flight flag so a later call retries.
+  // bracket_ready_ doubles as the publication flag: once stored with
+  // release semantics (after bracket_val_ is written, still under the
+  // mutex), readers take a lock-free acquire fast path — the diameter
+  // accessors sit on the per-query hot path and must not contend.
+  mutable std::mutex bracket_mutex_;
+  mutable std::condition_variable bracket_cv_;
+  mutable std::atomic<bool> bracket_ready_{false};
+  mutable bool bracket_inflight_ = false;
+  mutable DiameterBracket bracket_val_;
+  mutable std::unique_ptr<OnceMemo<graph::VertexId, graph::BfsResult>> bfs_memo_;
+  mutable std::unique_ptr<OnceMemo<PartitionKey, graph::Partition, PartitionKeyHash>>
+      partition_memo_;
+  mutable std::unique_ptr<OnceMemo<SampleKey, mincut::SparsifiedSample, SampleKeyHash>>
+      sample_memo_;
 };
 
 }  // namespace lcs::service

@@ -1,0 +1,184 @@
+// Thread-safe once-per-key memoization for shared immutable artifacts.
+//
+// OnceMemo<Key, Value> backs the snapshot-level artifact cache: the first
+// caller of a key computes the value (outside the map lock, so independent
+// keys compute concurrently); every concurrent or later caller of the same
+// key blocks on / reuses that one computation and receives the same
+// shared_ptr<const Value>.  The memo never changes *what* is computed —
+// compute functions must be pure in the key — so results are bit-identical
+// whether a lookup hits, misses, or the table was cleared in between; only
+// the hit/miss telemetry can tell the difference.
+//
+// Failure is not cached: when a compute throws, its slot is erased and the
+// exception propagates to every caller waiting on that key, so a later call
+// retries instead of replaying a stale error.
+//
+// No-deadlock rule: a caller running inside a parallel region (a pool
+// worker or task) never *blocks* on an in-flight computation — it computes
+// the value privately and returns its own copy (identical bytes, by
+// purity), counted in stats as a bypass.  Blocking there could deadlock:
+// the in-flight owner may be a top-level thread about to use the pool,
+// which cannot drain while one of its workers sleeps on the owner's
+// future.  Ready entries are reused from anywhere; top-level callers wait
+// normally (they hold no pool resources an owner could need).
+//
+// Capacity: `max_entries` bounds the table (0 = unbounded).  On overflow
+// the memo drops every *completed* entry — a deterministic epoch flush that
+// needs no access-order bookkeeping (LRU order under concurrency is
+// scheduling-dependent; which values exist in a cache must never matter for
+// results, so the simplest policy wins).  In-flight computations survive a
+// flush untouched.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+
+namespace lcs {
+
+/// Hit/miss/bypass/eviction counters of one memo (monotone; telemetry).
+struct MemoStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  /// In-region callers that found the key in flight and computed privately
+  /// instead of blocking (the no-deadlock rule above).
+  std::uint64_t bypasses = 0;
+  std::uint64_t evictions = 0;
+
+  std::uint64_t lookups() const { return hits + misses + bypasses; }
+  double hit_rate() const {
+    const std::uint64_t total = lookups();
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class OnceMemo {
+ public:
+  using ValuePtr = std::shared_ptr<const Value>;
+
+  /// `max_entries` caps the table size; 0 keeps it unbounded.
+  explicit OnceMemo(std::size_t max_entries = 0) : max_entries_(max_entries) {}
+
+  OnceMemo(const OnceMemo&) = delete;
+  OnceMemo& operator=(const OnceMemo&) = delete;
+
+  /// Return the memoized value for `key`, computing it via `compute` (any
+  /// `Value()` callable — no std::function erasure on the hit path) on the
+  /// first (or a concurrent-first) call.  `compute` must be a pure function
+  /// of the key; it runs on the calling thread without the map lock held.
+  template <typename Fn>
+  ValuePtr get_or_compute(const Key& key, Fn&& compute) {
+    std::shared_future<ValuePtr> future;
+    bool owner = false;
+    std::uint64_t token = 0;
+    // Engaged only on the claim path: hits and bypasses must not pay the
+    // promise's shared-state allocation.
+    std::optional<std::promise<ValuePtr>> promise;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      auto it = map_.find(key);
+      if (it == map_.end()) {
+        if (max_entries_ > 0 && map_.size() >= max_entries_) evict_completed_locked();
+        promise.emplace();
+        future = promise->get_future().share();
+        token = ++next_token_;
+        map_.emplace(key, Entry{future, token});
+        owner = true;
+        ++misses_;
+      } else if (in_parallel_region() &&
+                 it->second.future.wait_for(std::chrono::seconds(0)) !=
+                     std::future_status::ready) {
+        // The no-deadlock rule: never block a pool worker on an in-flight
+        // owner (who may be a top-level thread that needs this very pool).
+        // The value is a pure function of the key — compute a private,
+        // bit-identical copy instead.
+        ++bypasses_;
+        future = {};
+      } else {
+        future = it->second.future;
+        ++hits_;
+      }
+    }
+    if (!owner && !future.valid()) return std::make_shared<const Value>(compute());
+    if (owner) {
+      try {
+        promise->set_value(std::make_shared<const Value>(compute()));
+      } catch (...) {
+        // Do not cache failure: erase the slot so a later call retries, then
+        // deliver the exception to everyone already waiting on this key.
+        // The token guards against erasing a successor entry that replaced
+        // this one (impossible while we hold the slot, but cheap to pin).
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          auto it = map_.find(key);
+          if (it != map_.end() && it->second.token == token) map_.erase(it);
+        }
+        promise->set_exception(std::current_exception());
+      }
+    }
+    ValuePtr value = future.get();  // rethrows a compute failure
+    LCS_CHECK(value != nullptr, "OnceMemo computed a null value");
+    return value;
+  }
+
+  /// Drop every completed entry (in-flight computations are left alone).
+  /// Purely a capacity/telemetry event: values are recomputed bit-identical.
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    evict_completed_locked();
+  }
+
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+  }
+
+  std::size_t max_entries() const { return max_entries_; }
+
+  MemoStats stats() const {
+    MemoStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.bypasses = bypasses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  struct Entry {
+    std::shared_future<ValuePtr> future;
+    std::uint64_t token = 0;  ///< identity of the insertion that owns the slot
+  };
+
+  void evict_completed_locked() {
+    for (auto it = map_.begin(); it != map_.end();) {
+      if (it->second.future.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+        it = map_.erase(it);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  const std::size_t max_entries_;
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, Entry, Hash> map_;
+  std::uint64_t next_token_ = 0;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> bypasses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace lcs

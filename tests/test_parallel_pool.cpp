@@ -7,6 +7,7 @@
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "congest/programs.hpp"
@@ -15,6 +16,9 @@
 #include "core/shortcut.hpp"
 #include "graph/generators.hpp"
 #include "graph/partition.hpp"
+#include "graph/weighted.hpp"
+#include "mincut/mincut.hpp"
+#include "util/once_memo.hpp"
 #include "util/parallel.hpp"
 
 namespace lcs {
@@ -315,6 +319,144 @@ TEST_F(ParallelPoolTest, CapacityViolationPropagatesFromParallelRound) {
     sim.set_parallel(true);
     Flooder p;
     EXPECT_THROW(sim.run(p, 2), std::invalid_argument);
+  }
+}
+
+// --- OnceMemo (the artifact-cache primitive, PR 5) ---------------------------
+
+TEST_F(ParallelPoolTest, OnceMemoClaimsEachKeyOnceUnderContention) {
+  for (const unsigned t : {1u, 8u}) {
+    set_num_threads(t);
+    OnceMemo<int, int> memo;
+    std::atomic<int> computes{0};
+    std::vector<int> got(64, -1);
+    // 64 lookups over 4 keys from every worker at once.  Each key is
+    // claimed (inserted) exactly once; racing in-region callers that find
+    // it in flight compute a private bit-identical copy (bypass) instead
+    // of blocking a pool worker.
+    parallel_for(0, got.size(), 1, [&](std::size_t i) {
+      const int key = static_cast<int>(i % 4);
+      got[i] = *memo.get_or_compute(key, [&] {
+        ++computes;
+        return key * 10;
+      });
+    });
+    for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], int(i % 4) * 10);
+    const MemoStats s = memo.stats();
+    EXPECT_EQ(s.misses, 4u);
+    EXPECT_EQ(static_cast<std::uint64_t>(computes.load()), s.misses + s.bypasses);
+    EXPECT_EQ(s.hits + s.misses + s.bypasses, 64u);
+    EXPECT_EQ(s.lookups(), 64u);
+    EXPECT_EQ(memo.size(), 4u);
+  }
+}
+
+TEST_F(ParallelPoolTest, OnceMemoInRegionCallersNeverBlockOnInflightOwner) {
+  // The no-deadlock rule end to end: a top-level owner claims a key and —
+  // while still in flight — needs the pool; concurrently, pool tasks look
+  // the same key up.  Blocking them would deadlock (the pool can never
+  // drain for the owner).  With the bypass rule the tasks compute private
+  // copies, the pool drains, and the owner's parallel_for proceeds.
+  set_num_threads(4);
+  OnceMemo<int, int> memo;
+  std::atomic<bool> owner_started{false};
+  std::atomic<bool> tasks_done{false};
+
+  std::thread owner([&] {
+    const auto v = memo.get_or_compute(5, [&] {
+      owner_started = true;
+      // Wait until the pool-side lookups went through, then use the pool
+      // from inside the compute — the deadlock shape this rule prevents.
+      while (!tasks_done) std::this_thread::yield();
+      std::atomic<int> sum{0};
+      parallel_for(0, 8, 1, [&](std::size_t i) { sum += static_cast<int>(i); });
+      return 100 + sum.load();
+    });
+    EXPECT_EQ(*v, 128);
+  });
+
+  while (!owner_started) std::this_thread::yield();
+  std::vector<int> got(6, -1);
+  parallel_tasks(got.size(), [&](std::size_t i) {
+    got[i] = *memo.get_or_compute(5, [] { return 128; });  // must not block
+  });
+  tasks_done = true;
+  owner.join();
+
+  for (const int v : got) EXPECT_EQ(v, 128);
+  const MemoStats s = memo.stats();
+  EXPECT_EQ(s.misses, 1u);       // the owner's claim
+  EXPECT_EQ(s.bypasses, 6u);     // every task bypassed the in-flight owner
+  EXPECT_EQ(*memo.get_or_compute(5, [] { return -1; }), 128);  // owner's value cached
+}
+
+TEST_F(ParallelPoolTest, OnceMemoSharesOneValueInstancePerKey) {
+  OnceMemo<int, std::vector<int>> memo;
+  const auto a = memo.get_or_compute(1, [] { return std::vector<int>{1, 2, 3}; });
+  const auto b = memo.get_or_compute(1, [] { return std::vector<int>{9, 9, 9}; });
+  EXPECT_EQ(a.get(), b.get());  // second compute never ran
+  EXPECT_EQ(*b, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(ParallelPoolTest, OnceMemoEvictsCompletedEntriesAtCapacity) {
+  OnceMemo<int, int> memo(2);
+  (void)*memo.get_or_compute(1, [] { return 1; });
+  (void)*memo.get_or_compute(2, [] { return 2; });
+  EXPECT_EQ(memo.size(), 2u);
+  (void)*memo.get_or_compute(3, [] { return 3; });  // overflow: flush completed
+  EXPECT_EQ(memo.size(), 1u);
+  EXPECT_EQ(memo.stats().evictions, 2u);
+  // Evicted keys recompute bit-identical values.
+  EXPECT_EQ(*memo.get_or_compute(1, [] { return 1; }), 1);
+  memo.clear();
+  EXPECT_EQ(memo.size(), 0u);
+}
+
+TEST_F(ParallelPoolTest, OnceMemoDoesNotCacheFailures) {
+  OnceMemo<int, int> memo;
+  int attempts = 0;
+  const auto failing = [&]() -> int {
+    ++attempts;
+    if (attempts == 1) throw std::runtime_error("first compute fails");
+    return 42;
+  };
+  EXPECT_THROW((void)memo.get_or_compute(7, failing), std::runtime_error);
+  EXPECT_EQ(memo.size(), 0u);  // the failed slot was erased...
+  EXPECT_EQ(*memo.get_or_compute(7, failing), 42);  // ...so the retry computes
+  EXPECT_EQ(attempts, 2);
+}
+
+// --- nested serialization under saturation (guards the PR 4 contract) --------
+
+TEST_F(ParallelPoolTest, NestedKargerInsideSaturatedTasksIsByteIdentical) {
+  // The compose-instead-of-throw contract under real contention: more tasks
+  // than workers, each task running karger_mincut — itself a parallel entry
+  // point (trials fan out at top level, serialize inline inside a task).
+  // Every nested result must equal the top-level run of the same seed.
+  Rng gen(63);
+  const graph::Graph g = graph::connected_gnm(80, 240, gen);
+  const graph::EdgeWeights w = graph::random_weights(g, 6, gen);
+  constexpr std::size_t kTasks = 12;  // > any pool size used below
+  constexpr std::uint32_t kTrials = 6;
+
+  // Top-level reference, one seed per task index.
+  std::vector<mincut::CutResult> reference;
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    Rng r(900 + i);
+    reference.push_back(mincut::karger_mincut(g, w, kTrials, r));
+  }
+
+  for (const unsigned t : {1u, 2u, 8u}) {
+    set_num_threads(t);
+    std::vector<mincut::CutResult> nested(kTasks);
+    parallel_tasks(kTasks, [&](std::size_t i) {
+      Rng r(900 + i);
+      nested[i] = mincut::karger_mincut(g, w, kTrials, r);  // serializes inline
+    });
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      EXPECT_EQ(nested[i].value, reference[i].value) << "task " << i << " t" << t;
+      EXPECT_EQ(nested[i].side, reference[i].side) << "task " << i << " t" << t;
+    }
   }
 }
 

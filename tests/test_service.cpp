@@ -217,6 +217,139 @@ TEST(ShortcutService, DuplicateIdsInBatchAreRejected) {
   EXPECT_THROW(svc.run_batch(batch), std::invalid_argument);
 }
 
+// --- artifact cache (PR 5) ---------------------------------------------------
+
+TEST(GraphSnapshot, LazyDiameterBracketMatchesPrewarmed) {
+  Rng gen(7);
+  const graph::Graph g = graph::connected_gnm(150, 450, gen);
+  GraphSnapshot::Options eager;
+  GraphSnapshot::Options lazy;
+  lazy.prewarm_diameter = false;
+  const auto a = GraphSnapshot::make(g, eager);
+  const auto b = GraphSnapshot::make(g, lazy);
+  EXPECT_EQ(a->diameter_lb(), b->diameter_lb());
+  EXPECT_EQ(a->diameter_ub(), b->diameter_ub());
+  EXPECT_EQ(a->diameter_is_exact(), b->diameter_is_exact());
+  EXPECT_EQ(a->diameter_estimate(), b->diameter_estimate());
+}
+
+TEST(GraphSnapshot, ArtifactAccessorsMemoizeOncePerKey) {
+  const auto snap = small_snapshot(31, 120);
+  const auto t1 = snap->bfs_tree(5);
+  const auto t2 = snap->bfs_tree(5);
+  EXPECT_EQ(t1.get(), t2.get());  // shared bytes, not equal copies
+  EXPECT_NE(t1.get(), snap->bfs_tree(6).get());
+
+  const auto p1 = snap->partition(42, 8);
+  EXPECT_EQ(p1.get(), snap->partition(42, 8).get());
+  EXPECT_NE(p1.get(), snap->partition(43, 8).get());
+  EXPECT_NE(p1.get(), snap->partition(42, 9).get());
+
+  const auto s1 = snap->sparsified_sample(42, 0.5);
+  EXPECT_EQ(s1.get(), snap->sparsified_sample(42, 0.5).get());
+  EXPECT_NE(s1.get(), snap->sparsified_sample(42, 0.4).get());
+
+  const service::ArtifactStats stats = snap->artifact_stats();
+  EXPECT_EQ(stats.bfs_tree.misses, 2u);
+  EXPECT_EQ(stats.bfs_tree.hits, 1u);
+  EXPECT_EQ(stats.partition.misses, 3u);
+  EXPECT_EQ(stats.partition.hits, 1u);
+  EXPECT_EQ(stats.sparsified.misses, 2u);
+  EXPECT_EQ(stats.sparsified.hits, 1u);
+}
+
+TEST(GraphSnapshot, CachedArtifactsEqualUncachedPureFunctions) {
+  const auto snap = small_snapshot(32, 120);
+  const auto cached = snap->partition(77, 6);
+  const graph::Partition direct = GraphSnapshot::compute_partition(snap->graph(), 77, 6);
+  EXPECT_EQ(cached->parts, direct.parts);
+
+  const auto sample = snap->sparsified_sample(91, 0.5);
+  const mincut::SparsifiedSample direct_sample =
+      mincut::sparsify_edges(snap->graph(), snap->weights(), 0.5, 91);
+  EXPECT_EQ(sample->units, direct_sample.units);
+  EXPECT_DOUBLE_EQ(sample->sample_prob, direct_sample.sample_prob);
+}
+
+TEST(ShortcutService, CachedVsUncachedBitIdentityAcrossThreadCounts) {
+  const auto snap = small_snapshot();
+  const ShortcutService cached(snap, 3);
+  const ShortcutService uncached(snap, 3,
+                                 ShortcutService::Options{/*use_artifact_cache=*/false});
+  const auto batch = mixed_batch(12);
+
+  ThreadOverrideGuard guard;
+  set_num_threads(1);
+  const std::vector<QueryResult> ref = uncached.run_batch(batch);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    set_num_threads(threads);
+    const std::vector<QueryResult> hot = cached.run_batch(batch);    // may hit
+    const std::vector<QueryResult> cold = uncached.run_batch(batch);  // never hits
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      expect_same_result(hot[i], ref[i]);
+      expect_same_result(cold[i], ref[i]);
+    }
+  }
+  // The cached service really did use the shared pool.
+  EXPECT_GT(snap->artifact_stats().total().hits, 0u);
+}
+
+TEST(ShortcutService, EvictionAndRebuildAreDeterministic) {
+  // A capacity-1 artifact cache thrashes (every new key evicts the last);
+  // an unbounded one never evicts; explicit clear_artifacts() rebuilds from
+  // nothing.  All three must produce bit-identical query results.
+  Rng gen(11);
+  const graph::Graph g = graph::connected_gnm(300, 900, gen);
+  GraphSnapshot::Options tiny;
+  tiny.weight_seed = 11 ^ 0x55ULL;
+  tiny.max_weight = 9;
+  tiny.max_cached_partitions = 1;
+  tiny.max_cached_bfs_trees = 1;
+  tiny.max_cached_samples = 1;
+  const auto thrashing = GraphSnapshot::make(g, tiny);
+  const auto roomy = small_snapshot();  // same seed/options as the default fixture
+
+  const ShortcutService svc_thrash(thrashing, 3);
+  const ShortcutService svc_roomy(roomy, 3);
+  const auto batch = mixed_batch(12);
+
+  const std::vector<QueryResult> a = svc_thrash.run_batch(batch);
+  const std::vector<QueryResult> b = svc_roomy.run_batch(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) expect_same_result(a[i], b[i]);
+  EXPECT_GT(thrashing->artifact_stats().total().evictions, 0u);
+  EXPECT_EQ(roomy->artifact_stats().total().evictions, 0u);
+
+  // Rebuild from an explicitly cleared cache: same bytes again.
+  thrashing->clear_artifacts();
+  const std::vector<QueryResult> c = svc_thrash.run_batch(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) expect_same_result(c[i], a[i]);
+}
+
+TEST(ShortcutService, TwoServicesShareOneArtifactPoolConcurrently) {
+  // Two services over one snapshot, queried from two caller threads at
+  // once: the artifact pool is hit from both sides (same seed => same
+  // partition/sample keys) and every result stays oracle-identical.
+  const auto snap = small_snapshot(41);
+  const ShortcutService a(snap, 9);
+  const ShortcutService b(snap, 9);
+  const auto batch = mixed_batch(10);
+  const std::vector<QueryResult> ref = a.run_batch(batch);
+
+  std::vector<QueryResult> got_a, got_b;
+  std::thread ta([&] { got_a = a.run_batch(batch); });
+  std::thread tb([&] { got_b = b.run_batch(batch); });
+  ta.join();
+  tb.join();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    expect_same_result(got_a[i], ref[i]);
+    expect_same_result(got_b[i], ref[i]);
+  }
+  // Reference run materialized every artifact; the two concurrent replays
+  // hit the shared pool instead of re-deriving.
+  EXPECT_GT(snap->artifact_stats().total().hits,
+            snap->artifact_stats().total().misses);
+}
+
 TEST(ShortcutService, QueryErrorsAreCapturedAndDeterministic) {
   // A disconnected snapshot: mincut queries must fail identically at every
   // thread count, not crash the batch.

@@ -194,6 +194,146 @@ TEST(Rng, BinomialMatchesMomentsInBothRegimes) {
   }
 }
 
+namespace {
+
+/// Exact Binomial(n, p) log-pmf via log-gamma (stable for the small n used
+/// in the chi-square checks).
+double binomial_log_pmf(std::uint64_t n, std::uint64_t k, double p) {
+  const double dn = static_cast<double>(n), dk = static_cast<double>(k);
+  return std::lgamma(dn + 1) - std::lgamma(dk + 1) - std::lgamma(dn - dk + 1) +
+         dk * std::log(p) + (dn - dk) * std::log1p(-p);
+}
+
+}  // namespace
+
+TEST(Rng, BinomialChiSquareAgainstExactPmfBothRegimes) {
+  // Goodness of fit against the exact distribution, one case per sampler
+  // regime: n*p < 10 exercises the geometric-skip inversion, n*p >= 10 the
+  // BTRS rejection.  Outcomes with tiny expectation pool into tail bins so
+  // every cell has expectation >= ~5; the thresholds sit far above the
+  // 99.99th chi-square percentile for the respective degrees of freedom,
+  // and the draws are a fixed deterministic stream (no flakes).
+  struct Case {
+    std::uint64_t n;
+    double p;
+    double threshold;
+  };
+  const int draws = 20000;
+  for (const Case c : {Case{8, 0.3, 45.0},       // inversion, 9 outcomes
+                       Case{60, 0.5, 80.0}}) {   // BTRS, binned center + tails
+    Rng r(53);
+    std::vector<std::uint64_t> counts(c.n + 1, 0);
+    for (int i = 0; i < draws; ++i) {
+      const std::uint64_t k = r.binomial(c.n, c.p);
+      ASSERT_LE(k, c.n);
+      ++counts[k];
+    }
+    std::vector<double> expected(c.n + 1, 0.0);
+    for (std::uint64_t k = 0; k <= c.n; ++k)
+      expected[k] = draws * std::exp(binomial_log_pmf(c.n, k, c.p));
+    // Pool cells with expectation < 5 into their neighbour toward the mode.
+    double chi2 = 0.0, pooled_obs = 0.0, pooled_exp = 0.0;
+    for (std::uint64_t k = 0; k <= c.n; ++k) {
+      pooled_obs += static_cast<double>(counts[k]);
+      pooled_exp += expected[k];
+      if (pooled_exp >= 5.0) {
+        chi2 += (pooled_obs - pooled_exp) * (pooled_obs - pooled_exp) / pooled_exp;
+        pooled_obs = pooled_exp = 0.0;
+      }
+    }
+    if (pooled_exp > 0.0)
+      chi2 += (pooled_obs - pooled_exp) * (pooled_obs - pooled_exp) / pooled_exp;
+    EXPECT_LT(chi2, c.threshold) << "n=" << c.n << " p=" << c.p;
+  }
+}
+
+TEST(Rng, BinomialCrossoverRegimeKeepsMoments) {
+  // n*min(p,1-p) straddling the inversion/BTRS switch at 10: both sides of
+  // the crossover (and the reflected p > 0.5 variants) must track mean and
+  // variance — a regression in either sampler's acceptance logic shows up
+  // here first.
+  struct Case {
+    std::uint64_t n;
+    double p;
+  };
+  const int draws = 20000;
+  for (const Case c : {Case{100, 0.095}, Case{100, 0.105}, Case{20, 0.5}, Case{21, 0.5},
+                       Case{100, 0.905}, Case{100, 0.895}}) {
+    Rng r(59);
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < draws; ++i) {
+      const double k = static_cast<double>(r.binomial(c.n, c.p));
+      ASSERT_LE(k, static_cast<double>(c.n));
+      sum += k;
+      sum_sq += k * k;
+    }
+    const double mean = sum / draws;
+    const double var = sum_sq / draws - mean * mean;
+    const double want_mean = static_cast<double>(c.n) * c.p;
+    const double want_var = want_mean * (1.0 - c.p);
+    EXPECT_NEAR(mean, want_mean, 5.0 * std::sqrt(want_var / draws) + 0.05)
+        << "n=" << c.n << " p=" << c.p;
+    EXPECT_NEAR(var, want_var, 0.15 * want_var + 0.1) << "n=" << c.n << " p=" << c.p;
+  }
+}
+
+TEST(Rng, BinomialLargeNStaysExpectedScale) {
+  // Huge n with small p: the samplers must stay O(1)-ish (inversion is
+  // O(n*p), BTRS O(1)) and keep the first two moments — a naive n-trial
+  // loop would time out here long before the assertions could fail.
+  struct Case {
+    std::uint64_t n;
+    double p;
+  };
+  const int draws = 4000;
+  for (const Case c : {Case{1'000'000, 2e-5},        // np = 20: BTRS
+                       Case{1'000'000'000, 5e-9},    // np = 5: inversion skips
+                       Case{100'000'000, 2e-7}}) {   // np = 20 at large n
+    Rng r(61);
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < draws; ++i) {
+      const double k = static_cast<double>(r.binomial(c.n, c.p));
+      ASSERT_LE(k, static_cast<double>(c.n));
+      sum += k;
+      sum_sq += k * k;
+    }
+    const double mean = sum / draws;
+    const double var = sum_sq / draws - mean * mean;
+    const double want_mean = static_cast<double>(c.n) * c.p;
+    EXPECT_NEAR(mean, want_mean, 6.0 * std::sqrt(want_mean / draws) + 0.05)
+        << "n=" << c.n << " p=" << c.p;
+    EXPECT_NEAR(var, want_mean, 0.2 * want_mean + 0.1) << "n=" << c.n << " p=" << c.p;
+  }
+}
+
+TEST(Rng, BinomialExtremeProbabilityTails) {
+  // p so close to 0 or 1 that successes (or failures) are rare events: the
+  // draw must stay in range, hit the all-or-nothing values almost always,
+  // and keep the rare-event rate near n*min(p, 1-p).
+  Rng r(67);
+  const int draws = 5000;
+  std::uint64_t nonzero = 0;
+  for (int i = 0; i < draws; ++i) {
+    const std::uint64_t k = r.binomial(1000, 1e-7);  // np = 1e-4
+    ASSERT_LE(k, 1000u);
+    nonzero += k > 0 ? 1 : 0;
+  }
+  EXPECT_LE(nonzero, 5u);  // P(any success) ~ 1e-4 per draw
+
+  std::uint64_t not_full = 0;
+  double shortfall = 0.0;
+  for (int i = 0; i < draws; ++i) {
+    const std::uint64_t k = r.binomial(1000, 1.0 - 1e-5);  // n*(1-p) = 0.01
+    ASSERT_LE(k, 1000u);
+    not_full += k < 1000 ? 1 : 0;
+    shortfall += static_cast<double>(1000 - k);
+  }
+  // ~draws * 0.01 = 50 expected misses; allow a wide deterministic margin.
+  EXPECT_LT(not_full, 120u);
+  EXPECT_GT(not_full, 10u);
+  EXPECT_NEAR(shortfall / draws, 0.01, 0.008);
+}
+
 // --- math --------------------------------------------------------------------
 
 TEST(Math, CeilDiv) {
