@@ -73,7 +73,7 @@ LCS_BENCH_SCENARIO(S3_query_throughput,
   service::GraphSnapshot::Options sopt;
   sopt.weight_seed = seed ^ 0x77ULL;
   sopt.max_weight = 12;
-  const auto snapshot = service::GraphSnapshot::make(std::move(g), sopt);
+  const auto snapshot = service::GraphSnapshot::build(std::move(g), sopt);
   const service::ShortcutService svc(snapshot, seed);
   const std::vector<service::QueryRequest> batch = mixed_batch(batch_size);
 

@@ -81,7 +81,7 @@ LCS_BENCH_SCENARIO(S4_overload,
   // zero the hot-pass hit-rate legs.
   sopt.max_cached_partitions = 256;
   sopt.max_cached_samples = 256;
-  const auto snapshot = service::GraphSnapshot::make(std::move(g), sopt);
+  const auto snapshot = service::GraphSnapshot::build(std::move(g), sopt);
   const service::ShortcutService svc(snapshot, seed);
   const service::ShortcutService uncached(
       snapshot, seed, service::ShortcutService::Options{/*use_artifact_cache=*/false});

@@ -1,0 +1,180 @@
+// S5 — snapshot ingest/serve: build vs mmap-load, cold vs warm first query
+// (PR 6).
+//
+// Leg 1 (scale): a generated million-node connected G(n,m) is frozen into a
+// snapshot (build), saved through the fingerprint-addressed store, and
+// mmap-loaded back.  Recorded: build/save/load wall time, file size, and
+// the first-query latency cold (freshly built snapshot, empty artifact
+// cache) vs warm (mmap-loaded snapshot whose saved artifacts arrive
+// pre-seeded).  The headline gate `mmap_load_faster` asserts the point of
+// the format: opening a frozen graph by fingerprint is orders of magnitude
+// cheaper than rebuilding it.
+//
+// Leg 2 (digest gate): on a smaller instance, every query kind runs against
+// built and loaded snapshots at 1/2/8 threads — the digests must be
+// bit-identical (`deterministic_loaded_vs_built`), the inline twin of
+// tests/test_snapshot_store.cpp's round-trip suite.
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/registry.hpp"
+#include "bench/timer.hpp"
+#include "graph/generators.hpp"
+#include "service/service.hpp"
+#include "service/snapshot_store.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using lcs::service::QueryKind;
+using lcs::service::QueryRequest;
+using lcs::service::QueryResult;
+
+std::vector<QueryRequest> gate_batch(std::uint32_t n) {
+  std::vector<QueryRequest> batch;
+  const auto add = [&](QueryKind kind, std::uint32_t num_parts, std::uint32_t karger,
+                       double eps) {
+    QueryRequest q;
+    q.id = 55'000 + batch.size();
+    q.kind = kind;
+    q.num_parts = num_parts;
+    q.karger_trials = karger;
+    q.eps = eps;
+    batch.push_back(q);
+  };
+  add(QueryKind::kShortcutQuality, 0, 0, 0.5);
+  add(QueryKind::kShortcutBuild, n / 6, 0, 0.5);
+  add(QueryKind::kMst, 0, 0, 0.5);
+  add(QueryKind::kMincut, 0, 2, 0.5);
+  add(QueryKind::kMincut, 0, 0, 0.6);
+  return batch;
+}
+
+std::vector<std::uint64_t> digests(const std::vector<QueryResult>& rs) {
+  std::vector<std::uint64_t> d;
+  d.reserve(rs.size());
+  for (const auto& r : rs) d.push_back(r.digest());
+  return d;
+}
+
+}  // namespace
+
+LCS_BENCH_SCENARIO(S5_snapshot_io,
+                   "snapshot store ingest/serve: build vs mmap-load, cold vs warm first query",
+                   "~1M-node gnm ingest -> serve + all-kind digest gate at n=5000") {
+  using namespace lcs;
+
+  const std::uint32_t n = ctx.pick_n(1'000'000, 2'000'000);
+  const std::uint32_t m = 2 * n;
+  const std::uint64_t seed = ctx.seed(65);
+  ctx.param("m", std::uint64_t{m});
+
+  const std::filesystem::path store_dir =
+      std::filesystem::temp_directory_path() / "lcs-bench-s5-store";
+  std::filesystem::remove_all(store_dir);
+  service::SnapshotStore store(store_dir);
+
+  ThreadOverrideGuard guard;
+  set_num_threads(4);
+
+  // --- leg 1: ingest -> serve at scale -----------------------------------
+  Rng gen(seed);
+  bench::MonotonicTimer t_gen;
+  graph::Graph g = graph::connected_gnm(n, m, gen);
+  const double generate_ms = t_gen.elapsed_ms();
+
+  service::GraphSnapshot::Options sopt;
+  sopt.weight_seed = seed ^ 0x5105ULL;
+  bench::MonotonicTimer t_build;
+  const auto built = service::GraphSnapshot::build(std::move(g), sopt);
+  const double build_ms = t_build.elapsed_ms();
+
+  // Cold first query: freshly built snapshot, empty artifact cache.  A
+  // shortcut build over few parts: the dominant cost is the BFS-Voronoi
+  // partition of the full graph, which is exactly the artifact the snapshot
+  // file pre-warms.  (Default ~sqrt(n) parts would time the KP referee's
+  // per-part edge scan — the referee, not the snapshot path.)
+  const service::ShortcutService built_svc(built, seed);
+  QueryRequest first;
+  first.id = 54'001;
+  first.kind = QueryKind::kShortcutBuild;
+  first.num_parts = 8;
+  bench::MonotonicTimer t_cold;
+  const QueryResult cold = built_svc.run(first);
+  const double cold_first_query_ms = t_cold.elapsed_ms();
+
+  bench::MonotonicTimer t_save;
+  const std::filesystem::path path = store.save(*built);
+  const double save_ms = t_save.elapsed_ms();
+  const double snapshot_bytes = static_cast<double>(std::filesystem::file_size(path));
+
+  bench::MonotonicTimer t_load;
+  const auto loaded = store.open(built->fingerprint());
+  const double load_ms = t_load.elapsed_ms();
+
+  // Warm first query: same request against the loaded snapshot — its
+  // partition artifact came out of the file, so the query is a cache hit.
+  const service::ShortcutService loaded_svc(loaded, seed);
+  bench::MonotonicTimer t_warm;
+  const QueryResult warm = loaded_svc.run(first);
+  const double warm_first_query_ms = t_warm.elapsed_ms();
+
+  bool all_ok = cold.ok && warm.ok;
+  bool loaded_vs_built = cold.digest() == warm.digest() &&
+                         loaded->fingerprint() == built->fingerprint();
+  const double load_speedup =
+      load_ms > 1e-6 ? build_ms / load_ms : 0.0;
+
+  Table t({"leg", "ms", "note"});
+  t.row().cell("generate").cell(generate_ms, 1).cell("connected gnm, untimed input");
+  t.row().cell("build").cell(build_ms, 1).cell("freeze + weights + connectivity + bracket");
+  t.row().cell("cold first query").cell(cold_first_query_ms, 1).cell("built, empty cache");
+  t.row().cell("save").cell(save_ms, 1).cell(std::to_string(static_cast<std::uint64_t>(
+                                                 snapshot_bytes / (1024 * 1024))) +
+                                             " MiB canonical file");
+  t.row().cell("mmap load").cell(load_ms, 1).cell("checksum + zero-copy views");
+  t.row().cell("warm first query").cell(warm_first_query_ms, 1).cell("loaded, artifact hit");
+  t.print(ctx.out(), "S5 leg 1: ingest -> serve at n=" + std::to_string(n));
+  ctx.out() << "\nmmap load is " << load_speedup << "x faster than in-process build\n";
+
+  ctx.metric("generate_ms", generate_ms);
+  ctx.metric("build_ms", build_ms);
+  ctx.metric("save_ms", save_ms);
+  ctx.metric("load_ms", load_ms);
+  ctx.metric("snapshot_bytes", snapshot_bytes);
+  ctx.metric("cold_first_query_ms", cold_first_query_ms);
+  ctx.metric("warm_first_query_ms", warm_first_query_ms);
+  ctx.metric("load_speedup_vs_build", load_speedup);
+
+  // --- leg 2: all-kind digest gate on a service-sized instance ------------
+  const std::uint32_t gate_n = 2000;
+  Rng gate_gen(seed ^ 0x6eULL);
+  const auto gate_built =
+      service::GraphSnapshot::build(graph::connected_gnm(gate_n, 3 * gate_n, gate_gen));
+  const auto batch = gate_batch(gate_n);
+  const service::ShortcutService gate_built_svc(gate_built, seed);
+  const std::vector<QueryResult> gate_reference = gate_built_svc.run_batch(batch);
+  for (const QueryResult& r : gate_reference) all_ok = all_ok && r.ok;
+  const std::vector<std::uint64_t> reference = digests(gate_reference);
+
+  store.save(*gate_built);
+  const auto gate_loaded = store.open(gate_built->fingerprint());
+  const service::ShortcutService gate_loaded_svc(gate_loaded, seed);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    set_num_threads(threads);
+    loaded_vs_built =
+        loaded_vs_built && digests(gate_loaded_svc.run_batch(batch)) == reference;
+  }
+  ctx.out() << "digest gate: every kind at 1/2/8 threads, loaded vs built: "
+            << (loaded_vs_built ? "identical" : "MISMATCH") << "\n";
+
+  ctx.metric("deterministic_loaded_vs_built", loaded_vs_built);
+  ctx.metric("all_queries_ok", all_ok);
+  ctx.metric("mmap_load_faster", load_ms < build_ms);
+
+  std::filesystem::remove_all(store_dir);
+}

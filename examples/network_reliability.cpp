@@ -12,23 +12,28 @@
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "mincut/mincut.hpp"
+#include "service/snapshot.hpp"
 #include "sssp/sssp.hpp"
 #include "tecss/tecss.hpp"
-#include "util/rng.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace lcs;
-  Rng rng(11);
 
-  // Backbone: ring + cross-links (2-edge-connected, diameter ~6).
+  // Backbone: ring + cross-links (2-edge-connected, diameter ~6), frozen
+  // into a snapshot whose options assign the link capacities — the PR 6
+  // construction surface shared with the query service and the store.
   const std::uint32_t n = 240;
   graph::GraphBuilder b(n);
   for (graph::VertexId v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);
   for (graph::VertexId v = 0; v < n; v += 2)
     b.add_edge(v, static_cast<graph::VertexId>((v + n / 5) % n));
-  const graph::Graph g = std::move(b).build();
-  const graph::EdgeWeights capacity = graph::random_weights(g, 40, rng);
+  service::GraphSnapshot::Options sopt;
+  sopt.weight_seed = 11;
+  sopt.max_weight = 40;
+  const auto snap = service::GraphSnapshot::build(std::move(b).build(), sopt);
+  const graph::Graph& g = snap->graph();
+  const graph::WeightSpan capacity = snap->weights();
 
   std::cout << "backbone: n=" << g.num_vertices() << " m=" << g.num_edges()
             << " 2-edge-connected=" << (tecss::is_two_edge_connected(g) ? "yes" : "no")

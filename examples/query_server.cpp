@@ -2,18 +2,20 @@
 // shared immutable graph — the multi-tenant workload of the ROADMAP's
 // north star, in one process.
 //
-// Three ShortcutService frontends share a single GraphSnapshot (zero
-// copies; the snapshot is a shared_ptr<const ...>).  A mixed batch runs
-// through two tenants concurrently on the deterministic pool, and because
-// every query's randomness is a counter-based stream keyed by its id, the
-// services return byte-identical answers — which this program checks,
-// alongside throughput and per-kind latency percentiles.  A third
-// "hot-cache" tenant then replays the workload against the snapshot's
-// now-materialized artifact cache (PR 5): byte-identical answers again,
-// with a ~100% artifact hit rate (partitions and sparsified samples are
-// shared bytes instead of per-query re-derivations).
+// PR 6 shape: an ingest step freezes the graph into a snapshot, replays
+// the workload once to materialize the shared artifacts (partitions,
+// sparsified samples), and saves the result into a fingerprint-addressed
+// SnapshotStore.  Every tenant then opens the store *by fingerprint* —
+// the store hands all of them the same mmap-backed handle, so the CSR
+// arrays are shared bytes and the saved artifacts arrive pre-warmed from
+// the file.  Because every query's randomness is a counter-based stream
+// keyed by its id, tenants return byte-identical answers — identical,
+// too, to the ingest process's answers from before the save/load round
+// trip.  The program checks both, alongside throughput, per-kind latency
+// percentiles, and the artifact hit rate of a replaying tenant.
 //
 //   $ ./query_server
+#include <filesystem>
 #include <iostream>
 #include <map>
 #include <vector>
@@ -21,6 +23,7 @@
 #include "bench/timer.hpp"
 #include "graph/generators.hpp"
 #include "service/service.hpp"
+#include "service/snapshot_store.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -31,24 +34,7 @@ int main() {
   using service::QueryRequest;
   using service::QueryResult;
 
-  // 1. Freeze one graph into a snapshot: CSR views, weights, connectivity
-  //    and diameter bounds are computed once, then shared by every query.
-  Rng gen(2021);
-  graph::Graph g = graph::connected_gnm(600, 1800, gen);
-  service::GraphSnapshot::Options sopt;
-  sopt.weight_seed = 99;
-  sopt.max_weight = 10;
-  const auto snapshot = service::GraphSnapshot::make(std::move(g), sopt);
-  std::cout << "snapshot: n=" << snapshot->num_vertices() << " m=" << snapshot->num_edges()
-            << " diameter=" << snapshot->diameter_ub()
-            << (snapshot->diameter_is_exact() ? " (exact)" : " (bracket)")
-            << " fingerprint=" << std::hex << snapshot->fingerprint() << std::dec << "\n\n";
-
-  // 2. Two tenants, one graph.  Same seed => interchangeable answers.
-  const service::ShortcutService tenant_a(snapshot, 7);
-  const service::ShortcutService tenant_b(snapshot, 7);
-
-  // 3. A mixed workload: 32 queries round-robin over the four kinds.
+  // The mixed workload: 32 queries round-robin over the four kinds.
   std::vector<QueryRequest> batch;
   for (std::uint32_t i = 0; i < 32; ++i) {
     QueryRequest q;
@@ -59,6 +45,41 @@ int main() {
     batch.push_back(q);
   }
 
+  // 1. Ingest: freeze one graph into a snapshot — CSR views, weights,
+  //    connectivity and diameter bounds are computed once — replay the
+  //    workload to materialize the shared artifacts, and save the lot
+  //    into a fingerprint-addressed store.
+  const std::filesystem::path store_dir =
+      std::filesystem::temp_directory_path() / "lcs-query-server-store";
+  service::SnapshotStore store(store_dir);
+  std::uint64_t fingerprint = 0;
+  std::vector<QueryResult> answers_ingest;
+  {
+    Rng gen(2021);
+    graph::Graph g = graph::connected_gnm(600, 1800, gen);
+    service::GraphSnapshot::Options sopt;
+    sopt.weight_seed = 99;
+    sopt.max_weight = 10;
+    const auto built = service::GraphSnapshot::build(std::move(g), sopt);
+    fingerprint = built->fingerprint();
+    answers_ingest = service::ShortcutService(built, 7).run_batch(batch);
+    const std::filesystem::path file = store.save(*built);
+    std::cout << "ingested: n=" << built->num_vertices() << " m=" << built->num_edges()
+              << " diameter=" << built->diameter_ub()
+              << (built->diameter_is_exact() ? " (exact)" : " (bracket)") << "\n"
+              << "saved:    " << file.string() << " ("
+              << std::filesystem::file_size(file) << " bytes)\n\n";
+  }  // the built snapshot is gone; only the file remains.
+
+  // 2. Tenants open the store by fingerprint.  The store caches handles,
+  //    so every tenant serves from the same mmap-backed snapshot: shared
+  //    CSR bytes, shared artifact cache, zero per-tenant copies.
+  const auto snapshot = store.open(fingerprint);
+  const service::ShortcutService tenant_a(snapshot, 7);
+  const service::ShortcutService tenant_b(store.open(fingerprint), 7);
+  std::cout << "tenants share one mmap handle: "
+            << (store.open(fingerprint).get() == snapshot.get() ? "yes" : "NO") << "\n\n";
+
   bench::MonotonicTimer timer;
   const std::vector<QueryResult> answers_a = tenant_a.run_batch(batch);
   const double wall_a = timer.elapsed_ms();
@@ -66,7 +87,7 @@ int main() {
   const std::vector<QueryResult> answers_b = tenant_b.run_batch(batch);
   const double wall_b = timer.elapsed_ms();
 
-  // 4. Per-kind summary of tenant A's batch.
+  // 3. Per-kind summary of tenant A's batch.
   std::map<QueryKind, Stats> latency;
   std::map<QueryKind, std::uint64_t> ok_count;
   for (const QueryResult& r : answers_a) {
@@ -82,23 +103,27 @@ int main() {
         .cell(stats.percentile(50.0), 2)
         .cell(stats.percentile(99.0), 2);
   }
-  t.print(std::cout, "mixed workload (tenant A)");
+  t.print(std::cout, "mixed workload (tenant A, mmap-loaded snapshot)");
 
   const double qps = 1000.0 * static_cast<double>(batch.size()) / (wall_a > 1e-6 ? wall_a : 1);
   std::cout << "\nbatch: " << batch.size() << " queries in " << wall_a << " ms  (~" << qps
             << " queries/sec); tenant B took " << wall_b << " ms\n";
 
-  // 5. The multi-tenant guarantee: byte-identical answers from both
-  //    services, because results are pure functions of (snapshot, seed, id).
+  // 4. The multi-tenant guarantee, now across the file boundary: both
+  //    tenants agree with each other AND with the ingest process's
+  //    answers from before the save/load round trip — results are pure
+  //    functions of (snapshot, seed, id), and the snapshot survives
+  //    serialization bit-for-bit.
   bool identical = true;
   for (std::size_t i = 0; i < answers_a.size(); ++i)
-    identical = identical && answers_a[i].digest() == answers_b[i].digest();
-  std::cout << "tenants agree on every query: " << (identical ? "yes" : "NO") << "\n";
+    identical = identical && answers_a[i].digest() == answers_b[i].digest() &&
+                answers_a[i].digest() == answers_ingest[i].digest();
+  std::cout << "tenants agree with each other and with ingest: "
+            << (identical ? "yes" : "NO") << "\n";
 
-  // 6. The hot-cache tenant: same seed, same snapshot, joining after A and
-  //    B already materialized the shared artifacts (partitions, sparsified
-  //    samples).  Its queries hit the cache instead of re-deriving — same
-  //    digests, mostly-hit telemetry.
+  // 5. A replaying tenant: its partitions and sparsified samples were
+  //    saved at ingest time, so they arrive pre-warmed from the file —
+  //    same digests, near-total artifact hit rate, no re-derivation.
   const service::ShortcutService tenant_hot(snapshot, 7);
   const service::ArtifactStats before = snapshot->artifact_stats();
   timer.reset();
@@ -110,10 +135,11 @@ int main() {
   bool hot_identical = true;
   for (std::size_t i = 0; i < answers_a.size(); ++i)
     hot_identical = hot_identical && answers_hot[i].digest() == answers_a[i].digest();
-  std::cout << "\nhot-cache tenant: " << batch.size() << " queries in " << wall_hot
-            << " ms (cold tenant A took " << wall_a << " ms); artifact cache " << hits << "/"
-            << lookups << " hits\n";
-  std::cout << "hot-cache tenant agrees on every query: " << (hot_identical ? "yes" : "NO")
+  std::cout << "\nreplaying tenant: " << batch.size() << " queries in " << wall_hot
+            << " ms (tenant A took " << wall_a << " ms); artifact cache " << hits << "/"
+            << lookups << " hits (artifacts pre-warmed from the snapshot file)\n";
+  std::cout << "replaying tenant agrees on every query: " << (hot_identical ? "yes" : "NO")
             << "\n";
+  std::filesystem::remove_all(store_dir);
   return identical && hot_identical ? 0 : 1;
 }

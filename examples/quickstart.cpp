@@ -2,12 +2,16 @@
 // vertex-disjoint connected parts, compute Kogan–Parter low-congestion
 // shortcuts, and inspect their quality against the baselines.
 //
+// Closes with the service front door: freezing the graph into a
+// GraphSnapshot and running the same construction as a query.
+//
 //   $ ./quickstart
 #include <iostream>
 
 #include "core/kp.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
+#include "service/service.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -58,5 +62,19 @@ int main() {
             << kp.params.k_d * ln_clamped(hi.g.num_vertices())
             << " while the bare parts have diameter ~sqrt(n) = "
             << hi.path_length - 1 << ".\n";
+
+  // 4. The service front door (PR 6): freeze the graph into an immutable
+  //    snapshot and run the same shortcut construction as a query.  The
+  //    snapshot is what the store saves and mmap-loads by fingerprint —
+  //    see query_server.cpp for the full multi-tenant flow.
+  const auto snap = service::GraphSnapshot::build(graph::hard_instance(2000, 4).g);
+  service::QueryRequest req;
+  req.id = 1;
+  req.kind = service::QueryKind::kShortcutBuild;
+  const service::QueryResult r = service::ShortcutService(snap, 2021).run(req);
+  std::cout << "\nAs a service query: snapshot fingerprint " << std::hex
+            << snap->fingerprint() << std::dec << ", shortcut_build ok="
+            << (r.ok ? "yes" : "no") << " (" << r.value << " shortcut edges, digest "
+            << std::hex << r.digest() << std::dec << ").\n";
   return 0;
 }

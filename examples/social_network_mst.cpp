@@ -2,9 +2,10 @@
 //
 // The paper's motivation: real-world networks (social graphs, the web) have
 // tiny diameter independent of size.  This example builds a diameter-5
-// network, weights its links (e.g. latency), and runs the distributed
-// Boruvka MST where every fragment aggregation is accelerated by
-// low-congestion shortcuts — comparing the three schemes' round costs.
+// network, freezes it into a GraphSnapshot (which assigns the link
+// weights, e.g. latency), and runs the distributed Boruvka MST where
+// every fragment aggregation is accelerated by low-congestion shortcuts —
+// comparing the three schemes' round costs.
 //
 //   $ ./social_network_mst
 #include <iostream>
@@ -12,6 +13,7 @@
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "mst/mst.hpp"
+#include "service/snapshot.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -20,10 +22,19 @@ int main() {
 
   Rng rng(6);
   const std::uint32_t n = 1500;
-  const graph::Graph g = graph::layered_random_graph(n, 5, 1.5, rng);
-  const graph::EdgeWeights latency = graph::random_weights(g, 100, rng);
+  // Freeze the overlay once: CSR layout, latency weights, connectivity —
+  // the same construction surface the query service and snapshot store
+  // use (PR 6), so this graph could be saved and re-served by fingerprint.
+  service::GraphSnapshot::Options sopt;
+  sopt.weight_seed = 6;
+  sopt.max_weight = 100;
+  const auto snap = service::GraphSnapshot::build(
+      graph::layered_random_graph(n, 5, 1.5, rng), sopt);
+  const graph::Graph& g = snap->graph();
+  const graph::WeightSpan latency = snap->weights();
   std::cout << "overlay: n=" << g.num_vertices() << " m=" << g.num_edges()
-            << " diameter=" << graph::diameter_double_sweep(g) << "\n\n";
+            << " diameter=" << graph::diameter_double_sweep(g) << " fingerprint=" << std::hex
+            << snap->fingerprint() << std::dec << "\n\n";
 
   const mst::MstResult reference = mst::kruskal(g, latency);
 

@@ -23,7 +23,7 @@ import re
 import sys
 from pathlib import Path
 
-ROOTS = ("src/", "tests/", "bench/", "examples/", "scripts/", "docs/", ".github/")
+ROOTS = ("src/", "tests/", "bench/", "examples/", "scripts/", "docs/", "tools/", ".github/")
 
 # `path:line` optionally followed by (`symbol`)
 ANCHOR_RE = re.compile(

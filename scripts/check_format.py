@@ -11,7 +11,7 @@ this script is the deterministic gate.
 import sys
 from pathlib import Path
 
-ROOTS = ["src", "tests", "bench", "examples"]
+ROOTS = ["src", "tests", "bench", "examples", "tools"]
 EXTENSIONS = {".cpp", ".hpp", ".h", ".cc"}
 COLUMN_LIMIT = 100
 

@@ -97,6 +97,22 @@ S4_TRUE_CHECKS = [
     "deterministic_across_threads",
 ]
 
+# Timing metrics every s5_ (snapshot ingest/serve) record must carry, plus
+# boolean gates that must be true.  Schema documented in docs/bench.md.
+S5_TIMING_METRICS = [
+    "build_ms",
+    "save_ms",
+    "load_ms",
+    "snapshot_bytes",
+    "cold_first_query_ms",
+    "warm_first_query_ms",
+]
+S5_TRUE_CHECKS = [
+    "all_queries_ok",
+    "deterministic_loaded_vs_built",
+    "mmap_load_faster",
+]
+
 
 def validate_overload(record: dict, args) -> list[str]:
     """s4_ records sweep offered load, not threads: per load multiple there
@@ -129,6 +145,30 @@ def validate_overload(record: dict, args) -> list[str]:
             elif prefix == "cache_hit_rate" and value > 1:
                 problems.append(f"{name}: {key} is not a ratio: {value!r}")
     for key in S4_TRUE_CHECKS:
+        if metrics.get(key) is not True:
+            problems.append(f"{name}: {key} is not true")
+    return problems
+
+
+def validate_snapshot_io(record: dict, args) -> list[str]:
+    """s5_ records measure the snapshot store's build/save/mmap-load cycle:
+    every phase timing and the file size must be present and non-negative,
+    and the inline gates — every query ok, bit-identical digests from the
+    loaded snapshot at each thread count, and mmap load beating in-process
+    build — must have passed."""
+    del args
+    name = record["scenario"]
+    problems = []
+    if not isinstance(record["params"], dict) or not isinstance(record["metrics"], dict):
+        return [f"{name}: params/metrics must be objects"]
+    metrics = record["metrics"]
+    for key in S5_TIMING_METRICS:
+        value = metrics.get(key)
+        if not isinstance(value, (int, float)) or value < 0:
+            problems.append(f"{name}: missing or bad metric {key}: {value!r}")
+    if not metrics.get("snapshot_bytes"):
+        problems.append(f"{name}: snapshot_bytes is zero")
+    for key in S5_TRUE_CHECKS:
         if metrics.get(key) is not True:
             problems.append(f"{name}: {key} is not true")
     return problems
@@ -212,6 +252,8 @@ def validate_record(record: dict, require_ok: bool, args) -> list[str]:
                 problems.extend(validate_scaling(record, legs, args))
         if name.lower().startswith("s4_"):
             problems.extend(validate_overload(record, args))
+        if name.lower().startswith("s5_"):
+            problems.extend(validate_snapshot_io(record, args))
     return problems
 
 

@@ -15,9 +15,9 @@ std::size_t dir_of(const Graph& g, EdgeId e, VertexId from) {
 }  // namespace
 
 MultiBellmanFordProgram::MultiBellmanFordProgram(const Graph& g,
-                                                 const graph::EdgeWeights& w,
+                                                 graph::WeightSpan w,
                                                  std::vector<VertexId> sources)
-    : g_(&g), w_(&w), sources_(std::move(sources)) {
+    : g_(&g), w_(w), sources_(std::move(sources)) {
   LCS_REQUIRE(w.size() == g.num_edges(), "weights do not match graph");
   LCS_REQUIRE(!sources_.empty(), "need at least one source");
   for (const graph::Weight x : w) LCS_REQUIRE(x >= 0, "negative weights unsupported");
@@ -50,7 +50,7 @@ void MultiBellmanFordProgram::on_round(NodeContext& ctx) {
     if (m.kind != kDistToken) continue;
     const std::size_t i = m.algo;
     const EdgeId via = static_cast<EdgeId>(m.b >> 32);
-    const std::uint64_t cand = m.a + static_cast<std::uint64_t>((*w_)[via]);
+    const std::uint64_t cand = m.a + static_cast<std::uint64_t>(w_[via]);
     improve(i, v, cand, static_cast<VertexId>(m.b & 0xffffffffu));
   }
   for (const graph::HalfEdge he : ctx.topology().neighbors(v)) {

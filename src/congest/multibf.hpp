@@ -23,7 +23,7 @@ class MultiBellmanFordProgram : public Program {
   static constexpr std::uint64_t kInf = static_cast<std::uint64_t>(-1);
 
   /// One execution per source, all over the full graph with weights `w`.
-  MultiBellmanFordProgram(const Graph& g, const graph::EdgeWeights& w,
+  MultiBellmanFordProgram(const Graph& g, graph::WeightSpan w,
                           std::vector<VertexId> sources);
 
   void on_round(NodeContext& ctx) override;
@@ -38,7 +38,7 @@ class MultiBellmanFordProgram : public Program {
   void improve(std::size_t i, VertexId v, std::uint64_t d, VertexId par);
 
   const Graph* g_;
-  const graph::EdgeWeights* w_;
+  graph::WeightSpan w_;
   std::vector<VertexId> sources_;
   // dist_[i * n + v] layout (K * n words; K is small: landmarks).
   std::vector<std::uint64_t> dist_;

@@ -236,9 +236,9 @@ std::uint32_t PrefixAssignProgram::total() const {
 
 // --- BellmanFordProgram -------------------------------------------------------
 
-BellmanFordProgram::BellmanFordProgram(const Graph& g, const graph::EdgeWeights& w,
+BellmanFordProgram::BellmanFordProgram(const Graph& g, graph::WeightSpan w,
                                        VertexId source)
-    : w_(&w), source_(source) {
+    : w_(w), source_(source) {
   LCS_REQUIRE(w.size() == g.num_edges(), "weights do not match graph");
   LCS_REQUIRE(source < g.num_vertices(), "source out of range");
   for (const graph::Weight x : w) LCS_REQUIRE(x >= 0, "negative weights unsupported");
@@ -257,7 +257,7 @@ void BellmanFordProgram::on_round(NodeContext& ctx) {
   for (const Message& m : ctx.inbox()) {
     if (m.kind != kDistUpdate) continue;
     const EdgeId via = static_cast<EdgeId>(m.b);
-    const std::uint64_t cand = m.a + static_cast<std::uint64_t>((*w_)[via]);
+    const std::uint64_t cand = m.a + static_cast<std::uint64_t>(w_[via]);
     if (cand < dist_[v]) {
       dist_[v] = cand;
       parent_[v] = ctx.topology().other_endpoint(via, v);

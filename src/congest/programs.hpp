@@ -123,7 +123,7 @@ class PrefixAssignProgram : public Program {
 /// shortest-path tree.  Weights are part of the local edge configuration.
 class BellmanFordProgram : public Program {
  public:
-  BellmanFordProgram(const Graph& g, const graph::EdgeWeights& w, VertexId source);
+  BellmanFordProgram(const Graph& g, graph::WeightSpan w, VertexId source);
 
   void on_round(NodeContext& ctx) override;
 
@@ -133,7 +133,7 @@ class BellmanFordProgram : public Program {
   const std::vector<EdgeId>& parent_edge() const { return parent_edge_; }
 
  private:
-  const graph::EdgeWeights* w_;
+  graph::WeightSpan w_;
   VertexId source_;
   std::vector<std::uint64_t> dist_;
   std::vector<VertexId> parent_;

@@ -4,6 +4,19 @@
 
 namespace lcs::graph {
 
+namespace {
+
+/// Heap backing for graphs assembled in-process (from_edges).  The Graph's
+/// spans point into these vectors; the shared_ptr<const void> erasure keeps
+/// them alive without the Graph knowing (or caring) who owns its bytes.
+struct OwnedCsr {
+  std::vector<std::uint64_t> offsets;
+  std::vector<HalfEdge> adj;
+  std::vector<Edge> edges;
+};
+
+}  // namespace
+
 Graph Graph::from_edges(std::uint32_t n, std::vector<std::pair<VertexId, VertexId>> edge_list) {
   for (auto& [u, v] : edge_list) {
     LCS_REQUIRE(u < n && v < n, "edge endpoint out of range");
@@ -13,24 +26,44 @@ Graph Graph::from_edges(std::uint32_t n, std::vector<std::pair<VertexId, VertexI
   std::sort(edge_list.begin(), edge_list.end());
   edge_list.erase(std::unique(edge_list.begin(), edge_list.end()), edge_list.end());
 
-  Graph g;
-  g.edges_.reserve(edge_list.size());
-  for (const auto& [u, v] : edge_list) g.edges_.push_back(Edge{u, v});
+  auto store = std::make_shared<OwnedCsr>();
+  store->edges.reserve(edge_list.size());
+  for (const auto& [u, v] : edge_list) store->edges.push_back(Edge{u, v});
 
   // Counting sort into CSR.
   std::vector<std::uint64_t> counts(n + 1, 0);
-  for (const Edge& e : g.edges_) {
+  for (const Edge& e : store->edges) {
     ++counts[e.u + 1];
     ++counts[e.v + 1];
   }
   for (std::uint32_t v = 0; v < n; ++v) counts[v + 1] += counts[v];
-  g.offsets_ = counts;
-  g.adj_.resize(2 * g.edges_.size());
-  for (EdgeId e = 0; e < g.edges_.size(); ++e) {
-    const Edge ed = g.edges_[e];
-    g.adj_[counts[ed.u]++] = HalfEdge{ed.v, e};
-    g.adj_[counts[ed.v]++] = HalfEdge{ed.u, e};
+  store->offsets = counts;
+  store->adj.resize(2 * store->edges.size());
+  for (EdgeId e = 0; e < store->edges.size(); ++e) {
+    const Edge ed = store->edges[e];
+    store->adj[counts[ed.u]++] = HalfEdge{ed.v, e};
+    store->adj[counts[ed.v]++] = HalfEdge{ed.u, e};
   }
+
+  Graph g;
+  g.offsets_ = store->offsets;
+  g.adj_ = store->adj;
+  g.edges_ = store->edges;
+  g.backing_ = std::move(store);
+  return g;
+}
+
+Graph Graph::from_csr(std::span<const std::uint64_t> offsets, std::span<const HalfEdge> adj,
+                      std::span<const Edge> edges, std::shared_ptr<const void> backing) {
+  LCS_REQUIRE(!offsets.empty(), "CSR offsets must have at least one entry");
+  LCS_REQUIRE(offsets.front() == 0, "CSR offsets must start at 0");
+  LCS_REQUIRE(offsets.back() == adj.size(), "CSR offsets must end at the adjacency size");
+  LCS_REQUIRE(adj.size() == 2 * edges.size(), "CSR adjacency must hold two halves per edge");
+  Graph g;
+  g.offsets_ = offsets;
+  g.adj_ = adj;
+  g.edges_ = edges;
+  g.backing_ = std::move(backing);
   return g;
 }
 

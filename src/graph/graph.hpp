@@ -5,10 +5,21 @@
 // edge subsets (shortcut subgraphs are *sets of edge ids*) never need any
 // lookup structure.  The graph is immutable after construction; use
 // GraphBuilder to assemble one.
+//
+// Storage is three flat CSR arrays — offsets (n+1), adjacency half-edges
+// (2m, grouped by vertex) and edge endpoints (m) — held as spans over one
+// shared backing allocation.  from_edges() backs them with heap vectors;
+// from_csr() can point them at externally owned memory (the mmap'ed
+// snapshot files of service/snapshot_format.hpp), which makes loading a
+// frozen graph a zero-copy operation.  Either way a Graph copy is three
+// spans plus one shared_ptr bump: cheap, and safe because the arrays are
+// immutable for the life of the backing.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -35,11 +46,18 @@ struct Edge {
   VertexId v;
 };
 
+// The CSR arrays are serialized verbatim into snapshot files, so the entry
+// types must stay raw 8-byte PODs (docs/snapshot_format.md).
+static_assert(sizeof(HalfEdge) == 8 && std::is_trivially_copyable_v<HalfEdge>);
+static_assert(sizeof(Edge) == 8 && std::is_trivially_copyable_v<Edge>);
+
 class Graph {
  public:
   Graph() = default;
 
-  std::uint32_t num_vertices() const { return static_cast<std::uint32_t>(offsets_.size()) - 1; }
+  std::uint32_t num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<std::uint32_t>(offsets_.size()) - 1;
+  }
   std::uint32_t num_edges() const { return static_cast<std::uint32_t>(edges_.size()); }
 
   std::span<const HalfEdge> neighbors(VertexId v) const {
@@ -64,17 +82,32 @@ class Graph {
     return ed.u == v ? ed.v : ed.u;
   }
 
-  const std::vector<Edge>& edges() const { return edges_; }
+  std::span<const Edge> edges() const { return edges_; }
+
+  /// The raw CSR arrays, exposed for serialization (snapshot_format) and
+  /// for cache-friendly linear sweeps that want the flat layout directly.
+  std::span<const std::uint64_t> csr_offsets() const { return offsets_; }
+  std::span<const HalfEdge> csr_adjacency() const { return adj_; }
 
   /// Build from an explicit edge list.  Self-loops are rejected; duplicate
   /// edges are merged.  Vertices not mentioned still exist as isolated ids.
   static Graph from_edges(std::uint32_t n, std::vector<std::pair<VertexId, VertexId>> edge_list);
 
+  /// View already-materialized CSR arrays without copying them.  `backing`
+  /// keeps the spans' memory alive for the life of the graph (and of every
+  /// copy) — typically a MappedFile holding a snapshot section.  Only shape
+  /// invariants are checked here (sizes and the offset endpoints); content
+  /// integrity is the caller's job — the snapshot loader has already
+  /// checksummed each section before calling this.
+  static Graph from_csr(std::span<const std::uint64_t> offsets, std::span<const HalfEdge> adj,
+                        std::span<const Edge> edges, std::shared_ptr<const void> backing);
+
  private:
   friend class GraphBuilder;
-  std::vector<std::uint64_t> offsets_;  // size n+1
-  std::vector<HalfEdge> adj_;           // size 2m, grouped by vertex
-  std::vector<Edge> edges_;             // size m
+  std::span<const std::uint64_t> offsets_;  // size n+1
+  std::span<const HalfEdge> adj_;           // size 2m, grouped by vertex
+  std::span<const Edge> edges_;             // size m
+  std::shared_ptr<const void> backing_;     // owns the spans' memory
 };
 
 /// Incremental construction helper; deduplicates at build() time.

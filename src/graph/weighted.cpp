@@ -17,7 +17,7 @@ EdgeWeights distinct_random_weights(const Graph& g, Rng& rng) {
   return w;
 }
 
-Weight total_weight(const EdgeWeights& w, const std::vector<EdgeId>& edges) {
+Weight total_weight(WeightSpan w, const std::vector<EdgeId>& edges) {
   Weight total = 0;
   for (const EdgeId e : edges) {
     LCS_REQUIRE(e < w.size(), "edge id out of range");

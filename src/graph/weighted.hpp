@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -11,6 +12,10 @@ namespace lcs::graph {
 
 using Weight = std::int64_t;
 using EdgeWeights = std::vector<Weight>;
+/// Read-only weight view — what every referee takes.  An EdgeWeights vector
+/// converts implicitly; a mmap-loaded snapshot passes a view straight into
+/// the file mapping without ever materializing a vector.
+using WeightSpan = std::span<const Weight>;
 
 /// Uniform random weights in [1, max_weight].
 EdgeWeights random_weights(const Graph& g, Weight max_weight, Rng& rng);
@@ -20,6 +25,6 @@ EdgeWeights random_weights(const Graph& g, Weight max_weight, Rng& rng);
 EdgeWeights distinct_random_weights(const Graph& g, Rng& rng);
 
 /// Sum of the weights of the given edges.
-Weight total_weight(const EdgeWeights& w, const std::vector<EdgeId>& edges);
+Weight total_weight(WeightSpan w, const std::vector<EdgeId>& edges);
 
 }  // namespace lcs::graph

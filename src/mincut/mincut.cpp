@@ -12,7 +12,7 @@
 
 namespace lcs::mincut {
 
-Weight cut_value(const Graph& g, const EdgeWeights& w, const std::vector<VertexId>& side) {
+Weight cut_value(const Graph& g, WeightSpan w, const std::vector<VertexId>& side) {
   LCS_REQUIRE(w.size() == g.num_edges(), "weights do not match graph");
   std::vector<bool> in_side(g.num_vertices(), false);
   for (const VertexId v : side) {
@@ -27,7 +27,7 @@ Weight cut_value(const Graph& g, const EdgeWeights& w, const std::vector<VertexI
   return total;
 }
 
-CutResult stoer_wagner(const Graph& g, const EdgeWeights& w) {
+CutResult stoer_wagner(const Graph& g, WeightSpan w) {
   const std::uint32_t n = g.num_vertices();
   LCS_REQUIRE(n >= 2, "min cut needs at least two vertices");
   LCS_REQUIRE(graph::is_connected(g), "min cut of a disconnected graph is zero");
@@ -105,7 +105,7 @@ CutResult stoer_wagner(const Graph& g, const EdgeWeights& w) {
 
 namespace {
 
-CutResult contract_once(const Graph& g, const EdgeWeights& w, const Rng& rng) {
+CutResult contract_once(const Graph& g, WeightSpan w, const Rng& rng) {
   const std::uint32_t n = g.num_vertices();
   // Exponential-clock keys give weighted sampling without replacement.  The
   // key of edge e is a pure function of (rng's construction seed, e) — a
@@ -140,7 +140,7 @@ CutResult contract_once(const Graph& g, const EdgeWeights& w, const Rng& rng) {
 
 }  // namespace
 
-CutResult karger_mincut(const Graph& g, const EdgeWeights& w, std::uint32_t trials,
+CutResult karger_mincut(const Graph& g, WeightSpan w, std::uint32_t trials,
                         Rng& rng) {
   LCS_REQUIRE(g.num_vertices() >= 2, "min cut needs at least two vertices");
   LCS_REQUIRE(trials >= 1, "need at least one trial");
@@ -222,7 +222,7 @@ VertexId lca_walk(const RootedForest& f, VertexId a, VertexId b) {
 
 }  // namespace
 
-TreePackingResult tree_packing_mincut(const Graph& g, const EdgeWeights& w,
+TreePackingResult tree_packing_mincut(const Graph& g, WeightSpan w,
                                       std::uint32_t num_trees) {
   const std::uint32_t n = g.num_vertices();
   LCS_REQUIRE(n >= 2, "min cut needs at least two vertices");
@@ -300,7 +300,7 @@ namespace {
 // rng-driven wrapper preserves the pre-refactor draw semantics exactly:
 // no state is consumed on a throwing call or in the p >= 1 regime.
 template <typename SeedFn>
-SparsifiedSample sparsify_edges_impl(const Graph& g, const EdgeWeights& w, double eps,
+SparsifiedSample sparsify_edges_impl(const Graph& g, WeightSpan w, double eps,
                                      SeedFn&& seed_of) {
   LCS_REQUIRE(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
   LCS_REQUIRE(graph::is_connected(g), "min cut of a disconnected graph is zero");
@@ -339,18 +339,18 @@ SparsifiedSample sparsify_edges_impl(const Graph& g, const EdgeWeights& w, doubl
 
 }  // namespace
 
-SparsifiedSample sparsify_edges(const Graph& g, const EdgeWeights& w, double eps,
+SparsifiedSample sparsify_edges(const Graph& g, WeightSpan w, double eps,
                                 std::uint64_t seed) {
   return sparsify_edges_impl(g, w, eps, [seed] { return seed; });
 }
 
-SparsifiedResult sparsified_mincut(const Graph& g, const EdgeWeights& w, double eps,
+SparsifiedResult sparsified_mincut(const Graph& g, WeightSpan w, double eps,
                                    Rng& rng) {
   return sparsified_mincut_on_sample(g, w,
                                      sparsify_edges_impl(g, w, eps, [&] { return rng(); }));
 }
 
-SparsifiedResult sparsified_mincut_on_sample(const Graph& g, const EdgeWeights& w,
+SparsifiedResult sparsified_mincut_on_sample(const Graph& g, WeightSpan w,
                                              const SparsifiedSample& sample) {
   LCS_REQUIRE(sample.units.size() == g.num_edges(),
               "sample does not match the graph's edge count");

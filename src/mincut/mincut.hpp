@@ -19,6 +19,7 @@ namespace lcs::mincut {
 
 using graph::EdgeId;
 using graph::EdgeWeights;
+using graph::WeightSpan;
 using graph::Graph;
 using graph::VertexId;
 using graph::Weight;
@@ -34,7 +35,7 @@ struct CutResult {
 /// The dense adjacency build fans out over edges; the per-phase scans stay
 /// sequential — at referee sizes a scan step is less work than a pool
 /// dispatch (a parallelized sweep measured ~5x slower at 8 threads).
-CutResult stoer_wagner(const Graph& g, const EdgeWeights& w);
+CutResult stoer_wagner(const Graph& g, WeightSpan w);
 
 /// Karger's randomized contraction, `trials` independent repetitions.
 /// Weighted sampling via exponential clocks.  Monte Carlo: result is an
@@ -44,7 +45,7 @@ CutResult stoer_wagner(const Graph& g, const EdgeWeights& w);
 /// thread count and scheduling.  Callable at top level (trials fan out on
 /// the pool) or inside a parallel_tasks task (trials serialize, same bytes);
 /// plain parallel_for bodies must not call it.
-CutResult karger_mincut(const Graph& g, const EdgeWeights& w, std::uint32_t trials,
+CutResult karger_mincut(const Graph& g, WeightSpan w, std::uint32_t trials,
                         Rng& rng);
 
 struct TreePackingResult {
@@ -56,7 +57,7 @@ struct TreePackingResult {
 
 /// Greedy spanning-tree packing + minimum 1-respecting cut per tree.
 /// `num_trees = 0` selects ceil(3 ln n) trees.
-TreePackingResult tree_packing_mincut(const Graph& g, const EdgeWeights& w,
+TreePackingResult tree_packing_mincut(const Graph& g, WeightSpan w,
                                       std::uint32_t num_trees = 0);
 
 /// Karger's sampling estimator — the (1±eps) mechanism behind the
@@ -74,7 +75,7 @@ struct SparsifiedResult {
   double sample_prob = 1.0;
   Weight skeleton_cut = 0;  ///< the (unscaled) cut value in the skeleton
 };
-SparsifiedResult sparsified_mincut(const Graph& g, const EdgeWeights& w, double eps,
+SparsifiedResult sparsified_mincut(const Graph& g, WeightSpan w, double eps,
                                    Rng& rng);
 
 /// The reusable sampling phase of sparsified_mincut: per-edge thinned
@@ -85,7 +86,7 @@ struct SparsifiedSample {
   double sample_prob = 1.0;
   std::vector<Weight> units;  ///< thinned capacity per edge of g
 };
-SparsifiedSample sparsify_edges(const Graph& g, const EdgeWeights& w, double eps,
+SparsifiedSample sparsify_edges(const Graph& g, WeightSpan w, double eps,
                                 std::uint64_t seed);
 
 /// The solve phase: skeleton assembly + Stoer–Wagner on the sample.
@@ -93,10 +94,10 @@ SparsifiedSample sparsify_edges(const Graph& g, const EdgeWeights& w, double eps
 /// sample, with the pre-existing draw semantics: rng advances once, only
 /// when the computed sample_prob is < 1 (a p >= 1 or throwing call
 /// consumes no state).
-SparsifiedResult sparsified_mincut_on_sample(const Graph& g, const EdgeWeights& w,
+SparsifiedResult sparsified_mincut_on_sample(const Graph& g, WeightSpan w,
                                              const SparsifiedSample& sample);
 
 /// Cut value of a vertex subset (sum of crossing edge weights).
-Weight cut_value(const Graph& g, const EdgeWeights& w, const std::vector<VertexId>& side);
+Weight cut_value(const Graph& g, WeightSpan w, const std::vector<VertexId>& side);
 
 }  // namespace lcs::mincut

@@ -15,7 +15,7 @@
 
 namespace lcs::mst {
 
-MstResult kruskal(const Graph& g, const EdgeWeights& w) {
+MstResult kruskal(const Graph& g, WeightSpan w) {
   LCS_REQUIRE(w.size() == g.num_edges(), "weights do not match graph");
   std::vector<EdgeId> order(g.num_edges());
   for (EdgeId e = 0; e < g.num_edges(); ++e) order[e] = e;
@@ -95,7 +95,7 @@ std::uint64_t construction_charge(const Graph& g, const BoruvkaOptions& opt) {
 
 }  // namespace
 
-BoruvkaResult boruvka_mst(const Graph& g, const EdgeWeights& w, const BoruvkaOptions& opt) {
+BoruvkaResult boruvka_mst(const Graph& g, WeightSpan w, const BoruvkaOptions& opt) {
   LCS_REQUIRE(w.size() == g.num_edges(), "weights do not match graph");
   LCS_REQUIRE(graph::is_connected(g), "boruvka_mst requires a connected graph");
 

@@ -29,6 +29,7 @@ namespace lcs::mst {
 
 using graph::EdgeId;
 using graph::EdgeWeights;
+using graph::WeightSpan;
 using graph::Graph;
 using graph::VertexId;
 using graph::Weight;
@@ -40,7 +41,7 @@ struct MstResult {
 
 /// Kruskal reference (spanning forest on disconnected graphs).
 /// Ties broken by edge id, so the result is unique and comparable.
-MstResult kruskal(const Graph& g, const EdgeWeights& w);
+MstResult kruskal(const Graph& g, WeightSpan w);
 
 enum class ShortcutScheme { kKoganParter, kGhaffariHaeupler, kNone };
 
@@ -72,7 +73,7 @@ struct BoruvkaResult {
 };
 
 /// Boruvka over shortcuts.  Requires a connected graph.
-BoruvkaResult boruvka_mst(const Graph& g, const EdgeWeights& w,
+BoruvkaResult boruvka_mst(const Graph& g, WeightSpan w,
                           const BoruvkaOptions& opt = {});
 
 }  // namespace lcs::mst

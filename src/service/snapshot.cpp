@@ -9,22 +9,24 @@
 
 namespace lcs::service {
 
-std::shared_ptr<const GraphSnapshot> GraphSnapshot::make(graph::Graph g) {
-  return make(std::move(g), Options{});
+std::shared_ptr<const GraphSnapshot> GraphSnapshot::build(graph::Graph g) {
+  return build(std::move(g), Options{});
 }
 
-std::shared_ptr<const GraphSnapshot> GraphSnapshot::make(graph::Graph g, const Options& opt) {
+std::shared_ptr<const GraphSnapshot> GraphSnapshot::build(graph::Graph g, const Options& opt) {
   auto snap = std::shared_ptr<GraphSnapshot>(new GraphSnapshot());
   snap->g_ = std::move(g);
   const graph::Graph& gr = snap->g_;
+  snap->opt_ = opt;
 
   Rng wrng(opt.weight_seed);
-  snap->weights_ = graph::random_weights(gr, std::max<graph::Weight>(1, opt.max_weight), wrng);
+  snap->weights_store_ =
+      graph::random_weights(gr, std::max<graph::Weight>(1, opt.max_weight), wrng);
+  snap->weights_ = snap->weights_store_;
 
   snap->connected_ = gr.num_vertices() > 0 && graph::is_connected(gr);
   for (graph::VertexId v = 0; v < gr.num_vertices(); ++v)
     snap->max_degree_ = std::max(snap->max_degree_, gr.degree(v));
-  snap->exact_diameter_max_vertices_ = opt.exact_diameter_max_vertices;
 
   snap->bfs_memo_ = std::make_unique<OnceMemo<graph::VertexId, graph::BfsResult>>(
       opt.max_cached_bfs_trees);
@@ -53,7 +55,7 @@ std::shared_ptr<const GraphSnapshot> GraphSnapshot::make(graph::Graph g, const O
 GraphSnapshot::DiameterBracket GraphSnapshot::compute_bracket() const {
   DiameterBracket b;
   if (!connected_) return b;
-  if (g_.num_vertices() <= exact_diameter_max_vertices_) {
+  if (g_.num_vertices() <= opt_.exact_diameter_max_vertices) {
     const std::uint32_t d = graph::diameter_exact(g_);
     b.lb = d;
     b.ub = d;

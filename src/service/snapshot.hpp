@@ -5,8 +5,23 @@
 // itself), a fixed edge-weight vector, connectivity, degree extrema, and
 // cached diameter bounds (exact when the graph is small enough for the
 // all-pairs referee, double-sweep bracket otherwise).  Snapshots are
-// immutable after make() and handed around as shared_ptr<const ...>: any
-// number of services, batches and threads may read one concurrently.
+// immutable after construction and handed around as shared_ptr<const ...>:
+// any number of services, batches and threads may read one concurrently.
+//
+// PR 6: one construction surface, two construction paths.
+//
+//   GraphSnapshot::build(g, opt)  — freeze an in-process graph (was make());
+//   GraphSnapshot::load(path)     — mmap a snapshot file written by
+//                                   snapshot_format.hpp: the CSR arrays and
+//                                   weights are views into the mapping
+//                                   (zero deserialization) and saved
+//                                   artifacts arrive pre-warmed.
+//
+// Both return the same shared_ptr<const GraphSnapshot>, and a loaded
+// snapshot is contractually indistinguishable from the built one it was
+// saved from: same fingerprint(), and bit-identical digests for every query
+// at every thread count.  SnapshotStore (snapshot_store.hpp) adds
+// fingerprint-addressed save/open/list/evict on top of load().
 //
 // PR 5: snapshots additionally own an *artifact cache* — lazily
 // materialized, deterministically keyed intermediates that repeat queries
@@ -31,6 +46,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 
@@ -70,7 +86,7 @@ class GraphSnapshot {
     /// many vertices; larger snapshots record the double-sweep lower bound
     /// and a 2*eccentricity upper bound.
     std::uint32_t exact_diameter_max_vertices = 2048;
-    /// Materialize the diameter bracket inside make() (a top-level entry,
+    /// Materialize the diameter bracket inside build() (a top-level entry,
     /// so the all-pairs BFS may use the pool).  When false the bracket is
     /// computed on first access — same values, different place.
     bool prewarm_diameter = true;
@@ -82,13 +98,36 @@ class GraphSnapshot {
     std::size_t max_cached_samples = 64;
   };
 
-  /// Build a snapshot (the only constructor).  Top-level entry: the diameter
-  /// precomputation may use the thread pool.
-  static std::shared_ptr<const GraphSnapshot> make(graph::Graph g, const Options& opt);
-  static std::shared_ptr<const GraphSnapshot> make(graph::Graph g);
+  /// Freeze `g` into a snapshot.  Top-level entry: the diameter
+  /// precomputation may use the thread pool.  (Two overloads rather than a
+  /// defaulted argument: a nested class cannot be list-initialized in a
+  /// default argument of its own enclosing class.)
+  static std::shared_ptr<const GraphSnapshot> build(graph::Graph g, const Options& opt);
+  static std::shared_ptr<const GraphSnapshot> build(graph::Graph g);
+
+  /// mmap a snapshot file written by save_snapshot() / SnapshotStore::save.
+  /// The CSR arrays and weights stay views into the mapping; artifacts
+  /// saved with the file are seeded into the caches (pre-warmed).  Throws
+  /// std::runtime_error with a deterministic "snapshot: ..." message on any
+  /// malformed, truncated or version-mismatched file.
+  static std::shared_ptr<const GraphSnapshot> load(const std::filesystem::path& path);
+
+  /// Pre-PR-6 construction names; forward to build().
+  [[deprecated("use GraphSnapshot::build()")]]
+  static std::shared_ptr<const GraphSnapshot> make(graph::Graph g, const Options& opt) {
+    return build(std::move(g), opt);
+  }
+  [[deprecated("use GraphSnapshot::build()")]]
+  static std::shared_ptr<const GraphSnapshot> make(graph::Graph g) {
+    return build(std::move(g));
+  }
 
   const graph::Graph& graph() const { return g_; }
-  const graph::EdgeWeights& weights() const { return weights_; }
+  graph::WeightSpan weights() const { return weights_; }
+
+  /// The options the snapshot was built with (load() restores them from the
+  /// file header, so round-tripping preserves cache capacities too).
+  const Options& options() const { return opt_; }
 
   std::uint32_t num_vertices() const { return g_.num_vertices(); }
   std::uint32_t num_edges() const { return g_.num_edges(); }
@@ -145,6 +184,8 @@ class GraphSnapshot {
   std::uint64_t fingerprint() const { return fingerprint_; }
 
  private:
+  friend class SnapshotCodec;  // snapshot_format.{hpp,cpp}: save/load I/O
+
   GraphSnapshot() = default;
 
   struct DiameterBracket {
@@ -177,10 +218,11 @@ class GraphSnapshot {
   DiameterBracket compute_bracket() const;
 
   graph::Graph g_;
-  graph::EdgeWeights weights_;
+  graph::EdgeWeights weights_store_;  ///< owned weights (empty when mmap'ed)
+  graph::WeightSpan weights_;         ///< the view queries read (store or mapping)
   bool connected_ = false;
   std::uint32_t max_degree_ = 0;
-  std::uint32_t exact_diameter_max_vertices_ = 0;
+  Options opt_;
   std::uint64_t fingerprint_ = 0;
 
   // Artifact memos: mutable because materialization is lazy behind const

@@ -1,0 +1,102 @@
+#include "service/snapshot_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "service/snapshot_format.hpp"
+
+namespace lcs::service {
+
+namespace {
+
+std::string hex_name(std::uint64_t fingerprint) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(fingerprint));
+  return buf;
+}
+
+/// Parse a `<%016x>.lcss` file name; returns false for foreign files.
+bool parse_name(const std::filesystem::path& p, std::uint64_t& fingerprint) {
+  if (p.extension() != SnapshotStore::kExtension) return false;
+  const std::string stem = p.stem().string();
+  if (stem.size() != 16) return false;
+  std::uint64_t value = 0;
+  for (const char c : stem) {
+    int digit = 0;
+    if (c >= '0' && c <= '9')
+      digit = c - '0';
+    else if (c >= 'a' && c <= 'f')
+      digit = c - 'a' + 10;
+    else
+      return false;
+    value = value << 4 | static_cast<std::uint64_t>(digit);
+  }
+  fingerprint = value;
+  return true;
+}
+
+}  // namespace
+
+SnapshotStore::SnapshotStore(std::filesystem::path root) : root_(std::move(root)) {
+  std::filesystem::create_directories(root_);
+}
+
+std::filesystem::path SnapshotStore::path_of(std::uint64_t fingerprint) const {
+  return root_ / (hex_name(fingerprint) + kExtension);
+}
+
+std::filesystem::path SnapshotStore::save(const GraphSnapshot& snap) {
+  const std::filesystem::path path = path_of(snap.fingerprint());
+  if (!std::filesystem::exists(path)) save_snapshot(snap, path);
+  return path;
+}
+
+bool SnapshotStore::contains(std::uint64_t fingerprint) const {
+  return std::filesystem::exists(path_of(fingerprint));
+}
+
+std::shared_ptr<const GraphSnapshot> SnapshotStore::open(std::uint64_t fingerprint) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = handles_.find(fingerprint);
+    if (it != handles_.end()) {
+      if (auto live = it->second.lock()) return live;
+      handles_.erase(it);
+    }
+  }
+  const std::filesystem::path path = path_of(fingerprint);
+  if (!std::filesystem::exists(path))
+    throw std::runtime_error("snapshot store: unknown fingerprint " + hex_name(fingerprint));
+  std::shared_ptr<const GraphSnapshot> snap = load_snapshot(path);
+  if (snap->fingerprint() != fingerprint)
+    throw std::runtime_error("snapshot store: file " + path.string() +
+                             " does not match its fingerprint");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = handles_.find(fingerprint);
+  if (auto live = it != handles_.end() ? it->second.lock() : nullptr) return live;
+  handles_[fingerprint] = snap;
+  return snap;
+}
+
+std::vector<std::uint64_t> SnapshotStore::list() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& entry : std::filesystem::directory_iterator(root_)) {
+    std::uint64_t fingerprint = 0;
+    if (entry.is_regular_file() && parse_name(entry.path(), fingerprint))
+      out.push_back(fingerprint);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool SnapshotStore::evict(std::uint64_t fingerprint) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    handles_.erase(fingerprint);
+  }
+  return std::filesystem::remove(path_of(fingerprint));
+}
+
+}  // namespace lcs::service

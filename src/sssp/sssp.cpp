@@ -12,7 +12,7 @@
 
 namespace lcs::sssp {
 
-SsspResult dijkstra(const Graph& g, const EdgeWeights& w, VertexId source) {
+SsspResult dijkstra(const Graph& g, WeightSpan w, VertexId source) {
   LCS_REQUIRE(w.size() == g.num_edges(), "weights do not match graph");
   LCS_REQUIRE(source < g.num_vertices(), "source out of range");
   for (const Weight x : w) LCS_REQUIRE(x >= 0, "negative weights unsupported");
@@ -42,7 +42,7 @@ SsspResult dijkstra(const Graph& g, const EdgeWeights& w, VertexId source) {
   return r;
 }
 
-DistributedSsspResult distributed_bellman_ford(const Graph& g, const EdgeWeights& w,
+DistributedSsspResult distributed_bellman_ford(const Graph& g, WeightSpan w,
                                                VertexId source) {
   congest::BellmanFordProgram prog(g, w, source);
   congest::Simulator sim(g, 1);
@@ -59,7 +59,7 @@ DistributedSsspResult distributed_bellman_ford(const Graph& g, const EdgeWeights
   return out;
 }
 
-ApproxTreeResult approx_sssp_tree(const Graph& g, const EdgeWeights& w, VertexId source,
+ApproxTreeResult approx_sssp_tree(const Graph& g, WeightSpan w, VertexId source,
                                   const ApproxTreeOptions& opt) {
   const std::uint32_t n = g.num_vertices();
   LCS_REQUIRE(n >= 1, "empty graph");

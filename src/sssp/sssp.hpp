@@ -19,6 +19,7 @@ namespace lcs::sssp {
 
 using graph::EdgeId;
 using graph::EdgeWeights;
+using graph::WeightSpan;
 using graph::Graph;
 using graph::VertexId;
 using graph::Weight;
@@ -32,7 +33,7 @@ struct SsspResult {
 };
 
 /// Centralized Dijkstra (binary heap).  Non-negative weights.
-SsspResult dijkstra(const Graph& g, const EdgeWeights& w, VertexId source);
+SsspResult dijkstra(const Graph& g, WeightSpan w, VertexId source);
 
 /// Distributed Bellman–Ford on the CONGEST simulator: exact distances,
 /// round count = hop radius of the shortest-path tree.
@@ -41,7 +42,7 @@ struct DistributedSsspResult {
   std::uint32_t rounds = 0;
   std::uint64_t messages = 0;
 };
-DistributedSsspResult distributed_bellman_ford(const Graph& g, const EdgeWeights& w,
+DistributedSsspResult distributed_bellman_ford(const Graph& g, WeightSpan w,
                                                VertexId source);
 
 /// Landmark-overlay approximate SSSP tree.
@@ -66,7 +67,7 @@ struct ApproxTreeResult {
   std::uint32_t rounds_simulated = 0;
   std::uint64_t messages_simulated = 0;
 };
-ApproxTreeResult approx_sssp_tree(const Graph& g, const EdgeWeights& w, VertexId source,
+ApproxTreeResult approx_sssp_tree(const Graph& g, WeightSpan w, VertexId source,
                                   const ApproxTreeOptions& opt = {});
 
 }  // namespace lcs::sssp

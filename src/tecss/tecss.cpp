@@ -18,7 +18,7 @@ bool is_two_edge_connected(const Graph& g) {
 
 namespace {
 
-Weight certified_lower_bound(const Graph& g, const EdgeWeights& w, Weight mst_weight) {
+Weight certified_lower_bound(const Graph& g, WeightSpan w, Weight mst_weight) {
   // Degree bound: any 2-ECSS has min degree 2, so its weight is at least
   // half the sum over vertices of the two lightest incident edges.
   Weight two_min_sum = 0;
@@ -42,7 +42,7 @@ Weight certified_lower_bound(const Graph& g, const EdgeWeights& w, Weight mst_we
 
 }  // namespace
 
-TwoEcssResult two_ecss_approx(const Graph& g, const EdgeWeights& w) {
+TwoEcssResult two_ecss_approx(const Graph& g, WeightSpan w) {
   LCS_REQUIRE(w.size() == g.num_edges(), "weights do not match graph");
   LCS_REQUIRE(is_two_edge_connected(g), "input must be 2-edge-connected");
 
@@ -143,7 +143,7 @@ TwoEcssResult two_ecss_approx(const Graph& g, const EdgeWeights& w) {
   return out;
 }
 
-TwoEcssResult two_ecss_brute_force(const Graph& g, const EdgeWeights& w) {
+TwoEcssResult two_ecss_brute_force(const Graph& g, WeightSpan w) {
   LCS_REQUIRE(g.num_edges() <= 22, "brute force limited to tiny instances");
   LCS_REQUIRE(is_two_edge_connected(g), "input must be 2-edge-connected");
   const std::uint32_t m = g.num_edges();

@@ -18,6 +18,7 @@ namespace lcs::tecss {
 
 using graph::EdgeId;
 using graph::EdgeWeights;
+using graph::WeightSpan;
 using graph::Graph;
 using graph::VertexId;
 using graph::Weight;
@@ -34,9 +35,9 @@ struct TwoEcssResult {
 };
 
 /// Requires a 2-edge-connected input graph.
-TwoEcssResult two_ecss_approx(const Graph& g, const EdgeWeights& w);
+TwoEcssResult two_ecss_approx(const Graph& g, WeightSpan w);
 
 /// Exhaustive optimum for tiny instances (m <= ~22); tests only.
-TwoEcssResult two_ecss_brute_force(const Graph& g, const EdgeWeights& w);
+TwoEcssResult two_ecss_brute_force(const Graph& g, WeightSpan w);
 
 }  // namespace lcs::tecss

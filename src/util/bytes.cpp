@@ -1,0 +1,26 @@
+#include "util/bytes.hpp"
+
+#include <cstring>
+
+#include "util/rng.hpp"
+
+namespace lcs {
+
+std::uint64_t checksum_bytes(const void* data, std::size_t size) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = hash64(0xb17e5ULL);
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p + i, 8);
+    h = hash64(h ^ word);
+  }
+  if (i < size) {
+    std::uint64_t tail = 0;
+    std::memcpy(&tail, p + i, size - i);
+    h = hash64(h ^ tail);
+  }
+  return hash64(h ^ static_cast<std::uint64_t>(size));
+}
+
+}  // namespace lcs

@@ -1,0 +1,21 @@
+// Byte-level checksumming for the on-disk snapshot format.
+//
+// checksum_bytes() is a word-at-a-time splitmix64 chain (util/rng.hpp's
+// hash64 applied to each 8-byte little-endian word, with a zero-padded
+// tail and the length mixed in last).  It is not cryptographic; it exists
+// to reject torn, truncated or bit-flipped snapshot sections with a
+// deterministic error before any bytes are interpreted.  The value is part
+// of the snapshot file format (docs/snapshot_format.md), so the definition
+// must never change under an unchanged format version.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lcs {
+
+/// Checksum of `size` bytes at `data`.  checksum_bytes(nullptr, 0) is a
+/// well-defined constant (the empty-range checksum).
+std::uint64_t checksum_bytes(const void* data, std::size_t size);
+
+}  // namespace lcs

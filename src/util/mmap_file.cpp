@@ -1,0 +1,50 @@
+#include "util/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace lcs {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::filesystem::path& path) {
+  throw std::runtime_error("mmap: " + what + " '" + path.string() +
+                           "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::shared_ptr<const MappedFile> MappedFile::open(const std::filesystem::path& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail("cannot open", path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    fail("cannot stat", path);
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  const std::byte* data = nullptr;
+  if (size > 0) {
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map == MAP_FAILED) {
+      ::close(fd);
+      fail("cannot map", path);
+    }
+    data = static_cast<const std::byte*>(map);
+  }
+  ::close(fd);  // the mapping survives the descriptor
+  return std::shared_ptr<const MappedFile>(new MappedFile(data, size));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(const_cast<std::byte*>(data_), size_);
+}
+
+}  // namespace lcs

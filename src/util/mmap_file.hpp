@@ -1,0 +1,38 @@
+// Read-only whole-file memory mapping (POSIX).
+//
+// MappedFile backs the zero-deserialization snapshot load path: the CSR
+// arrays and weight vector of a loaded GraphSnapshot are std::span views
+// straight into the mapping, kept alive by the shared_ptr<const MappedFile>
+// the snapshot stores as its backing.  The mapping is MAP_PRIVATE +
+// PROT_READ, so a mapped snapshot file is physically immutable in-process
+// and one file can back any number of concurrent readers.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <memory>
+
+namespace lcs {
+
+class MappedFile {
+ public:
+  /// Map `path` read-only in full.  Throws std::runtime_error (message
+  /// prefixed "mmap: ") when the file cannot be opened, stat'ed or mapped.
+  /// An empty file maps to {data() == nullptr, size() == 0}.
+  static std::shared_ptr<const MappedFile> open(const std::filesystem::path& path);
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  const std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  MappedFile(const std::byte* data, std::size_t size) : data_(data), size_(size) {}
+
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lcs

@@ -39,6 +39,7 @@
 #include <optional>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "util/check.hpp"
 #include "util/parallel.hpp"
@@ -129,6 +130,34 @@ class OnceMemo {
     ValuePtr value = future.get();  // rethrows a compute failure
     LCS_CHECK(value != nullptr, "OnceMemo computed a null value");
     return value;
+  }
+
+  /// Every completed (key, value) pair currently in the table, in map
+  /// order (callers sort by key when they need a canonical order — the
+  /// snapshot writer does).  In-flight computations are skipped.
+  std::vector<std::pair<Key, ValuePtr>> ready_entries() const {
+    std::vector<std::pair<Key, ValuePtr>> out;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(map_.size());
+    for (const auto& [key, entry] : map_)
+      if (entry.future.wait_for(std::chrono::seconds(0)) == std::future_status::ready)
+        out.emplace_back(key, entry.future.get());
+    return out;
+  }
+
+  /// Pre-populate `key` with an already-materialized value (the snapshot
+  /// loader warming a memo from disk).  Counted as neither hit nor miss —
+  /// the entry was never computed here — and exempt from capacity eviction
+  /// (seeders replay at most the entry set a capped memo held at save
+  /// time).  Returns false, changing nothing, when the key already exists.
+  bool seed(const Key& key, ValuePtr value) {
+    LCS_CHECK(value != nullptr, "OnceMemo cannot be seeded with null");
+    std::promise<ValuePtr> ready;
+    ready.set_value(std::move(value));
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (map_.contains(key)) return false;
+    map_.emplace(key, Entry{ready.get_future().share(), ++next_token_});
+    return true;
   }
 
   /// Drop every completed entry (in-flight computations are left alone).

@@ -31,7 +31,7 @@ std::shared_ptr<const GraphSnapshot> small_snapshot(std::uint64_t seed = 11,
   GraphSnapshot::Options opt;
   opt.weight_seed = seed ^ 0x55ULL;
   opt.max_weight = 9;
-  return GraphSnapshot::make(graph::connected_gnm(n, 3 * n, gen), opt);
+  return GraphSnapshot::build(graph::connected_gnm(n, 3 * n, gen), opt);
 }
 
 std::vector<QueryRequest> mixed_batch(std::uint32_t count) {
@@ -65,7 +65,7 @@ TEST(GraphSnapshot, PrecomputedFactsMatchDirectComputation) {
   Rng gen(5);
   graph::Graph g = graph::connected_gnm(120, 400, gen);
   const graph::Graph reference = g;  // Graph is a value type; keep a copy
-  const auto snap = GraphSnapshot::make(std::move(g));
+  const auto snap = GraphSnapshot::build(std::move(g));
 
   EXPECT_EQ(snap->num_vertices(), reference.num_vertices());
   EXPECT_EQ(snap->num_edges(), reference.num_edges());
@@ -86,7 +86,7 @@ TEST(GraphSnapshot, LargeSnapshotGetsDiameterBracket) {
   Rng gen(6);
   GraphSnapshot::Options opt;
   opt.exact_diameter_max_vertices = 50;  // force the bracket path
-  const auto snap = GraphSnapshot::make(graph::connected_gnm(200, 600, gen), opt);
+  const auto snap = GraphSnapshot::build(graph::connected_gnm(200, 600, gen), opt);
   EXPECT_FALSE(snap->diameter_is_exact());
   EXPECT_GE(snap->diameter_ub(), snap->diameter_lb());
   EXPECT_GT(snap->diameter_lb(), 0u);
@@ -225,8 +225,8 @@ TEST(GraphSnapshot, LazyDiameterBracketMatchesPrewarmed) {
   GraphSnapshot::Options eager;
   GraphSnapshot::Options lazy;
   lazy.prewarm_diameter = false;
-  const auto a = GraphSnapshot::make(g, eager);
-  const auto b = GraphSnapshot::make(g, lazy);
+  const auto a = GraphSnapshot::build(g, eager);
+  const auto b = GraphSnapshot::build(g, lazy);
   EXPECT_EQ(a->diameter_lb(), b->diameter_lb());
   EXPECT_EQ(a->diameter_ub(), b->diameter_ub());
   EXPECT_EQ(a->diameter_is_exact(), b->diameter_is_exact());
@@ -306,7 +306,7 @@ TEST(ShortcutService, EvictionAndRebuildAreDeterministic) {
   tiny.max_cached_partitions = 1;
   tiny.max_cached_bfs_trees = 1;
   tiny.max_cached_samples = 1;
-  const auto thrashing = GraphSnapshot::make(g, tiny);
+  const auto thrashing = GraphSnapshot::build(g, tiny);
   const auto roomy = small_snapshot();  // same seed/options as the default fixture
 
   const ShortcutService svc_thrash(thrashing, 3);
@@ -356,7 +356,7 @@ TEST(ShortcutService, QueryErrorsAreCapturedAndDeterministic) {
   graph::GraphBuilder b(10);
   for (graph::VertexId v = 0; v + 1 < 5; ++v) b.add_edge(v, v + 1);
   for (graph::VertexId v = 5; v + 1 < 10; ++v) b.add_edge(v, v + 1);
-  const auto snap = GraphSnapshot::make(std::move(b).build());
+  const auto snap = GraphSnapshot::build(std::move(b).build());
   EXPECT_FALSE(snap->connected());
 
   const ShortcutService svc(snap, 3);

@@ -35,7 +35,7 @@ std::shared_ptr<const GraphSnapshot> fuzz_snapshot(std::uint64_t seed, std::uint
   GraphSnapshot::Options opt;
   opt.weight_seed = seed ^ 0xabcULL;
   opt.max_weight = 8;
-  return GraphSnapshot::make(graph::connected_gnm(n, 3 * n, gen), opt);
+  return GraphSnapshot::build(graph::connected_gnm(n, 3 * n, gen), opt);
 }
 
 /// Two disjoint paths: every mincut/MST query fails (deterministically).
@@ -43,7 +43,7 @@ std::shared_ptr<const GraphSnapshot> disconnected_snapshot() {
   graph::GraphBuilder b(16);
   for (graph::VertexId v = 0; v + 1 < 8; ++v) b.add_edge(v, v + 1);
   for (graph::VertexId v = 8; v + 1 < 16; ++v) b.add_edge(v, v + 1);
-  return GraphSnapshot::make(std::move(b).build());
+  return GraphSnapshot::build(std::move(b).build());
 }
 
 /// A seeded random batch over the full request surface: all four kinds,
