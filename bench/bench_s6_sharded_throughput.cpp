@@ -1,0 +1,210 @@
+// S6 — sharded throughput: one batch scattered across 1/2/4 shard servers
+// vs a single in-process service (PR 7).
+//
+// Leg 1 (throughput): a deterministic mixed batch runs on a plain
+// ShortcutService (the local baseline), then through a ShardRouter over
+// fleets of 1, 2 and 4 real ShardServers — full RPC stack, unix sockets,
+// wire codec — recording qps, p50/p99 per-query latency, and the speedup
+// over the local run.  The servers live in this process (each on its own
+// accept/serve threads), so the numbers measure protocol + scatter/gather
+// overhead and cross-shard overlap, not machine count.
+//
+// Leg 2 (digest gate): the same batch at 1/2/8 threads across every fleet
+// size must produce digests bit-identical to the local baseline —
+// `deterministic_sharded_vs_local`, the inline twin of
+// tests/test_sharded_service.cpp's placement gate and determinism contract
+// point 7 (docs/architecture.md): shard placement never changes digests.
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/registry.hpp"
+#include "bench/timer.hpp"
+#include "graph/generators.hpp"
+#include "rpc/shard.hpp"
+#include "service/service.hpp"
+#include "service/sharded.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using lcs::service::QueryKind;
+using lcs::service::QueryRequest;
+using lcs::service::QueryResult;
+
+std::vector<QueryRequest> mixed_batch(std::size_t count) {
+  std::vector<QueryRequest> batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    QueryRequest q;
+    q.id = 66'000 + i;
+    switch (i % 4) {
+      case 0: q.kind = QueryKind::kShortcutQuality; break;
+      case 1: q.kind = QueryKind::kShortcutBuild; break;
+      case 2: q.kind = QueryKind::kMst; break;
+      default: q.kind = QueryKind::kMincut; break;
+    }
+    q.beta = 0.5 + 0.25 * static_cast<double>(i % 3);
+    if (q.kind == QueryKind::kMincut) {
+      if (i % 8 == 3)
+        q.karger_trials = 4;
+      else
+        q.eps = 0.5;
+    }
+    batch.push_back(q);
+  }
+  return batch;
+}
+
+std::vector<std::uint64_t> digests(const std::vector<QueryResult>& rs) {
+  std::vector<std::uint64_t> d;
+  d.reserve(rs.size());
+  for (const auto& r : rs) d.push_back(r.digest());
+  return d;
+}
+
+}  // namespace
+
+LCS_BENCH_SCENARIO(S6_sharded_throughput,
+                   "sharded query service: router + 1/2/4 RPC shard servers vs one process",
+                   "mixed batch over gnm; fleets of 1/2/4 unix-socket shards") {
+  using namespace lcs;
+
+  const std::uint32_t n = ctx.pick_n(300, 4000);
+  const std::uint32_t m = 3 * n;
+  const std::uint64_t seed = ctx.seed(71);
+  const std::size_t batch_size = ctx.smoke() ? 24 : 160;
+  ctx.param("m", std::uint64_t{m});
+  ctx.param("batch_size", std::uint64_t{batch_size});
+  {
+    Json shard_counts;
+    for (const std::uint64_t k : {1, 2, 4}) shard_counts.push_back(Json(k));
+    ctx.param("shard_counts", std::move(shard_counts));
+  }
+
+  Rng gen(seed);
+  const auto snap = service::GraphSnapshot::build(graph::connected_gnm(n, m, gen), {});
+  const auto batch = mixed_batch(batch_size);
+
+  ThreadOverrideGuard guard;
+  set_num_threads(4);
+
+  const std::filesystem::path sock_dir =
+      std::filesystem::temp_directory_path() / "lcs-bench-s6";
+  std::filesystem::remove_all(sock_dir);
+  std::filesystem::create_directories(sock_dir);
+
+  // --- leg 1: local baseline, then real RPC fleets ------------------------
+  Table t({"fleet", "batch_ms", "qps", "p50_ms", "p99_ms", "ok", "identical"});
+  bool all_ok = true;
+  bool deterministic = true;
+
+  const service::ShortcutService local(snap, seed);
+  bench::MonotonicTimer t_local;
+  const std::vector<QueryResult> reference_results = local.run_batch(batch);
+  const double local_ms = t_local.elapsed_ms();
+  const std::vector<std::uint64_t> reference = digests(reference_results);
+  Stats local_lat;
+  for (const QueryResult& r : reference_results) {
+    all_ok = all_ok && r.ok;
+    local_lat.add(r.latency_ms);
+  }
+  const double local_qps =
+      local_ms > 1e-6 ? 1000.0 * static_cast<double>(batch.size()) / local_ms : 0.0;
+  t.row()
+      .cell("local")
+      .cell(local_ms, 1)
+      .cell(local_qps, 1)
+      .cell(local_lat.percentile(50.0), 2)
+      .cell(local_lat.percentile(99.0), 2)
+      .cell(all_ok ? "yes" : "NO")
+      .cell("--");
+  ctx.metric("qps_local", local_qps);
+  ctx.metric("latency_p50_ms_local", local_lat.percentile(50.0));
+  ctx.metric("latency_p99_ms_local", local_lat.percentile(99.0));
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    std::vector<std::unique_ptr<rpc::ShardServer>> servers;
+    std::vector<std::unique_ptr<service::ShardBackend>> backends;
+    for (std::size_t s = 0; s < shards; ++s) {
+      std::string sock_name = "s";
+      sock_name += std::to_string(shards);
+      sock_name += "_";
+      sock_name += std::to_string(s);
+      sock_name += ".sock";
+      std::string spec = "unix:";
+      spec += (sock_dir / sock_name).string();
+      const auto ep = rpc::Endpoint::parse(spec);
+      servers.push_back(std::make_unique<rpc::ShardServer>(
+          std::make_shared<const service::ShortcutService>(snap, seed), ep));
+      backends.push_back(std::make_unique<rpc::RpcShard>(servers.back()->endpoint()));
+    }
+    const service::ShardRouter router(std::move(backends));
+
+    bench::MonotonicTimer t_fleet;
+    const std::vector<QueryResult> results = router.run_batch(batch);
+    const double fleet_ms = t_fleet.elapsed_ms();
+
+    Stats lat;
+    bool fleet_ok = true;
+    for (const QueryResult& r : results) {
+      fleet_ok = fleet_ok && r.ok;
+      lat.add(r.latency_ms);
+    }
+    const bool identical = digests(results) == reference;
+    all_ok = all_ok && fleet_ok;
+    deterministic = deterministic && identical;
+    const double qps =
+        fleet_ms > 1e-6 ? 1000.0 * static_cast<double>(batch.size()) / fleet_ms : 0.0;
+    const std::string suffix = "_shards" + std::to_string(shards);
+    ctx.metric("qps" + suffix, qps);
+    ctx.metric("latency_p50_ms" + suffix, lat.percentile(50.0));
+    ctx.metric("latency_p99_ms" + suffix, lat.percentile(99.0));
+    ctx.metric("speedup_vs_local" + suffix, local_ms > 1e-6 ? local_ms / fleet_ms : 0.0);
+    t.row()
+        .cell(std::to_string(shards) + " shard" + (shards == 1 ? "" : "s"))
+        .cell(fleet_ms, 1)
+        .cell(qps, 1)
+        .cell(lat.percentile(50.0), 2)
+        .cell(lat.percentile(99.0), 2)
+        .cell(fleet_ok ? "yes" : "NO")
+        .cell(identical ? "yes" : "NO");
+
+    for (auto& server : servers) server->stop();
+  }
+  t.print(ctx.out(), "S6: sharded vs local at n=" + std::to_string(n) +
+                         ", batch=" + std::to_string(batch.size()));
+
+  // --- leg 2: placement digest gate across thread counts ------------------
+  // Results are pure per query, so under --smoke a prefix of the batch
+  // (checked against the matching prefix of the local reference) keeps the
+  // gate's coverage shape at a fraction of the cost.
+  const std::size_t gate_size = ctx.smoke() ? batch.size() / 2 : batch.size();
+  const std::vector<QueryRequest> gate_queries(batch.begin(), batch.begin() + gate_size);
+  const std::vector<std::uint64_t> gate_reference(reference.begin(),
+                                                  reference.begin() + gate_size);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    set_num_threads(threads);
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      std::vector<std::unique_ptr<service::ShardBackend>> backends;
+      for (std::size_t s = 0; s < shards; ++s)
+        backends.push_back(std::make_unique<service::LocalShard>(
+            std::make_shared<const service::ShortcutService>(snap, seed)));
+      const service::ShardRouter router(std::move(backends));
+      deterministic =
+          deterministic && digests(router.run_batch(gate_queries)) == gate_reference;
+    }
+  }
+  ctx.out() << "\ndigest gate: 1/2/4 shards at 1/2/8 threads vs local: "
+            << (deterministic ? "identical" : "MISMATCH") << "\n";
+
+  ctx.metric("all_queries_ok", all_ok);
+  ctx.metric("deterministic_sharded_vs_local", deterministic);
+
+  std::filesystem::remove_all(sock_dir);
+}

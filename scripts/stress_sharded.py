@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Cross-process stress gate for the sharded query service.
+
+Builds a snapshot store with lcsingest, launches a fleet of lcsshard
+server processes on unix sockets, then drives several concurrent
+lcsrouter batches (disjoint query-id ranges, so the router's duplicate
+gate never trips) through the fleet.  Every batch's output — one digest
+line per query plus the batch summary — must be byte-identical to the
+single-process oracle (`lcsrouter --local`) over the same store.  This
+is the cross-process form of determinism contract point 7
+(docs/architecture.md): shard placement never changes digests.
+
+Exit status 0 means every batch matched its oracle and the fleet shut
+down cleanly on request; any mismatch, shard crash, or hang is nonzero.
+
+Usage:
+  python3 scripts/stress_sharded.py [--build-dir build] [--shards 3]
+      [--batches 4] [--count 48] [--n 200] [--m 600]
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+
+
+def fail(message: str) -> None:
+    print(f"stress_sharded: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def read_line_with_timeout(proc: subprocess.Popen, timeout: float) -> str:
+    """One stdout line from a child, or '' if it produced none in time."""
+    box: list[str] = []
+
+    def reader() -> None:
+        box.append(proc.stdout.readline())
+
+    t = threading.Thread(target=reader, daemon=True)
+    t.start()
+    t.join(timeout)
+    return box[0] if box else ""
+
+
+def ingest(lcsingest: pathlib.Path, store: pathlib.Path, args) -> str:
+    """Freeze a generated gnm graph into the store; return its fingerprint."""
+    out = subprocess.run(
+        [str(lcsingest), "--store", str(store), "--generate", "gnm",
+         "--n", str(args.n), "--m", str(args.m), "--seed", str(args.graph_seed)],
+        capture_output=True, text=True, timeout=args.timeout)
+    if out.returncode != 0:
+        fail(f"lcsingest exited {out.returncode}:\n{out.stderr}")
+    match = re.search(r"^fingerprint:\s+([0-9a-f]{16})$", out.stdout, re.M)
+    if not match:
+        fail(f"no fingerprint in lcsingest output:\n{out.stdout}")
+    return match.group(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory holding tools/ binaries")
+    parser.add_argument("--shards", type=int, default=3,
+                        help="lcsshard processes in the fleet")
+    parser.add_argument("--batches", type=int, default=4,
+                        help="concurrent lcsrouter batches")
+    parser.add_argument("--count", type=int, default=48,
+                        help="queries per batch")
+    parser.add_argument("--n", type=int, default=200, help="graph vertices")
+    parser.add_argument("--m", type=int, default=600, help="graph edges")
+    parser.add_argument("--graph-seed", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=7, help="service seed")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="per-step timeout in seconds")
+    args = parser.parse_args()
+
+    build = pathlib.Path(args.build_dir)
+    tools = {name: build / "tools" / name
+             for name in ("lcsingest", "lcsshard", "lcsrouter")}
+    for name, path in tools.items():
+        if not path.is_file():
+            fail(f"{path} not built — build the '{name}' target first")
+
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="lcs-stress-sharded-"))
+    store = workdir / "store"
+    shards: list[subprocess.Popen] = []
+    try:
+        fingerprint = ingest(tools["lcsingest"], store, args)
+        print(f"store ready: fingerprint={fingerprint} "
+              f"(n={args.n}, m={args.m}, graph seed {args.graph_seed})")
+
+        # Fleet: one lcsshard per socket.  READY on stdout marks a shard
+        # accepting; a shard that never says it is a failed launch.
+        endpoints = []
+        for i in range(args.shards):
+            endpoint = f"unix:{workdir / f'shard{i}.sock'}"
+            proc = subprocess.Popen(
+                [str(tools["lcsshard"]), "--store", str(store),
+                 "--fingerprint", fingerprint, "--listen", endpoint,
+                 "--seed", str(args.seed), "--threads", "2"],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+            line = read_line_with_timeout(proc, args.timeout)
+            if not line.startswith("READY "):
+                proc.kill()
+                fail(f"shard {i} never became ready (got: {line!r})")
+            shards.append(proc)
+            endpoints.append(endpoint)
+        print(f"fleet ready: {args.shards} shard(s)")
+
+        shard_flags: list[str] = []
+        for endpoint in endpoints:
+            shard_flags += ["--shard", endpoint]
+
+        # Concurrent batches with disjoint id ranges, all in flight at
+        # once against the same fleet.
+        first_ids = [1000 + b * 100_000 for b in range(args.batches)]
+        routers = [
+            subprocess.Popen(
+                [str(tools["lcsrouter"]), *shard_flags,
+                 "--count", str(args.count), "--first-id", str(first_id)],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+            for first_id in first_ids
+        ]
+        sharded_out = []
+        for b, proc in enumerate(routers):
+            stdout, stderr = proc.communicate(timeout=args.timeout)
+            if proc.returncode != 0:
+                fail(f"batch {b} router exited {proc.returncode}:\n{stderr}")
+            sharded_out.append(stdout)
+
+        # Oracle: the same batches on one in-process service.
+        mismatches = 0
+        for b, first_id in enumerate(first_ids):
+            oracle = subprocess.run(
+                [str(tools["lcsrouter"]), "--local", "--store", str(store),
+                 "--fingerprint", fingerprint, "--count", str(args.count),
+                 "--first-id", str(first_id), "--seed", str(args.seed)],
+                capture_output=True, text=True, timeout=args.timeout)
+            if oracle.returncode != 0:
+                fail(f"batch {b} oracle exited {oracle.returncode}:\n{oracle.stderr}")
+            if sharded_out[b] != oracle.stdout:
+                mismatches += 1
+                print(f"batch {b} (first id {first_id}): DIGEST MISMATCH",
+                      file=sys.stderr)
+                sys.stderr.writelines(difflib.unified_diff(
+                    oracle.stdout.splitlines(keepends=True),
+                    sharded_out[b].splitlines(keepends=True),
+                    fromfile=f"oracle (batch {b})",
+                    tofile=f"sharded (batch {b})"))
+            else:
+                summary = sharded_out[b].strip().splitlines()[-1]
+                print(f"batch {b} identical to oracle: {summary}")
+        if mismatches:
+            fail(f"{mismatches}/{args.batches} batches diverged from the oracle")
+
+        # Clean shutdown: one more (tiny) batch with --shutdown, then the
+        # whole fleet must exit on its own.
+        out = subprocess.run(
+            [str(tools["lcsrouter"]), *shard_flags, "--count", "1",
+             "--first-id", "999000", "--shutdown"],
+            capture_output=True, text=True, timeout=args.timeout)
+        if out.returncode != 0:
+            fail(f"shutdown router exited {out.returncode}:\n{out.stderr}")
+        for i, proc in enumerate(shards):
+            try:
+                code = proc.wait(timeout=args.timeout)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                fail(f"shard {i} ignored shutdown")
+            if code != 0:
+                fail(f"shard {i} exited {code}:\n{proc.stderr.read()}")
+        shards.clear()
+        print(f"OK: {args.batches} concurrent batches x {args.count} queries "
+              f"over {args.shards} shards, all digests identical to the "
+              f"single-process oracle; clean fleet shutdown")
+    finally:
+        for proc in shards:
+            proc.kill()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -113,6 +113,25 @@ S5_TRUE_CHECKS = [
     "mmap_load_faster",
 ]
 
+# Per-fleet-size metric prefixes every s6_ (sharded throughput) record must
+# carry for each shard count, the local-baseline leg, and boolean gates
+# that must be true.  Schema documented in docs/bench.md.
+S6_LOCAL_METRICS = [
+    "qps_local",
+    "latency_p50_ms_local",
+    "latency_p99_ms_local",
+]
+S6_LEG_PREFIXES = [
+    "qps",
+    "latency_p50_ms",
+    "latency_p99_ms",
+    "speedup_vs_local",
+]
+S6_TRUE_CHECKS = [
+    "all_queries_ok",
+    "deterministic_sharded_vs_local",
+]
+
 
 def validate_overload(record: dict, args) -> list[str]:
     """s4_ records sweep offered load, not threads: per load multiple there
@@ -169,6 +188,44 @@ def validate_snapshot_io(record: dict, args) -> list[str]:
     if not metrics.get("snapshot_bytes"):
         problems.append(f"{name}: snapshot_bytes is zero")
     for key in S5_TRUE_CHECKS:
+        if metrics.get(key) is not True:
+            problems.append(f"{name}: {key} is not true")
+    return problems
+
+
+def validate_sharded(record: dict, args) -> list[str]:
+    """s6_ records sweep fleet size over a real RPC stack: per shard count
+    there must be a complete qps/latency/speedup leg, the local baseline
+    leg must be present, and the inline gates — every query ok and
+    bit-identical digests for every placement at every thread count — must
+    have passed."""
+    del args
+    name = record["scenario"]
+    problems = []
+    if not isinstance(record["params"], dict) or not isinstance(record["metrics"], dict):
+        return [f"{name}: params/metrics must be objects"]
+    shard_counts = record["params"].get("shard_counts")
+    if (
+        not isinstance(shard_counts, list)
+        or not shard_counts
+        or not all(isinstance(k, int) and k >= 1 for k in shard_counts)
+    ):
+        problems.append(
+            f"{name}: params.shard_counts must be a non-empty list of fleet sizes"
+        )
+        shard_counts = []
+    metrics = record["metrics"]
+    for key in S6_LOCAL_METRICS:
+        value = metrics.get(key)
+        if not isinstance(value, (int, float)) or value < 0:
+            problems.append(f"{name}: missing or bad baseline metric {key}: {value!r}")
+    for count in shard_counts:
+        for prefix in S6_LEG_PREFIXES:
+            key = f"{prefix}_shards{count}"
+            value = metrics.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(f"{name}: missing or bad leg metric {key}: {value!r}")
+    for key in S6_TRUE_CHECKS:
         if metrics.get(key) is not True:
             problems.append(f"{name}: {key} is not true")
     return problems
@@ -254,6 +311,8 @@ def validate_record(record: dict, require_ok: bool, args) -> list[str]:
             problems.extend(validate_overload(record, args))
         if name.lower().startswith("s5_"):
             problems.extend(validate_snapshot_io(record, args))
+        if name.lower().startswith("s6_"):
+            problems.extend(validate_sharded(record, args))
     return problems
 
 

@@ -1,0 +1,112 @@
+#include "rpc/frame.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace lcs::rpc {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'R', 'P', 'C'};
+
+[[noreturn]] void bad(const std::string& what) { throw std::runtime_error("rpc: " + what); }
+
+/// The header image that is checksummed and sent: trivially copyable,
+/// little-endian on every supported host (the snapshot format already
+/// rejects foreign endianness at the file layer; the wire format inherits
+/// the assumption and the version byte guards evolution).
+struct WireHeader {
+  char magic[4];
+  std::uint8_t version;
+  std::uint8_t type;
+  std::uint16_t reserved;
+  std::uint64_t payload_bytes;
+  std::uint64_t payload_checksum;
+  std::uint64_t header_checksum;  ///< over this struct with the field zeroed
+};
+static_assert(sizeof(WireHeader) == kFrameHeaderBytes,
+              "header layout is part of the wire format");
+static_assert(std::is_trivially_copyable_v<WireHeader>);
+
+bool known_frame_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::kHello) &&
+         t <= static_cast<std::uint8_t>(FrameType::kShutdownAck);
+}
+
+}  // namespace
+
+const char* frame_type_name(FrameType t) {
+  switch (t) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kHelloAck: return "hello_ack";
+    case FrameType::kRunBatch: return "run_batch";
+    case FrameType::kResults: return "results";
+    case FrameType::kError: return "error";
+    case FrameType::kShutdown: return "shutdown";
+    case FrameType::kShutdownAck: return "shutdown_ack";
+  }
+  return "unknown";
+}
+
+std::vector<std::byte> encode_frame(const Frame& frame) {
+  if (frame.payload.size() > kMaxFramePayloadBytes) bad("frame payload too large to encode");
+  WireHeader h{};
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.version = kRpcProtocolVersion;
+  h.type = static_cast<std::uint8_t>(frame.type);
+  h.reserved = 0;
+  h.payload_bytes = frame.payload.size();
+  h.payload_checksum = checksum_bytes(frame.payload.data(), frame.payload.size());
+  h.header_checksum = 0;
+  h.header_checksum = checksum_bytes(&h, sizeof(h));
+
+  std::vector<std::byte> out(kFrameHeaderBytes + frame.payload.size());
+  std::memcpy(out.data(), &h, sizeof(h));
+  if (!frame.payload.empty())
+    std::memcpy(out.data() + kFrameHeaderBytes, frame.payload.data(), frame.payload.size());
+  return out;
+}
+
+FrameHeader decode_frame_header(const std::byte* data, std::size_t size) {
+  if (size < kFrameHeaderBytes) bad("frame truncated");
+  WireHeader h{};
+  std::memcpy(&h, data, sizeof(h));
+  if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) bad("bad frame magic");
+  if (h.version != kRpcProtocolVersion)
+    bad("unsupported protocol version " + std::to_string(h.version));
+  if (h.reserved != 0) bad("reserved frame bits set");
+  if (!known_frame_type(h.type)) bad("unknown frame type " + std::to_string(h.type));
+  if (h.payload_bytes > kMaxFramePayloadBytes)
+    bad("frame payload too large (" + std::to_string(h.payload_bytes) + " bytes)");
+  WireHeader unsummed = h;
+  unsummed.header_checksum = 0;
+  if (checksum_bytes(&unsummed, sizeof(unsummed)) != h.header_checksum)
+    bad("frame header checksum mismatch");
+  FrameHeader out;
+  out.type = static_cast<FrameType>(h.type);
+  out.payload_bytes = h.payload_bytes;
+  out.payload_checksum = h.payload_checksum;
+  return out;
+}
+
+void verify_frame_payload(const FrameHeader& header, const std::byte* data, std::size_t size) {
+  if (size != header.payload_bytes) bad("frame truncated");
+  if (checksum_bytes(data, size) != header.payload_checksum)
+    bad("frame payload checksum mismatch");
+}
+
+Frame decode_frame(const std::byte* data, std::size_t size) {
+  const FrameHeader header = decode_frame_header(data, size);
+  if (size < kFrameHeaderBytes + header.payload_bytes) bad("frame truncated");
+  if (size > kFrameHeaderBytes + header.payload_bytes) bad("frame has trailing bytes");
+  verify_frame_payload(header, data + kFrameHeaderBytes, size - kFrameHeaderBytes);
+  Frame frame;
+  frame.type = header.type;
+  frame.payload.assign(data + kFrameHeaderBytes, data + size);
+  return frame;
+}
+
+}  // namespace lcs::rpc

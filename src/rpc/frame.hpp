@@ -1,0 +1,84 @@
+// RPC frame format v1: length-prefixed, versioned, checksummed.
+//
+// Every message between an lcsrouter frontend and an lcsshard server is
+// one frame: a fixed 32-byte little-endian header followed by the payload
+// bytes.  The header carries the protocol version, the frame type, the
+// payload length, and two checksums (util/bytes.hpp checksum_bytes — the
+// same word-chain the snapshot format uses): one over the header with the
+// checksum field zeroed, one over the payload.  A reader therefore rejects
+// torn, truncated, bit-flipped or version-skewed frames with a
+// deterministic "rpc: ..." error before interpreting a single payload
+// byte — mirroring the snapshot format's verification discipline
+// (docs/snapshot_format.md) on the wire.
+//
+//   offset  field                 bytes
+//   0       magic "LRPC"          4
+//   4       version (u8)          1
+//   5       type (u8)             1
+//   6       reserved (u16, 0)     2
+//   8       payload_bytes (u64)   8
+//   16      payload_checksum      8
+//   24      header_checksum       8
+//
+// Validation order (each step's failure message is exact and stable):
+// magic, version, reserved bits, frame type, payload bound, header
+// checksum, then — once the payload bytes are present — payload checksum.
+// Any layout change bumps kRpcProtocolVersion.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lcs::rpc {
+
+inline constexpr std::uint8_t kRpcProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 32;
+
+/// Frames larger than this are rejected before any allocation: a corrupted
+/// or hostile length prefix must not drive the reader into a huge resize.
+inline constexpr std::uint64_t kMaxFramePayloadBytes = 1ull << 30;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,        ///< router -> shard: empty payload, opens the handshake
+  kHelloAck = 2,     ///< shard -> router: fingerprint u64 + seed u64 + n u32 + m u32
+  kRunBatch = 3,     ///< router -> shard: wire-encoded QueryRequest sub-batch
+  kResults = 4,      ///< shard -> router: wire-encoded QueryResult vector
+  kError = 5,        ///< shard -> router: deterministic error text (utf-8)
+  kShutdown = 6,     ///< router -> shard: empty payload, asks the server to exit
+  kShutdownAck = 7,  ///< shard -> router: empty payload, sent before exiting
+};
+
+const char* frame_type_name(FrameType t);
+
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::vector<std::byte> payload;
+};
+
+/// Decoded header of an incoming frame: what a streaming reader needs to
+/// know before the payload bytes arrive.
+struct FrameHeader {
+  FrameType type = FrameType::kHello;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t payload_checksum = 0;
+};
+
+/// Encode `frame` as header + payload bytes.
+std::vector<std::byte> encode_frame(const Frame& frame);
+
+/// Validate and decode exactly kFrameHeaderBytes of header.  Throws
+/// std::runtime_error("rpc: ...") on truncation, bad magic, version skew,
+/// reserved bits, unknown type, oversized payload, or checksum mismatch.
+FrameHeader decode_frame_header(const std::byte* data, std::size_t size);
+
+/// Verify the payload bytes against the header's checksum; throws
+/// std::runtime_error("rpc: frame payload checksum mismatch") otherwise.
+void verify_frame_payload(const FrameHeader& header, const std::byte* data, std::size_t size);
+
+/// Decode one complete frame from exactly `size` bytes (header + payload,
+/// nothing more).  The non-streaming entry point the protocol tests drive
+/// the corruption matrix through.
+Frame decode_frame(const std::byte* data, std::size_t size);
+
+}  // namespace lcs::rpc

@@ -1,0 +1,198 @@
+#include "rpc/shard.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "service/wire.hpp"
+#include "util/bytes.hpp"
+#include "util/check.hpp"
+
+namespace lcs::rpc {
+
+namespace {
+
+Frame make_frame(FrameType type, std::vector<std::byte> payload = {}) {
+  Frame f;
+  f.type = type;
+  f.payload = std::move(payload);
+  return f;
+}
+
+std::vector<std::byte> text_payload(const std::string& text) {
+  std::vector<std::byte> out(text.size());
+  if (!text.empty()) std::memcpy(out.data(), text.data(), text.size());
+  return out;
+}
+
+std::string payload_text(const Frame& frame) {
+  return std::string(reinterpret_cast<const char*>(frame.payload.data()),
+                     frame.payload.size());
+}
+
+[[noreturn]] void unexpected(const Frame& frame, const char* want) {
+  throw std::runtime_error(std::string("rpc: unexpected frame type ") +
+                           frame_type_name(frame.type) + " (want " + want + ")");
+}
+
+}  // namespace
+
+RpcShard::RpcShard(const Endpoint& endpoint) : endpoint_(endpoint) {
+  try {
+    socket_ = connect_endpoint(endpoint_);
+    socket_.send_frame(make_frame(FrameType::kHello));
+    const Frame ack = socket_.recv_frame();
+    if (ack.type != FrameType::kHelloAck) unexpected(ack, "hello_ack");
+    ByteReader r(ack.payload.data(), ack.payload.size(), "rpc: wire ");
+    info_.fingerprint = r.u64();
+    info_.seed = r.u64();
+    info_.num_vertices = r.u32();
+    info_.num_edges = r.u32();
+    if (!r.done()) throw std::runtime_error("rpc: wire payload has trailing bytes");
+  } catch (const std::exception& e) {
+    throw service::ShardUnavailable(e.what());
+  }
+}
+
+void RpcShard::send_batch(const std::vector<service::QueryRequest>& batch) {
+  try {
+    socket_.send_frame(make_frame(FrameType::kRunBatch, service::encode_requests(batch)));
+  } catch (const std::exception& e) {
+    throw service::ShardUnavailable(e.what());
+  }
+}
+
+std::vector<service::QueryResult> RpcShard::gather() {
+  try {
+    const Frame reply = socket_.recv_frame();
+    if (reply.type == FrameType::kError)
+      throw service::ShardUnavailable(payload_text(reply));
+    if (reply.type != FrameType::kResults) unexpected(reply, "results");
+    return service::decode_results(reply.payload.data(), reply.payload.size());
+  } catch (const service::ShardUnavailable&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw service::ShardUnavailable(e.what());
+  }
+}
+
+void RpcShard::shutdown_server() {
+  try {
+    socket_.send_frame(make_frame(FrameType::kShutdown));
+    while (true) {
+      const Frame reply = socket_.recv_frame();
+      if (reply.type == FrameType::kShutdownAck) break;
+    }
+  } catch (const std::exception&) {
+    // A shard that died first is already shut down.
+  }
+}
+
+ShardServer::ShardServer(std::shared_ptr<const service::ShortcutService> service,
+                         const Endpoint& endpoint)
+    : service_(std::move(service)) {
+  LCS_REQUIRE(service_ != nullptr, "shard server needs a service");
+  listener_ = Listener::listen(endpoint);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+ShardServer::~ShardServer() { stop(); }
+
+void ShardServer::accept_loop() {
+  while (true) {
+    Socket conn = listener_.accept();
+    if (!conn.valid()) break;  // listener closed
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) break;
+    connections_.push_back(std::move(conn));
+    Socket& ref = connections_.back();
+    conn_threads_.emplace_back([this, &ref] { serve_connection(ref); });
+  }
+}
+
+void ShardServer::serve_connection(Socket& conn) {
+  while (true) {
+    Frame frame;
+    try {
+      frame = conn.recv_frame();
+    } catch (const std::exception&) {
+      return;  // client gone (or stop() shut the socket down)
+    }
+    try {
+      switch (frame.type) {
+        case FrameType::kHello: {
+          ByteBuf buf;
+          buf.u64(service_->snapshot().fingerprint());
+          buf.u64(service_->seed());
+          buf.u32(service_->snapshot().num_vertices());
+          buf.u32(service_->snapshot().num_edges());
+          conn.send_frame(make_frame(FrameType::kHelloAck, buf.take()));
+          break;
+        }
+        case FrameType::kRunBatch: {
+          Frame reply;
+          try {
+            const std::vector<service::QueryRequest> batch =
+                service::decode_requests(frame.payload.data(), frame.payload.size());
+            reply = make_frame(FrameType::kResults,
+                               service::encode_results(service_->run_batch(batch)));
+          } catch (const std::exception& e) {
+            // Decode and batch-contract failures are per-request errors the
+            // client should see verbatim; the connection stays usable.
+            reply = make_frame(FrameType::kError, text_payload(e.what()));
+          }
+          conn.send_frame(reply);
+          break;
+        }
+        case FrameType::kShutdown: {
+          conn.send_frame(make_frame(FrameType::kShutdownAck));
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            shutdown_requested_ = true;
+          }
+          shutdown_cv_.notify_all();
+          return;
+        }
+        default:
+          conn.send_frame(make_frame(
+              FrameType::kError,
+              text_payload(std::string("rpc: unexpected frame type ") +
+                           frame_type_name(frame.type))));
+          break;
+      }
+    } catch (const std::exception&) {
+      return;  // send failed: client gone mid-reply
+    }
+  }
+}
+
+void ShardServer::wait_for_shutdown() {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+void ShardServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+  listener_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // No new connections past this point: wake every connection thread
+  // blocked in recv_frame, then join them all before the sockets die.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Socket& conn : connections_) conn.shutdown_both();
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads)
+    if (t.joinable()) t.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  connections_.clear();
+}
+
+}  // namespace lcs::rpc

@@ -1,0 +1,105 @@
+// The RPC faces of the sharded service: RpcShard (client backend) and
+// ShardServer (the serving side of an lcsshard process).
+//
+// Conversation, all frames from rpc/frame.hpp over one blocking socket:
+//
+//   client                          server
+//   kHello (empty)            ->
+//                             <-   kHelloAck (fingerprint u64, seed u64,
+//                                             num_vertices u32, num_edges u32)
+//   kRunBatch (wire requests) ->
+//                             <-   kResults (wire results)   on success
+//                             <-   kError (utf-8 text)       on a decode or
+//                                                            batch-contract error
+//   kShutdown (empty)         ->
+//                             <-   kShutdownAck (empty), then the server stops
+//
+// The handshake's payload is the coherence token: a ShardRouter compares
+// every shard's fingerprint and seed before any query crosses the wire.
+// RpcShard folds every transport or protocol failure into
+// service::ShardUnavailable with the transport's deterministic message, so
+// the router's "shard <i> unavailable: <reason>" capture is stable.
+//
+// ShardServer accepts on a background thread and serves each connection on
+// its own thread — ShortcutService supports concurrent caller threads, so
+// two routers (or a router and a probe) can share one shard.  It is used
+// in-process by the sharded bench/tests and wrapped by tools/lcsshard.cpp
+// as a standalone process.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rpc/transport.hpp"
+#include "service/service.hpp"
+#include "service/sharded.hpp"
+
+namespace lcs::rpc {
+
+/// ShardBackend speaking the wire protocol to a ShardServer.
+class RpcShard : public service::ShardBackend {
+ public:
+  /// Connect and run the hello handshake; throws service::ShardUnavailable
+  /// when the shard cannot be reached or answers a malformed handshake.
+  explicit RpcShard(const Endpoint& endpoint);
+
+  std::string describe() const override { return endpoint_.describe(); }
+  service::ShardInfo info() override { return info_; }
+  void send_batch(const std::vector<service::QueryRequest>& batch) override;
+  std::vector<service::QueryResult> gather() override;
+
+  /// Ask the server process to exit (kShutdown, await kShutdownAck).
+  /// Best-effort: a shard that died first is already shut down.
+  void shutdown_server();
+
+ private:
+  Endpoint endpoint_;
+  Socket socket_;
+  service::ShardInfo info_;
+};
+
+/// Serving side: accept loop on a background thread, one thread per
+/// connection, stop() joins everything.
+class ShardServer {
+ public:
+  /// Bind `endpoint` (tcp port 0 resolves to an ephemeral port — read it
+  /// back from endpoint()) and start accepting.
+  ShardServer(std::shared_ptr<const service::ShortcutService> service,
+              const Endpoint& endpoint);
+  ~ShardServer();
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  const Endpoint& endpoint() const { return listener_.endpoint(); }
+
+  /// Block until a client sends kShutdown (or stop() is called).
+  void wait_for_shutdown();
+
+  /// Stop accepting, wake every connection thread, join them all.
+  /// Idempotent; also called by the destructor.
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_connection(Socket& conn);
+
+  std::shared_ptr<const service::ShortcutService> service_;
+  Listener listener_;
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+  bool stopped_ = false;
+  std::list<Socket> connections_;          ///< guarded by mu_; closed after join
+  std::vector<std::thread> conn_threads_;  ///< guarded by mu_
+};
+
+}  // namespace lcs::rpc

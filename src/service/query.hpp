@@ -13,7 +13,10 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_set>
+#include <vector>
 
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace lcs::service {
@@ -74,6 +77,18 @@ inline CostClass query_cost_class(const QueryRequest& q) {
     case QueryKind::kMincut: return CostClass::kHeavy;
   }
   return CostClass::kHeavy;
+}
+
+/// The duplicate-id guard of every batch boundary — ShortcutService's
+/// run_batch/run_admitted and the shard router reject a batch whose ids are
+/// not pairwise distinct (duplicates would alias RNG streams), naming the
+/// offending id so a caller merging query sources can find the collision.
+inline void check_distinct_query_ids(const std::vector<QueryRequest>& batch) {
+  std::unordered_set<std::uint64_t> ids;
+  ids.reserve(batch.size());
+  for (const QueryRequest& q : batch)
+    LCS_REQUIRE(ids.insert(q.id).second,
+                "batch has duplicate query id " + std::to_string(q.id));
 }
 
 struct QueryResult {

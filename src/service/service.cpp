@@ -143,13 +143,6 @@ void run_mincut(const GraphSnapshot& snap, const QueryRequest& q, Rng& stream, b
   r.content_hash = hash_vertices(cut.side);
 }
 
-void check_distinct_ids(const std::vector<QueryRequest>& batch) {
-  std::unordered_set<std::uint64_t> ids;
-  ids.reserve(batch.size());
-  for (const QueryRequest& q : batch)
-    LCS_REQUIRE(ids.insert(q.id).second, "batch has duplicate query ids");
-}
-
 }  // namespace
 
 ShortcutService::ShortcutService(std::shared_ptr<const GraphSnapshot> snapshot,
@@ -198,7 +191,7 @@ QueryResult ShortcutService::run(const QueryRequest& request) const { return exe
 
 std::vector<QueryResult> ShortcutService::run_batch(
     const std::vector<QueryRequest>& batch) const {
-  check_distinct_ids(batch);
+  check_distinct_query_ids(batch);
   std::vector<QueryResult> out(batch.size());
   parallel_tasks(batch.size(), [&](std::size_t t) { out[t] = execute(batch[t]); });
   return out;
@@ -208,7 +201,7 @@ std::vector<QueryResult> ShortcutService::run_admitted(
     const std::vector<QueryRequest>& batch, const AdmissionOptions& admission) const {
   LCS_REQUIRE(admission.cheap_slots > 0, "admission needs cheap_slots > 0");
   LCS_REQUIRE(admission.heavy_slots > 0, "admission needs heavy_slots > 0");
-  check_distinct_ids(batch);
+  check_distinct_query_ids(batch);
   const auto admitted_at = std::chrono::steady_clock::now();
   std::vector<QueryResult> out(batch.size());
 

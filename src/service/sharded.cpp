@@ -1,0 +1,126 @@
+#include "service/sharded.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace lcs::service {
+
+LocalShard::LocalShard(std::shared_ptr<const ShortcutService> service)
+    : service_(std::move(service)) {
+  LCS_REQUIRE(service_ != nullptr, "local shard needs a service");
+}
+
+void LocalShard::check_alive() const {
+  if (killed_) throw ShardUnavailable("shard killed");
+}
+
+ShardInfo LocalShard::info() {
+  check_alive();
+  ShardInfo info;
+  info.fingerprint = service_->snapshot().fingerprint();
+  info.seed = service_->seed();
+  info.num_vertices = service_->snapshot().num_vertices();
+  info.num_edges = service_->snapshot().num_edges();
+  return info;
+}
+
+void LocalShard::send_batch(const std::vector<QueryRequest>& batch) {
+  check_alive();
+  pending_ = batch;
+}
+
+std::vector<QueryResult> LocalShard::gather() {
+  check_alive();
+  const std::vector<QueryRequest> batch = std::move(pending_);
+  pending_.clear();
+  return service_->run_batch(batch);
+}
+
+ShardRouter::ShardRouter(std::vector<std::unique_ptr<ShardBackend>> shards)
+    : shards_(std::move(shards)) {
+  LCS_REQUIRE(!shards_.empty(), "router needs at least one shard");
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    LCS_REQUIRE(shards_[s] != nullptr, "router shard " + std::to_string(s) + " is null");
+    const ShardInfo info = shards_[s]->info();  // ShardUnavailable propagates: a
+                                                // fleet that cannot attach is misuse
+    if (s == 0) {
+      fingerprint_ = info.fingerprint;
+      seed_ = info.seed;
+      continue;
+    }
+    LCS_REQUIRE(info.fingerprint == fingerprint_,
+                "shard " + std::to_string(s) + " (" + shards_[s]->describe() +
+                    ") serves snapshot fingerprint " + std::to_string(info.fingerprint) +
+                    " but the router expects " + std::to_string(fingerprint_));
+    LCS_REQUIRE(info.seed == seed_,
+                "shard " + std::to_string(s) + " (" + shards_[s]->describe() +
+                    ") uses service seed " + std::to_string(info.seed) +
+                    " but the router expects " + std::to_string(seed_));
+  }
+}
+
+std::vector<QueryResult> ShardRouter::run_batch(const std::vector<QueryRequest>& batch) const {
+  check_distinct_query_ids(batch);
+  const std::size_t n = shards_.size();
+
+  std::vector<std::vector<QueryRequest>> sub(n);
+  std::vector<std::vector<std::size_t>> origin(n);  // sub position -> batch position
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::size_t s = shard_of(batch[i].id, n);
+    sub[s].push_back(batch[i]);
+    origin[s].push_back(i);
+  }
+
+  // Scatter first, gather second: remote shards overlap their compute while
+  // the router is still blocked on an earlier shard's reply.
+  std::vector<std::string> failure(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (sub[s].empty()) continue;
+    try {
+      shards_[s]->send_batch(sub[s]);
+    } catch (const std::exception& e) {
+      failure[s] = e.what();
+    }
+  }
+
+  std::vector<QueryResult> out(batch.size());
+  for (std::size_t s = 0; s < n; ++s) {
+    if (sub[s].empty()) continue;
+    std::vector<QueryResult> got;
+    if (failure[s].empty()) {
+      try {
+        got = shards_[s]->gather();
+        // A reply that does not line up with the sub-batch is as unusable
+        // as no reply: fold it into the same failure path.
+        if (got.size() != sub[s].size()) {
+          failure[s] = "result count mismatch";
+        } else {
+          for (std::size_t k = 0; k < got.size(); ++k) {
+            if (got[k].id != sub[s][k].id) {
+              failure[s] = "result id mismatch";
+              break;
+            }
+          }
+        }
+      } catch (const std::exception& e) {
+        failure[s] = e.what();
+      }
+    }
+    if (!failure[s].empty()) {
+      for (std::size_t k = 0; k < sub[s].size(); ++k) {
+        QueryResult r;
+        r.id = sub[s][k].id;
+        r.kind = sub[s][k].kind;
+        r.ok = false;
+        r.error = "shard " + std::to_string(s) + " unavailable: " + failure[s];
+        out[origin[s][k]] = std::move(r);
+      }
+    } else {
+      for (std::size_t k = 0; k < got.size(); ++k) out[origin[s][k]] = std::move(got[k]);
+    }
+  }
+  return out;
+}
+
+}  // namespace lcs::service

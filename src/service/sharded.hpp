@@ -1,0 +1,133 @@
+// Sharded query execution: a router scattering batches across shard
+// backends by query id.
+//
+// Placement is the pure function shard_of(id, N) = hash64(id) % N — no
+// load feedback, no affinity state — so where a query runs is as
+// deterministic as what it computes.  Combined with the service contract
+// (a result is a pure function of snapshot, seed and request), this gives
+// the sharding determinism guarantee the tests pin down: the same batch
+// routed across 1, 2 or 4 shards produces digests bit-identical to a
+// single ShortcutService, at any thread count.
+//
+// The router talks to shards through the ShardBackend interface in two
+// sequential passes: send every sub-batch, then gather every reply.  A
+// LocalShard wraps an in-process ShortcutService (and can be killed for
+// fault-injection tests); rpc/shard.hpp plugs a remote lcsshard process
+// into the same seam.  Coherence is checked once at construction: every
+// backend must report the snapshot fingerprint and service seed of shard
+// 0, because a mixed fleet would silently answer queries against different
+// frozen inputs.
+//
+// Shard death is captured, not retried: every query placed on a failed
+// shard comes back ok=false with error "shard <i> unavailable: <reason>"
+// (the reason is the backend's deterministic failure text), and queries on
+// other shards are untouched.  A retry could land the query on a live
+// shard and change the batch's failure pattern run to run; capturing keeps
+// the whole result vector a function of (batch, fleet state).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "service/service.hpp"
+
+namespace lcs::service {
+
+/// The shard a query id lives on, given a fleet of `num_shards` (> 0).
+inline std::size_t shard_of(std::uint64_t id, std::size_t num_shards) {
+  return static_cast<std::size_t>(hash64(id) % num_shards);
+}
+
+/// Thrown by a backend whose shard is gone; the message is the
+/// deterministic reason the router embeds in affected results.
+class ShardUnavailable : public std::runtime_error {
+ public:
+  explicit ShardUnavailable(const std::string& reason) : std::runtime_error(reason) {}
+};
+
+/// Identity a shard reports at attach time: which frozen inputs it serves.
+struct ShardInfo {
+  std::uint64_t fingerprint = 0;   ///< GraphSnapshot::fingerprint()
+  std::uint64_t seed = 0;          ///< ShortcutService seed
+  std::uint32_t num_vertices = 0;  ///< sanity echo of the snapshot shape
+  std::uint32_t num_edges = 0;
+};
+
+/// One shard as the router sees it.  send_batch/gather are a matched pair:
+/// the router sends every shard's sub-batch before gathering any reply, so
+/// remote shards compute concurrently without the router spawning threads.
+class ShardBackend {
+ public:
+  virtual ~ShardBackend() = default;
+
+  /// Where/what this shard is, for error text ("local", an endpoint spec).
+  virtual std::string describe() const = 0;
+
+  /// The shard's identity; throws ShardUnavailable when it cannot answer.
+  virtual ShardInfo info() = 0;
+
+  /// Hand the shard its sub-batch.  Throws ShardUnavailable on a dead
+  /// shard; must not partially apply (the router treats any throw as
+  /// whole-sub-batch failure).
+  virtual void send_batch(const std::vector<QueryRequest>& batch) = 0;
+
+  /// Collect the results of the last send_batch, positionally parallel to
+  /// it.  Throws ShardUnavailable on a dead shard.
+  virtual std::vector<QueryResult> gather() = 0;
+};
+
+/// In-process backend over a ShortcutService — the reference shard the
+/// digest gates compare remote fleets against, and the fault-injection
+/// vehicle: kill() makes every later call throw ShardUnavailable("shard
+/// killed") deterministically.
+class LocalShard : public ShardBackend {
+ public:
+  explicit LocalShard(std::shared_ptr<const ShortcutService> service);
+
+  std::string describe() const override { return "local"; }
+  ShardInfo info() override;
+  void send_batch(const std::vector<QueryRequest>& batch) override;
+  std::vector<QueryResult> gather() override;
+
+  /// Simulate shard death: every subsequent call throws.
+  void kill() { killed_ = true; }
+
+ private:
+  void check_alive() const;
+
+  std::shared_ptr<const ShortcutService> service_;
+  std::vector<QueryRequest> pending_;
+  bool killed_ = false;
+};
+
+/// The scatter/gather frontend.  Owns its backends; stateless across
+/// batches beyond them.
+class ShardRouter {
+ public:
+  /// Attaches the fleet and verifies coherence: every shard must report
+  /// shard 0's snapshot fingerprint and service seed (LCS_REQUIRE
+  /// otherwise — a mixed fleet is caller misuse, not a per-query error).
+  explicit ShardRouter(std::vector<std::unique_ptr<ShardBackend>> shards);
+
+  std::size_t num_shards() const { return shards_.size(); }
+  /// The fleet's common snapshot fingerprint — the coherence token.
+  std::uint64_t fingerprint() const { return fingerprint_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Scatter `batch` by shard_of, gather, and return results in the
+  /// caller's order.  Requires pairwise-distinct ids (the same guard as
+  /// ShortcutService::run_batch, applied before anything crosses a
+  /// process boundary).  Never throws for a dead shard: affected queries
+  /// come back ok=false as documented above.
+  std::vector<QueryResult> run_batch(const std::vector<QueryRequest>& batch) const;
+
+ private:
+  std::vector<std::unique_ptr<ShardBackend>> shards_;
+  std::uint64_t fingerprint_ = 0;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace lcs::service

@@ -83,63 +83,14 @@ std::uint64_t align_up(std::uint64_t x) { return (x + (kAlign - 1)) & ~(kAlign -
 
 [[noreturn]] void bad(const std::string& what) { throw std::runtime_error("snapshot: " + what); }
 
-/// Little-endian append buffer for the artifact sections.
-class ByteBuf {
- public:
-  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
-  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
-  void f64(double v) {
-    std::uint64_t bits = 0;
-    std::memcpy(&bits, &v, sizeof(bits));
-    u64(bits);
-  }
-  void raw(const void* p, std::size_t nbytes) {
-    const std::size_t at = buf_.size();
-    buf_.resize(at + nbytes);
-    if (nbytes > 0) std::memcpy(buf_.data() + at, p, nbytes);
-  }
-  const std::byte* data() const { return buf_.data(); }
-  std::uint64_t size() const { return buf_.size(); }
-
- private:
-  std::vector<std::byte> buf_;
-};
-
-/// Bounds-checked reader over one artifact section.  The section checksum
-/// has already been verified, so a failure here means a writer bug or a
-/// format mismatch — still rejected deterministically, never read past.
-class ByteReader {
- public:
-  ByteReader(const std::byte* data, std::uint64_t size) : data_(data), size_(size) {}
-
-  std::uint32_t u32() {
-    std::uint32_t v = 0;
-    raw(&v, sizeof(v));
-    return v;
-  }
-  std::uint64_t u64() {
-    std::uint64_t v = 0;
-    raw(&v, sizeof(v));
-    return v;
-  }
-  double f64() {
-    const std::uint64_t bits = u64();
-    double v = 0;
-    std::memcpy(&v, &bits, sizeof(v));
-    return v;
-  }
-  void raw(void* dst, std::uint64_t nbytes) {
-    if (size_ - pos_ < nbytes) bad("artifact data out of bounds");
-    if (nbytes > 0) std::memcpy(dst, data_ + pos_, nbytes);
-    pos_ += nbytes;
-  }
-  bool done() const { return pos_ == size_; }
-
- private:
-  const std::byte* data_;
-  std::uint64_t size_;
-  std::uint64_t pos_ = 0;
-};
+// The artifact sections are encoded with the shared canonical encoders
+// (util/bytes.hpp ByteBuf / ByteReader — the RPC wire format reuses the
+// same primitives).  The section checksum has been verified before a
+// reader runs, so an out-of-bounds read means a writer bug or a format
+// mismatch — still rejected deterministically, never read past.
+ByteReader artifact_reader(const std::byte* data, std::uint64_t size) {
+  return ByteReader(data, size, "snapshot: artifact ");
+}
 
 /// Shared validation: mmap the file, check magic / version / endianness /
 /// sizes / every checksum, and hand back the parsed header + table.
@@ -352,7 +303,8 @@ void SnapshotCodec::seed_artifacts(GraphSnapshot& snap, const std::byte* base,
                                    const SectionRecord* table) {
   const std::uint32_t n = snap.g_.num_vertices();
   {
-    ByteReader r(base + table[kSecBfsTrees - 1].offset, table[kSecBfsTrees - 1].length);
+    ByteReader r = artifact_reader(base + table[kSecBfsTrees - 1].offset,
+                                   table[kSecBfsTrees - 1].length);
     const std::uint64_t count = r.u64();
     for (std::uint64_t i = 0; i < count; ++i) {
       const std::uint32_t root = r.u32();
@@ -371,7 +323,8 @@ void SnapshotCodec::seed_artifacts(GraphSnapshot& snap, const std::byte* base,
     if (!r.done()) bad("trailing artifact bytes");
   }
   {
-    ByteReader r(base + table[kSecPartitions - 1].offset, table[kSecPartitions - 1].length);
+    ByteReader r = artifact_reader(base + table[kSecPartitions - 1].offset,
+                                   table[kSecPartitions - 1].length);
     const std::uint64_t count = r.u64();
     for (std::uint64_t i = 0; i < count; ++i) {
       GraphSnapshot::PartitionKey key;
@@ -388,7 +341,8 @@ void SnapshotCodec::seed_artifacts(GraphSnapshot& snap, const std::byte* base,
     if (!r.done()) bad("trailing artifact bytes");
   }
   {
-    ByteReader r(base + table[kSecSamples - 1].offset, table[kSecSamples - 1].length);
+    ByteReader r = artifact_reader(base + table[kSecSamples - 1].offset,
+                                   table[kSecSamples - 1].length);
     const std::uint64_t count = r.u64();
     for (std::uint64_t i = 0; i < count; ++i) {
       GraphSnapshot::SampleKey key;
@@ -471,7 +425,8 @@ SnapshotFileInfo read_snapshot_info(const std::filesystem::path& path) {
   info.max_degree = h.max_degree;
   info.file_bytes = h.file_bytes;
   const auto count_of = [&](std::uint32_t id) {
-    ByteReader r(f.mapped->data() + f.table[id - 1].offset, f.table[id - 1].length);
+    ByteReader r = artifact_reader(f.mapped->data() + f.table[id - 1].offset,
+                                   f.table[id - 1].length);
     return r.u64();
   };
   info.saved_bfs_trees = count_of(kSecBfsTrees);

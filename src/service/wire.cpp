@@ -1,0 +1,133 @@
+#include "service/wire.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace lcs::service {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) { throw std::runtime_error("rpc: " + what); }
+
+ByteReader wire_reader(const std::byte* data, std::size_t size) {
+  return ByteReader(data, size, "rpc: wire ");
+}
+
+QueryKind decode_kind(std::uint8_t raw) {
+  switch (static_cast<QueryKind>(raw)) {
+    case QueryKind::kShortcutQuality:
+    case QueryKind::kShortcutBuild:
+    case QueryKind::kMst:
+    case QueryKind::kMincut: return static_cast<QueryKind>(raw);
+  }
+  bad("unknown query kind " + std::to_string(raw));
+}
+
+/// The count prefix bounds the decode loop; cap it by what the payload
+/// could possibly hold so a corrupted count cannot drive a huge reserve.
+std::uint64_t decode_count(ByteReader& r, std::uint64_t min_item_bytes) {
+  const std::uint64_t count = r.u64();
+  if (count > r.remaining() / min_item_bytes) bad("wire count exceeds payload");
+  return count;
+}
+
+void check_drained(const ByteReader& r) {
+  if (!r.done()) bad("wire payload has trailing bytes");
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_requests(const std::vector<QueryRequest>& requests) {
+  ByteBuf buf;
+  buf.u64(requests.size());
+  for (const QueryRequest& q : requests) {
+    buf.u64(q.id);
+    buf.u8(static_cast<std::uint8_t>(q.kind));
+    buf.u8(q.diameter.has_value() ? 1 : 0);
+    buf.u32(q.diameter.value_or(0));
+    buf.f64(q.beta);
+    buf.u32(q.num_parts);
+    buf.u32(q.karger_trials);
+    buf.f64(q.eps);
+  }
+  return buf.take();
+}
+
+std::vector<QueryRequest> decode_requests(const std::byte* data, std::size_t size) {
+  ByteReader r = wire_reader(data, size);
+  constexpr std::uint64_t kRequestBytes = 8 + 1 + 1 + 4 + 8 + 4 + 4 + 8;
+  const std::uint64_t count = decode_count(r, kRequestBytes);
+  std::vector<QueryRequest> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    QueryRequest q;
+    q.id = r.u64();
+    q.kind = decode_kind(r.u8());
+    const bool has_diameter = r.u8() != 0;
+    const std::uint32_t diameter = r.u32();
+    if (has_diameter) q.diameter = diameter;
+    q.beta = r.f64();
+    q.num_parts = r.u32();
+    q.karger_trials = r.u32();
+    q.eps = r.f64();
+    out.push_back(q);
+  }
+  check_drained(r);
+  return out;
+}
+
+std::vector<std::byte> encode_results(const std::vector<QueryResult>& results) {
+  ByteBuf buf;
+  buf.u64(results.size());
+  for (const QueryResult& res : results) {
+    buf.u64(res.id);
+    buf.u8(static_cast<std::uint8_t>(res.kind));
+    buf.u8(res.ok ? 1 : 0);
+    buf.u64(res.error.size());
+    buf.raw(res.error.data(), res.error.size());
+    buf.f64(res.latency_ms);
+    buf.f64(res.queue_ms);
+    buf.u32(res.wave);
+    buf.u64(res.congestion);
+    buf.u64(res.dilation);
+    buf.u64(res.value);
+    buf.u64(res.cardinality);
+    buf.u64(res.rounds);
+    buf.u64(res.content_hash);
+  }
+  return buf.take();
+}
+
+std::vector<QueryResult> decode_results(const std::byte* data, std::size_t size) {
+  ByteReader r = wire_reader(data, size);
+  constexpr std::uint64_t kResultMinBytes = 8 + 1 + 1 + 8 + 8 + 8 + 4 + 6 * 8;
+  const std::uint64_t count = decode_count(r, kResultMinBytes);
+  std::vector<QueryResult> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    QueryResult res;
+    res.id = r.u64();
+    res.kind = decode_kind(r.u8());
+    res.ok = r.u8() != 0;
+    const std::uint64_t error_bytes = r.u64();
+    if (error_bytes > r.remaining()) bad("wire count exceeds payload");
+    res.error.resize(error_bytes);
+    r.raw(res.error.data(), error_bytes);
+    res.latency_ms = r.f64();
+    res.queue_ms = r.f64();
+    res.wave = r.u32();
+    res.congestion = r.u64();
+    res.dilation = r.u64();
+    res.value = r.u64();
+    res.cardinality = r.u64();
+    res.rounds = r.u64();
+    res.content_hash = r.u64();
+    out.push_back(std::move(res));
+  }
+  check_drained(r);
+  return out;
+}
+
+}  // namespace lcs::service

@@ -1,21 +1,103 @@
-// Byte-level checksumming for the on-disk snapshot format.
+// Byte-level checksumming and canonical little-endian encoding, shared by
+// the on-disk snapshot format and the RPC wire protocol.
 //
 // checksum_bytes() is a word-at-a-time splitmix64 chain (util/rng.hpp's
 // hash64 applied to each 8-byte little-endian word, with a zero-padded
 // tail and the length mixed in last).  It is not cryptographic; it exists
-// to reject torn, truncated or bit-flipped snapshot sections with a
-// deterministic error before any bytes are interpreted.  The value is part
-// of the snapshot file format (docs/snapshot_format.md), so the definition
-// must never change under an unchanged format version.
+// to reject torn, truncated or bit-flipped bytes with a deterministic
+// error before any of them are interpreted.  The value is part of the
+// snapshot file format (docs/snapshot_format.md) and of the RPC frame
+// format (src/rpc/frame.hpp), so the definition must never change under an
+// unchanged format version.
+//
+// ByteBuf / ByteReader are the canonical encoders both formats build their
+// variable-length payloads from: fixed-width little-endian integers,
+// doubles as bit patterns, raw byte runs — no varints, no padding, so the
+// same logical content always produces the same bytes.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace lcs {
 
 /// Checksum of `size` bytes at `data`.  checksum_bytes(nullptr, 0) is a
 /// well-defined constant (the empty-range checksum).
 std::uint64_t checksum_bytes(const void* data, std::size_t size);
+
+/// Little-endian append buffer: the canonical encoder of snapshot artifact
+/// sections and RPC wire payloads.
+class ByteBuf {
+ public:
+  void u8(std::uint8_t v) { raw(&v, sizeof(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void raw(const void* p, std::size_t nbytes) {
+    const std::size_t at = buf_.size();
+    buf_.resize(at + nbytes);
+    if (nbytes > 0) std::memcpy(buf_.data() + at, p, nbytes);
+  }
+  const std::byte* data() const { return buf_.data(); }
+  std::uint64_t size() const { return buf_.size(); }
+  /// Move the accumulated bytes out (the buffer is empty afterwards).
+  std::vector<std::byte> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Bounds-checked reader over one ByteBuf-encoded byte run.  Any read past
+/// the end throws std::runtime_error("<context>data out of bounds") — the
+/// caller chooses the context prefix so snapshot and RPC decoding keep
+/// their own deterministic error vocabularies.
+class ByteReader {
+ public:
+  ByteReader(const std::byte* data, std::uint64_t size, std::string context)
+      : data_(data), size_(size), context_(std::move(context)) {}
+
+  std::uint8_t u8() {
+    std::uint8_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  void raw(void* dst, std::uint64_t nbytes) {
+    if (size_ - pos_ < nbytes) throw std::runtime_error(context_ + "data out of bounds");
+    if (nbytes > 0) std::memcpy(dst, data_ + pos_, nbytes);
+    pos_ += nbytes;
+  }
+  std::uint64_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+ private:
+  const std::byte* data_;
+  std::uint64_t size_;
+  std::uint64_t pos_ = 0;
+  std::string context_;
+};
 
 }  // namespace lcs

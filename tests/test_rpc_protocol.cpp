@@ -1,0 +1,381 @@
+// RPC protocol coverage (PR 7): framing, corruption rejection, transport,
+// and the wire codec.
+//
+// The contract under test: a frame survives encode → decode bit-exactly;
+// every way of corrupting the bytes — flips, truncations, oversized
+// lengths, version skew, trailing garbage — is rejected with the exact
+// deterministic "rpc: ..." message the format documents, never a crash,
+// hang or huge allocation; and the QueryRequest/QueryResult wire codec is
+// a lossless round trip with the same strictness.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rpc/frame.hpp"
+#include "rpc/transport.hpp"
+#include "service/wire.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lcs;
+using rpc::Endpoint;
+using rpc::Frame;
+using rpc::FrameType;
+using rpc::Socket;
+using rpc::kFrameHeaderBytes;
+using rpc::kMaxFramePayloadBytes;
+
+std::vector<std::byte> random_payload(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> out(size);
+  for (std::size_t i = 0; i < size; ++i)
+    out[i] = static_cast<std::byte>(rng() & 0xff);
+  return out;
+}
+
+Frame make_frame(FrameType type, std::vector<std::byte> payload) {
+  Frame f;
+  f.type = type;
+  f.payload = std::move(payload);
+  return f;
+}
+
+/// The exact message decode_frame throws for `bytes`, or "" when it
+/// succeeds — the corruption matrix asserts on these verbatim.
+std::string decode_error(const std::vector<std::byte>& bytes) {
+  try {
+    (void)rpc::decode_frame(bytes.data(), bytes.size());
+    return "";
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+}
+
+/// Field offsets of the 32-byte wire header (documented in rpc/frame.hpp).
+constexpr std::size_t kOffVersion = 4;
+constexpr std::size_t kOffType = 5;
+constexpr std::size_t kOffReserved = 6;
+constexpr std::size_t kOffPayloadBytes = 8;
+constexpr std::size_t kOffHeaderChecksum = 24;
+
+/// Rewrite the header checksum after a deliberate field edit, so the test
+/// reaches the validation step after the checksum instead of tripping it.
+void reseal_header(std::vector<std::byte>& bytes) {
+  std::memset(bytes.data() + kOffHeaderChecksum, 0, 8);
+  const std::uint64_t sum = checksum_bytes(bytes.data(), kFrameHeaderBytes);
+  std::memcpy(bytes.data() + kOffHeaderChecksum, &sum, 8);
+}
+
+// ---------------------------------------------------------------------------
+// Frame round trips
+
+TEST(RpcFrame, RoundTripsEveryTypeAndSize) {
+  const FrameType types[] = {FrameType::kHello,   FrameType::kHelloAck,
+                             FrameType::kRunBatch, FrameType::kResults,
+                             FrameType::kError,    FrameType::kShutdown,
+                             FrameType::kShutdownAck};
+  const std::size_t sizes[] = {0, 1, 7, 8, 31, 32, 33, 1000, 65536};
+  std::uint64_t seed = 1;
+  for (const FrameType type : types) {
+    for (const std::size_t size : sizes) {
+      const Frame in = make_frame(type, random_payload(size, seed++));
+      const std::vector<std::byte> bytes = rpc::encode_frame(in);
+      ASSERT_EQ(bytes.size(), kFrameHeaderBytes + size);
+      const Frame out = rpc::decode_frame(bytes.data(), bytes.size());
+      EXPECT_EQ(out.type, in.type);
+      EXPECT_EQ(out.payload, in.payload);
+    }
+  }
+}
+
+TEST(RpcFrame, EncodingIsDeterministic) {
+  const Frame f = make_frame(FrameType::kRunBatch, random_payload(257, 9));
+  EXPECT_EQ(rpc::encode_frame(f), rpc::encode_frame(f));
+}
+
+TEST(RpcFrame, StreamingDecodeMatchesWholeFrameDecode) {
+  const Frame in = make_frame(FrameType::kResults, random_payload(513, 3));
+  const std::vector<std::byte> bytes = rpc::encode_frame(in);
+  const rpc::FrameHeader header = rpc::decode_frame_header(bytes.data(), kFrameHeaderBytes);
+  EXPECT_EQ(header.type, in.type);
+  EXPECT_EQ(header.payload_bytes, in.payload.size());
+  rpc::verify_frame_payload(header, bytes.data() + kFrameHeaderBytes,
+                            bytes.size() - kFrameHeaderBytes);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption matrix
+
+TEST(RpcFrame, EveryTruncationIsRejected) {
+  const std::vector<std::byte> bytes =
+      rpc::encode_frame(make_frame(FrameType::kRunBatch, random_payload(100, 4)));
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const std::vector<std::byte> cut(bytes.begin(), bytes.begin() + len);
+    EXPECT_EQ(decode_error(cut), "rpc: frame truncated") << "at length " << len;
+  }
+}
+
+TEST(RpcFrame, EverySingleByteFlipIsRejected) {
+  const std::vector<std::byte> bytes =
+      rpc::encode_frame(make_frame(FrameType::kResults, random_payload(64, 5)));
+  for (std::size_t at = 0; at < bytes.size(); ++at) {
+    for (int bit = 0; bit < 8; bit += 3) {
+      std::vector<std::byte> flipped = bytes;
+      flipped[at] ^= static_cast<std::byte>(1u << bit);
+      const std::string error = decode_error(flipped);
+      EXPECT_FALSE(error.empty()) << "flip at byte " << at << " bit " << bit << " was accepted";
+      EXPECT_EQ(error.rfind("rpc: ", 0), 0u) << error;
+    }
+  }
+}
+
+TEST(RpcFrame, TrailingBytesAreRejected) {
+  std::vector<std::byte> bytes =
+      rpc::encode_frame(make_frame(FrameType::kHello, {}));
+  bytes.push_back(std::byte{0});
+  EXPECT_EQ(decode_error(bytes), "rpc: frame has trailing bytes");
+}
+
+TEST(RpcFrame, ExactMessagesPerValidationStep) {
+  const std::vector<std::byte> good =
+      rpc::encode_frame(make_frame(FrameType::kError, random_payload(16, 6)));
+
+  std::vector<std::byte> bad_magic = good;
+  bad_magic[0] = std::byte{'X'};
+  EXPECT_EQ(decode_error(bad_magic), "rpc: bad frame magic");
+
+  std::vector<std::byte> skewed = good;
+  skewed[kOffVersion] = std::byte{2};
+  reseal_header(skewed);
+  EXPECT_EQ(decode_error(skewed), "rpc: unsupported protocol version 2");
+
+  std::vector<std::byte> reserved = good;
+  reserved[kOffReserved] = std::byte{1};
+  reseal_header(reserved);
+  EXPECT_EQ(decode_error(reserved), "rpc: reserved frame bits set");
+
+  std::vector<std::byte> bad_type = good;
+  bad_type[kOffType] = std::byte{0};
+  reseal_header(bad_type);
+  EXPECT_EQ(decode_error(bad_type), "rpc: unknown frame type 0");
+  bad_type[kOffType] = std::byte{200};
+  reseal_header(bad_type);
+  EXPECT_EQ(decode_error(bad_type), "rpc: unknown frame type 200");
+
+  // An oversized length prefix must be rejected before any allocation —
+  // this is the frame that would otherwise drive a reader into a huge
+  // resize.
+  std::vector<std::byte> oversized = good;
+  const std::uint64_t huge = kMaxFramePayloadBytes + 1;
+  std::memcpy(oversized.data() + kOffPayloadBytes, &huge, 8);
+  reseal_header(oversized);
+  EXPECT_EQ(decode_error(oversized),
+            "rpc: frame payload too large (" + std::to_string(huge) + " bytes)");
+
+  std::vector<std::byte> bad_header_sum = good;
+  bad_header_sum[kOffHeaderChecksum] ^= std::byte{1};
+  EXPECT_EQ(decode_error(bad_header_sum), "rpc: frame header checksum mismatch");
+
+  std::vector<std::byte> bad_payload = good;
+  bad_payload[kFrameHeaderBytes + 3] ^= std::byte{0x10};
+  EXPECT_EQ(decode_error(bad_payload), "rpc: frame payload checksum mismatch");
+}
+
+// ---------------------------------------------------------------------------
+// Transport
+
+TEST(RpcTransport, SocketpairRoundTripsFrames) {
+  auto [a, b] = Socket::make_pair();
+  const Frame sent = make_frame(FrameType::kRunBatch, random_payload(2048, 7));
+  a.send_frame(sent);
+  a.send_frame(make_frame(FrameType::kShutdown, {}));
+  const Frame first = b.recv_frame();
+  EXPECT_EQ(first.type, sent.type);
+  EXPECT_EQ(first.payload, sent.payload);
+  EXPECT_EQ(b.recv_frame().type, FrameType::kShutdown);
+}
+
+TEST(RpcTransport, EofAtFrameBoundaryIsConnectionClosed) {
+  auto [a, b] = Socket::make_pair();
+  a.close();
+  try {
+    (void)b.recv_frame();
+    FAIL() << "recv_frame on a closed peer returned";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rpc: connection closed");
+  }
+}
+
+TEST(RpcTransport, EofMidFrameIsConnectionLost) {
+  auto [a, b] = Socket::make_pair();
+  const std::vector<std::byte> bytes =
+      rpc::encode_frame(make_frame(FrameType::kResults, random_payload(100, 8)));
+  // Deliver only half the frame, then hang up.
+  const ssize_t wrote = ::write(a.fd(), bytes.data(), bytes.size() / 2);
+  ASSERT_EQ(wrote, static_cast<ssize_t>(bytes.size() / 2));
+  a.close();
+  try {
+    (void)b.recv_frame();
+    FAIL() << "recv_frame on a torn frame returned";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rpc: connection lost");
+  }
+}
+
+TEST(RpcTransport, ListenerAcceptsAndCrossThreadCloseUnblocks) {
+  const Endpoint ep = Endpoint::parse("tcp:127.0.0.1:0");
+  rpc::Listener listener = rpc::Listener::listen(ep);
+  ASSERT_TRUE(listener.valid());
+  ASSERT_GT(listener.endpoint().port, 0) << "ephemeral port not resolved";
+
+  std::thread client([spec = listener.endpoint()] {
+    Socket s = rpc::connect_endpoint(spec);
+    s.send_frame(Frame{FrameType::kHello, {}});
+  });
+  Socket conn = listener.accept();
+  ASSERT_TRUE(conn.valid());
+  EXPECT_EQ(conn.recv_frame().type, FrameType::kHello);
+  client.join();
+
+  // close() from another thread must unblock a pending accept().
+  std::thread closer([&listener] { listener.close(); });
+  Socket none = listener.accept();
+  EXPECT_FALSE(none.valid());
+  closer.join();
+  EXPECT_FALSE(listener.valid());
+}
+
+TEST(RpcTransport, EndpointParseAndDescribe) {
+  const Endpoint u = Endpoint::parse("unix:/tmp/x.sock");
+  EXPECT_EQ(u.kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(u.describe(), "unix:/tmp/x.sock");
+
+  const Endpoint t = Endpoint::parse("tcp:localhost:9001");
+  EXPECT_EQ(t.kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(t.host, "localhost");
+  EXPECT_EQ(t.port, 9001);
+  EXPECT_EQ(t.describe(), "tcp:localhost:9001");
+
+  EXPECT_THROW(Endpoint::parse("http:foo"), std::invalid_argument);
+  EXPECT_THROW(Endpoint::parse("unix:"), std::invalid_argument);
+  EXPECT_THROW(Endpoint::parse("tcp:nohost"), std::invalid_argument);
+  EXPECT_THROW(Endpoint::parse("tcp:h:99999"), std::invalid_argument);
+  EXPECT_THROW(Endpoint::parse("tcp:h:12x"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec
+
+std::vector<service::QueryRequest> sample_requests() {
+  std::vector<service::QueryRequest> batch;
+  service::QueryRequest a;
+  a.id = 42;
+  a.kind = service::QueryKind::kShortcutQuality;
+  a.beta = 1.25;
+  a.num_parts = 9;
+  batch.push_back(a);
+  service::QueryRequest b;
+  b.id = 7;
+  b.kind = service::QueryKind::kMincut;
+  b.karger_trials = 3;
+  b.eps = 0.75;
+  b.diameter = 11;
+  batch.push_back(b);
+  return batch;
+}
+
+TEST(RpcWire, RequestsRoundTrip) {
+  const auto batch = sample_requests();
+  const std::vector<std::byte> bytes = service::encode_requests(batch);
+  const auto out = service::decode_requests(bytes.data(), bytes.size());
+  ASSERT_EQ(out.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(out[i].id, batch[i].id);
+    EXPECT_EQ(out[i].kind, batch[i].kind);
+    EXPECT_EQ(out[i].beta, batch[i].beta);
+    EXPECT_EQ(out[i].num_parts, batch[i].num_parts);
+    EXPECT_EQ(out[i].diameter, batch[i].diameter);
+    EXPECT_EQ(out[i].karger_trials, batch[i].karger_trials);
+    EXPECT_EQ(out[i].eps, batch[i].eps);
+  }
+}
+
+TEST(RpcWire, EmptyBatchRoundTrips) {
+  const std::vector<std::byte> bytes = service::encode_requests({});
+  ASSERT_EQ(bytes.size(), 8u);  // just the count prefix
+  EXPECT_TRUE(service::decode_requests(bytes.data(), bytes.size()).empty());
+  const std::vector<std::byte> rbytes = service::encode_results({});
+  EXPECT_TRUE(service::decode_results(rbytes.data(), rbytes.size()).empty());
+}
+
+TEST(RpcWire, ResultsRoundTripIncludingDigest) {
+  std::vector<service::QueryResult> results(2);
+  results[0].id = 1;
+  results[0].kind = service::QueryKind::kMst;
+  results[0].ok = true;
+  results[0].latency_ms = 1.5;
+  results[0].value = 777;
+  results[0].cardinality = 9;
+  results[0].rounds = 31;
+  results[0].content_hash = 0xabcdef;
+  results[1].id = 2;
+  results[1].kind = service::QueryKind::kMincut;
+  results[1].ok = false;
+  results[1].error = "mincut needs a connected graph";
+  const std::vector<std::byte> bytes = service::encode_results(results);
+  const auto out = service::decode_results(bytes.data(), bytes.size());
+  ASSERT_EQ(out.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(out[i].digest(), results[i].digest()) << "result " << i;
+    EXPECT_EQ(out[i].latency_ms, results[i].latency_ms);
+    EXPECT_EQ(out[i].error, results[i].error);
+  }
+}
+
+TEST(RpcWire, MalformedPayloadsAreRejectedDeterministically) {
+  const std::vector<std::byte> bytes = service::encode_requests(sample_requests());
+
+  std::vector<std::byte> trailing = bytes;
+  trailing.push_back(std::byte{0});
+  try {
+    (void)service::decode_requests(trailing.data(), trailing.size());
+    FAIL() << "trailing bytes accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rpc: wire payload has trailing bytes");
+  }
+
+  std::vector<std::byte> truncated(bytes.begin(), bytes.end() - 4);
+  EXPECT_THROW((void)service::decode_requests(truncated.data(), truncated.size()),
+               std::runtime_error);
+
+  // A corrupted count prefix must not drive a huge reserve.
+  std::vector<std::byte> huge_count = bytes;
+  const std::uint64_t huge = ~0ull;
+  std::memcpy(huge_count.data(), &huge, 8);
+  try {
+    (void)service::decode_requests(huge_count.data(), huge_count.size());
+    FAIL() << "huge count accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rpc: wire count exceeds payload");
+  }
+
+  // Unknown query kind (offset: count u64 + id u64 = byte 16).
+  std::vector<std::byte> bad_kind = bytes;
+  bad_kind[16] = std::byte{200};
+  try {
+    (void)service::decode_requests(bad_kind.data(), bad_kind.size());
+    FAIL() << "unknown kind accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rpc: unknown query kind 200");
+  }
+}
+
+}  // namespace

@@ -1,0 +1,190 @@
+// lcsrouter: the scatter/gather frontend of the sharded query service.
+//
+// Connects to a fleet of lcsshard processes, verifies they all serve the
+// same snapshot fingerprint and seed (the coherence token of the
+// handshake), consistent-hashes a deterministic mixed batch across them,
+// and prints one digest line per query.  With --local it runs the exact
+// same batch on an in-process ShortcutService instead — the oracle a
+// supervisor (scripts/stress_sharded.py) diffs the sharded digests
+// against: the two outputs must be byte-identical.
+//
+//   lcsrouter --shard SPEC [--shard SPEC ...] --count N [--first-id K] [--shutdown]
+//   lcsrouter --local --store DIR --fingerprint HEX --count N
+//             [--first-id K] [--seed S] [--threads T]
+//
+//   --shard SPEC   a shard endpoint ("unix:/path" / "tcp:host:port");
+//                  repeat for a fleet (placement = hash64(id) % fleet size)
+//   --count N      queries in the batch (ids first-id .. first-id+N-1,
+//                  kinds round-robin over quality/build/mst/mincut)
+//   --first-id K   base query id (default 1000) — disjoint ranges let
+//                  concurrent supervising batches stay duplicate-free
+//   --shutdown     after the batch, ask every shard process to exit
+//
+// Output: "query id=<id> ok=<0|1> digest=<hex>" per query in batch order,
+// then "batch fingerprint=<hex> seed=<S> count=<N> ok=<K> digest=<hex>".
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rpc/shard.hpp"
+#include "service/service.hpp"
+#include "service/sharded.hpp"
+#include "service/snapshot_store.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace lcs;
+
+[[noreturn]] void die(const std::string& message) {
+  std::cerr << "lcsrouter: " << message << "\n";
+  std::exit(2);
+}
+
+std::string hex_of(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::uint64_t parse_fingerprint(const std::string& s) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(s.c_str(), &end, 16);
+  if (end == s.c_str() || *end != '\0') die("not a hex fingerprint: '" + s + "'");
+  return v;
+}
+
+/// The deterministic mixed workload both modes run: a pure function of
+/// (first_id, count), so a sharded run and a --local oracle over the same
+/// snapshot and seed must print identical digests.
+std::vector<service::QueryRequest> mixed_batch(std::uint64_t first_id, std::size_t count) {
+  std::vector<service::QueryRequest> batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    service::QueryRequest q;
+    q.id = first_id + i;
+    switch (i % 4) {
+      case 0: q.kind = service::QueryKind::kShortcutQuality; break;
+      case 1: q.kind = service::QueryKind::kShortcutBuild; break;
+      case 2: q.kind = service::QueryKind::kMst; break;
+      default: q.kind = service::QueryKind::kMincut; break;
+    }
+    q.beta = 0.5 + 0.25 * static_cast<double>(i % 3);
+    if (q.kind == service::QueryKind::kMincut) {
+      if (i % 8 == 3)
+        q.karger_trials = 8;
+      else
+        q.eps = 0.4 + 0.1 * static_cast<double>(i % 2);
+    }
+    batch.push_back(q);
+  }
+  return batch;
+}
+
+struct Args {
+  std::vector<std::string> shards;
+  bool local = false;
+  std::string store;
+  std::string fingerprint;
+  std::size_t count = 0;
+  std::uint64_t first_id = 1000;
+  std::uint64_t seed = 1;
+  unsigned threads = 0;
+  bool shutdown = false;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  const auto value = [&](int& i, const char* flag) -> std::string {
+    if (i + 1 >= argc) die(std::string(flag) + " needs a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--shard")
+      a.shards.push_back(value(i, "--shard"));
+    else if (arg == "--local")
+      a.local = true;
+    else if (arg == "--store")
+      a.store = value(i, "--store");
+    else if (arg == "--fingerprint")
+      a.fingerprint = value(i, "--fingerprint");
+    else if (arg == "--count")
+      a.count = std::stoull(value(i, "--count"));
+    else if (arg == "--first-id")
+      a.first_id = std::stoull(value(i, "--first-id"));
+    else if (arg == "--seed")
+      a.seed = std::stoull(value(i, "--seed"));
+    else if (arg == "--threads")
+      a.threads = static_cast<unsigned>(std::stoul(value(i, "--threads")));
+    else if (arg == "--shutdown")
+      a.shutdown = true;
+    else
+      die("unknown option '" + arg + "' (see the header comment for usage)");
+  }
+  if (a.count == 0) die("--count is required");
+  if (a.local == !a.shards.empty())
+    die("exactly one of --local / --shard is required");
+  if (a.local && (a.store.empty() || a.fingerprint.empty()))
+    die("--local needs --store and --fingerprint");
+  return a;
+}
+
+void print_results(const std::vector<service::QueryResult>& results, std::uint64_t fingerprint,
+                   std::uint64_t seed) {
+  std::uint64_t combined = 0;
+  std::size_t ok = 0;
+  for (const service::QueryResult& r : results) {
+    const std::uint64_t d = r.digest();
+    combined = hash64(combined ^ d);
+    if (r.ok) ++ok;
+    std::cout << "query id=" << r.id << " ok=" << (r.ok ? 1 : 0) << " digest=" << hex_of(d)
+              << "\n";
+    if (!r.ok) std::cout << "# error id=" << r.id << ": " << r.error << "\n";
+  }
+  std::cout << "batch fingerprint=" << hex_of(fingerprint) << " seed=" << seed
+            << " count=" << results.size() << " ok=" << ok << " digest=" << hex_of(combined)
+            << std::endl;
+}
+
+int run(const Args& a) {
+  if (a.threads > 0) set_num_threads(a.threads);
+  const std::vector<service::QueryRequest> batch = mixed_batch(a.first_id, a.count);
+
+  if (a.local) {
+    service::SnapshotStore store(a.store);
+    const std::uint64_t fingerprint = parse_fingerprint(a.fingerprint);
+    if (!store.contains(fingerprint)) die("fingerprint not in store: " + a.fingerprint);
+    const service::ShortcutService svc(store.open(fingerprint), a.seed);
+    print_results(svc.run_batch(batch), fingerprint, a.seed);
+    return 0;
+  }
+
+  std::vector<std::unique_ptr<service::ShardBackend>> backends;
+  std::vector<rpc::RpcShard*> raw;  // to send --shutdown after the router is done
+  backends.reserve(a.shards.size());
+  for (const std::string& spec : a.shards) {
+    auto shard = std::make_unique<rpc::RpcShard>(rpc::Endpoint::parse(spec));
+    raw.push_back(shard.get());
+    backends.push_back(std::move(shard));
+  }
+  const service::ShardRouter router(std::move(backends));
+  print_results(router.run_batch(batch), router.fingerprint(), router.seed());
+  if (a.shutdown)
+    for (rpc::RpcShard* shard : raw) shard->shutdown_server();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_args(argc, argv));
+  } catch (const std::exception& e) {
+    std::cerr << "lcsrouter: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,113 @@
+// lcsshard: one shard process of the sharded query service.
+//
+// Opens a snapshot by fingerprint from a SnapshotStore, wraps it in a
+// ShortcutService, and serves the framed RPC protocol (src/rpc/frame.hpp)
+// on a listening endpoint until a client sends kShutdown.  A fleet of
+// these behind an lcsrouter is the cross-process deployment of the same
+// determinism contract the in-process service tests pin down: which
+// process answers a query never changes its digest.
+//
+//   lcsshard --store DIR --fingerprint HEX --listen SPEC [--seed S] [--threads T]
+//
+//   --listen SPEC   "unix:/path/to.sock" or "tcp:host:port" (port 0 picks
+//                   an ephemeral port; the READY line reports it)
+//   --seed S        service seed (default 1) — every shard of a fleet and
+//                   the oracle comparing against it must agree
+//   --threads T     worker threads of this shard's pool (default: library
+//                   default / LCS_THREADS)
+//
+// Prints "READY <endpoint> fingerprint=<hex> seed=<S>" on stdout once
+// accepting, so a supervisor (scripts/stress_sharded.py) can wait for it.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "rpc/shard.hpp"
+#include "service/snapshot_store.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace lcs;
+
+[[noreturn]] void die(const std::string& message) {
+  std::cerr << "lcsshard: " << message << "\n";
+  std::exit(2);
+}
+
+std::string hex_of(std::uint64_t fingerprint) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(fingerprint));
+  return buf;
+}
+
+std::uint64_t parse_fingerprint(const std::string& s) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(s.c_str(), &end, 16);
+  if (end == s.c_str() || *end != '\0') die("not a hex fingerprint: '" + s + "'");
+  return v;
+}
+
+struct Args {
+  std::string store;
+  std::string fingerprint;
+  std::string listen;
+  std::uint64_t seed = 1;
+  unsigned threads = 0;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  const auto value = [&](int& i, const char* flag) -> std::string {
+    if (i + 1 >= argc) die(std::string(flag) + " needs a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--store")
+      a.store = value(i, "--store");
+    else if (arg == "--fingerprint")
+      a.fingerprint = value(i, "--fingerprint");
+    else if (arg == "--listen")
+      a.listen = value(i, "--listen");
+    else if (arg == "--seed")
+      a.seed = std::stoull(value(i, "--seed"));
+    else if (arg == "--threads")
+      a.threads = static_cast<unsigned>(std::stoul(value(i, "--threads")));
+    else
+      die("unknown option '" + arg + "' (see the header comment for usage)");
+  }
+  if (a.store.empty()) die("--store is required");
+  if (a.fingerprint.empty()) die("--fingerprint is required");
+  if (a.listen.empty()) die("--listen is required");
+  return a;
+}
+
+int run(const Args& a) {
+  if (a.threads > 0) set_num_threads(a.threads);
+  service::SnapshotStore store(a.store);
+  const std::uint64_t fingerprint = parse_fingerprint(a.fingerprint);
+  if (!store.contains(fingerprint)) die("fingerprint not in store: " + a.fingerprint);
+  const auto svc =
+      std::make_shared<const service::ShortcutService>(store.open(fingerprint), a.seed);
+
+  rpc::ShardServer server(svc, rpc::Endpoint::parse(a.listen));
+  std::cout << "READY " << server.endpoint().describe() << " fingerprint=" << hex_of(fingerprint)
+            << " seed=" << a.seed << std::endl;
+  server.wait_for_shutdown();
+  server.stop();
+  std::cout << "shutdown" << std::endl;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_args(argc, argv));
+  } catch (const std::exception& e) {
+    std::cerr << "lcsshard: " << e.what() << "\n";
+    return 1;
+  }
+}
