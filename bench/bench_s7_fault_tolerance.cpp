@@ -1,0 +1,266 @@
+// S7 — fault tolerance: availability and failover latency of a replicated
+// shard fleet under injected faults (PR 8).
+//
+// Every leg routes one deterministic mixed batch through a ShardRouter
+// over 3 LocalShards with replicas=2, injecting one scripted fault kind
+// (kill, dropped reply, garbled reply, deadline-length stall) into shard 1
+// via service/fault.hpp's FaultyShard.  Because a QueryResult is a pure
+// function of (snapshot fingerprint, seed, id), failover to a replica
+// cannot change digests — so each leg records availability (ok fraction,
+// 1.0 with replication) and the gate `deterministic_failover_vs_healthy`:
+// surviving results bit-identical to the all-healthy fleet, re-checked at
+// 1, 2 and 8 threads.  An unreplicated (replicas=1) kill leg shows the
+// availability a lone fleet loses — deterministically, as the capture
+// contract demands.  `deterministic_fault_replay` runs one seeded
+// drop-chaos plan twice and requires byte-identical result vectors
+// including the failover telemetry: chaos itself replays.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/registry.hpp"
+#include "bench/timer.hpp"
+#include "graph/generators.hpp"
+#include "service/fault.hpp"
+#include "service/service.hpp"
+#include "service/sharded.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using lcs::service::FaultPlan;
+using lcs::service::FaultyShard;
+using lcs::service::LocalShard;
+using lcs::service::QueryKind;
+using lcs::service::QueryRequest;
+using lcs::service::QueryResult;
+using lcs::service::ShardBackend;
+using lcs::service::ShardRouter;
+
+std::vector<QueryRequest> mixed_batch(std::size_t count, std::uint64_t first_id) {
+  std::vector<QueryRequest> batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    QueryRequest q;
+    q.id = first_id + i;
+    switch (i % 4) {
+      case 0: q.kind = QueryKind::kShortcutQuality; break;
+      case 1: q.kind = QueryKind::kShortcutBuild; break;
+      case 2: q.kind = QueryKind::kMst; break;
+      default: q.kind = QueryKind::kMincut; break;
+    }
+    q.beta = 0.5 + 0.25 * static_cast<double>(i % 3);
+    if (q.kind == QueryKind::kMincut) {
+      if (i % 8 == 3)
+        q.karger_trials = 4;
+      else
+        q.eps = 0.5;
+    }
+    batch.push_back(q);
+  }
+  return batch;
+}
+
+std::vector<std::uint64_t> digests(const std::vector<QueryResult>& rs) {
+  std::vector<std::uint64_t> d;
+  d.reserve(rs.size());
+  for (const auto& r : rs) d.push_back(r.digest());
+  return d;
+}
+
+}  // namespace
+
+LCS_BENCH_SCENARIO(S7_fault_tolerance,
+                   "replicated fleet under injected faults: availability + failover digests",
+                   "mixed batch over gnm; 3 shards, R=2; kill/drop/garble/deadline faults") {
+  using namespace lcs;
+
+  const std::uint32_t n = ctx.pick_n(300, 4000);
+  const std::uint32_t m = 3 * n;
+  const std::uint64_t seed = ctx.seed(73);
+  const std::size_t batch_size = ctx.smoke() ? 24 : 160;
+  const std::size_t kShards = 3;
+  const std::size_t kVictim = 1;
+  ctx.param("m", std::uint64_t{m});
+  ctx.param("batch_size", std::uint64_t{batch_size});
+  ctx.param("shards", std::uint64_t{kShards});
+  ctx.param("replicas", std::uint64_t{2});
+
+  Rng gen(seed);
+  const auto snap = service::GraphSnapshot::build(graph::connected_gnm(n, m, gen), {});
+  const auto batch = mixed_batch(batch_size, 77'000);
+
+  ThreadOverrideGuard guard;
+  set_num_threads(4);
+
+  // A fleet of kShards LocalShards, shard kVictim wrapped in `plan`.
+  const auto make_router = [&](service::RouterOptions options, const FaultPlan& plan,
+                               std::uint32_t call_deadline_ms) {
+    std::vector<std::unique_ptr<ShardBackend>> backends;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      auto inner = std::make_unique<LocalShard>(
+          std::make_shared<const service::ShortcutService>(snap, seed));
+      if (s == kVictim)
+        backends.push_back(
+            std::make_unique<FaultyShard>(std::move(inner), plan, call_deadline_ms));
+      else
+        backends.push_back(std::move(inner));
+    }
+    return ShardRouter(std::move(backends), options);
+  };
+
+  service::RouterOptions replicated;
+  replicated.replicas = 2;
+
+  // --- healthy reference --------------------------------------------------
+  const ShardRouter healthy = make_router(replicated, {}, 0);
+  bench::MonotonicTimer t_healthy;
+  const std::vector<QueryResult> healthy_results = healthy.run_batch(batch);
+  const double healthy_ms = t_healthy.elapsed_ms();
+  const std::vector<std::uint64_t> reference = digests(healthy_results);
+  Stats healthy_lat;
+  bool all_ok = true;
+  for (const QueryResult& r : healthy_results) {
+    all_ok = all_ok && r.ok;
+    healthy_lat.add(r.latency_ms);
+  }
+  ctx.metric("healthy_p99_ms", healthy_lat.percentile(99.0));
+
+  // --- fault legs: one scripted fault kind against shard kVictim ----------
+  struct Leg {
+    const char* name;    ///< metric suffix: availability_<name>
+    FaultPlan plan;
+    std::uint32_t call_deadline_ms = 0;
+    service::RouterOptions options;
+  };
+  std::vector<Leg> legs(4);
+  legs[0].name = "kill";
+  legs[0].plan.kill_at_batch = 0;
+  legs[1].name = "drop";
+  legs[1].plan.drop_frame_at = 0;
+  legs[2].name = "garble";
+  legs[2].plan.garble_frame_at = 0;
+  legs[3].name = "deadline";
+  legs[3].plan.delay_at = 0;
+  legs[3].plan.delay_ms = 100;
+  legs[3].call_deadline_ms = 50;
+  for (Leg& leg : legs) leg.options = replicated;
+  // The contrast leg: the same kill with no replication loses the victim's
+  // whole key range — deterministically.
+  Leg r1;
+  r1.name = "r1_kill";
+  r1.plan.kill_at_batch = 0;
+  r1.options.replicas = 1;
+  legs.push_back(r1);
+
+  Table t({"fault", "replicas", "batch_ms", "ok_ratio", "p99_ms", "identical"});
+  t.row()
+      .cell("none")
+      .cell(std::uint64_t{2})
+      .cell(healthy_ms, 1)
+      .cell(1.0, 3)
+      .cell(healthy_lat.percentile(99.0), 2)
+      .cell("--");
+
+  bool deterministic_failover = true;
+  bool zero_failures_replicated = true;
+  Stats failover_lat;
+  for (const Leg& leg : legs) {
+    const ShardRouter router = make_router(leg.options, leg.plan, leg.call_deadline_ms);
+    bench::MonotonicTimer t_leg;
+    const std::vector<QueryResult> results = router.run_batch(batch);
+    const double leg_ms = t_leg.elapsed_ms();
+    std::size_t ok = 0;
+    Stats lat;
+    for (const QueryResult& r : results) {
+      if (r.ok) {
+        ++ok;
+        lat.add(r.latency_ms);
+        if (leg.options.replicas > 1) failover_lat.add(r.latency_ms);
+      }
+    }
+    const double availability =
+        static_cast<double>(ok) / static_cast<double>(results.size());
+    // Replicated legs must survive completely AND byte-identically; the
+    // unreplicated leg is the contrast, gated only on determinism of the
+    // surviving prefix (ok results match the reference positionally).
+    bool identical = true;
+    for (std::size_t i = 0; i < results.size(); ++i)
+      if (results[i].ok && results[i].digest() != reference[i]) identical = false;
+    if (leg.options.replicas > 1) {
+      zero_failures_replicated = zero_failures_replicated && ok == results.size();
+      identical = identical && ok == results.size();
+    }
+    deterministic_failover = deterministic_failover && identical;
+    ctx.metric(std::string("availability_") + leg.name, availability);
+    t.row()
+        .cell(leg.name)
+        .cell(std::uint64_t{leg.options.replicas})
+        .cell(leg_ms, 1)
+        .cell(availability, 3)
+        .cell(lat.percentile(99.0), 2)
+        .cell(identical ? "yes" : "NO");
+  }
+  ctx.metric("failover_p99_ms", failover_lat.percentile(99.0));
+  t.print(ctx.out(), "S7: injected faults at n=" + std::to_string(n) +
+                         ", batch=" + std::to_string(batch.size()));
+
+  // --- digest gate across thread counts -----------------------------------
+  // Killing the victim must be invisible at 1, 2 and 8 threads.
+  const std::size_t gate_size = ctx.smoke() ? batch.size() / 2 : batch.size();
+  const std::vector<QueryRequest> gate_queries(batch.begin(), batch.begin() + gate_size);
+  const std::vector<std::uint64_t> gate_reference(reference.begin(),
+                                                  reference.begin() + gate_size);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    set_num_threads(threads);
+    FaultPlan kill;
+    kill.kill_at_batch = 0;
+    const ShardRouter router = make_router(replicated, kill, 0);
+    const std::vector<QueryResult> results = router.run_batch(gate_queries);
+    bool identical = digests(results) == gate_reference;
+    for (const QueryResult& r : results) identical = identical && r.ok;
+    deterministic_failover = deterministic_failover && identical;
+  }
+  set_num_threads(4);
+  ctx.out() << "\ndigest gate: kill + failover at 1/2/8 threads vs healthy: "
+            << (deterministic_failover ? "identical" : "MISMATCH") << "\n";
+
+  // --- chaos replay: the same seeded plan twice ---------------------------
+  const auto chaos_record = [&] {
+    service::RouterOptions options;
+    options.replicas = 2;
+    std::vector<std::unique_ptr<ShardBackend>> backends;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      FaultPlan plan;
+      plan.seed = seed + s;
+      plan.drop_percent = 40;
+      backends.push_back(std::make_unique<FaultyShard>(
+          std::make_unique<LocalShard>(
+              std::make_shared<const service::ShortcutService>(snap, seed)),
+          plan));
+    }
+    const ShardRouter router(std::move(backends), options);
+    std::vector<std::uint64_t> record;
+    const int rounds = ctx.smoke() ? 3 : 6;
+    for (int b = 0; b < rounds; ++b) {
+      for (const QueryResult& r :
+           router.run_batch(mixed_batch(gate_size, 80'000 + 1000 * b))) {
+        record.push_back(r.digest());
+        record.push_back((std::uint64_t{r.attempts} << 32) | r.served_by_replica);
+      }
+    }
+    return record;
+  };
+  const bool replay_identical = chaos_record() == chaos_record();
+  ctx.out() << "chaos replay (seeded drop plan, two runs): "
+            << (replay_identical ? "identical" : "MISMATCH") << "\n";
+
+  ctx.metric("all_queries_ok", all_ok);
+  ctx.metric("zero_failures_with_replication", zero_failures_replicated);
+  ctx.metric("deterministic_failover_vs_healthy", deterministic_failover);
+  ctx.metric("deterministic_fault_replay", replay_identical);
+}

@@ -6,16 +6,26 @@ server processes on unix sockets, then drives several concurrent
 lcsrouter batches (disjoint query-id ranges, so the router's duplicate
 gate never trips) through the fleet.  Every batch's output — one digest
 line per query plus the batch summary — must be byte-identical to the
-single-process oracle (`lcsrouter --local`) over the same store.  This
-is the cross-process form of determinism contract point 7
-(docs/architecture.md): shard placement never changes digests.
+single-process oracle (`lcsrouter --local`) over the same store, after
+stripping "#" telemetry comment lines (per-shard health, error detail)
+that only fleet mode prints.  This is the cross-process form of
+determinism contract point 7 (docs/architecture.md): shard placement
+never changes digests.
+
+With --chaos it additionally gates contract point 8 (failover): a
+replicated fleet (--replicas 2) is attacked by killing one shard process
+before and during in-flight batches, and every surviving batch must
+still be byte-identical to the oracle with every query ok — failover
+must be invisible in content.  The killed shard is then restarted on the
+same socket and the fleet must heal (next batch reports it up again).
 
 Exit status 0 means every batch matched its oracle and the fleet shut
-down cleanly on request; any mismatch, shard crash, or hang is nonzero.
+down cleanly on request; any mismatch, unexpected shard crash, or hang
+is nonzero.
 
 Usage:
   python3 scripts/stress_sharded.py [--build-dir build] [--shards 3]
-      [--batches 4] [--count 48] [--n 200] [--m 600]
+      [--batches 4] [--count 48] [--n 200] [--m 600] [--chaos]
 """
 
 from __future__ import annotations
@@ -49,6 +59,13 @@ def read_line_with_timeout(proc: subprocess.Popen, timeout: float) -> str:
     return box[0] if box else ""
 
 
+def strip_comments(text: str) -> str:
+    """Drop "#" telemetry lines (health, error detail) before an oracle diff:
+    content lines must match byte for byte, telemetry need not."""
+    return "".join(line for line in text.splitlines(keepends=True)
+                   if not line.startswith("#"))
+
+
 def ingest(lcsingest: pathlib.Path, store: pathlib.Path, args) -> str:
     """Freeze a generated gnm graph into the store; return its fingerprint."""
     out = subprocess.run(
@@ -61,6 +78,189 @@ def ingest(lcsingest: pathlib.Path, store: pathlib.Path, args) -> str:
     if not match:
         fail(f"no fingerprint in lcsingest output:\n{out.stdout}")
     return match.group(1)
+
+
+class Fleet:
+    """The lcsshard processes, restartable per index for chaos testing."""
+
+    def __init__(self, lcsshard: pathlib.Path, store: pathlib.Path,
+                 fingerprint: str, workdir: pathlib.Path, args) -> None:
+        self.lcsshard = lcsshard
+        self.store = store
+        self.fingerprint = fingerprint
+        self.workdir = workdir
+        self.args = args
+        self.procs: list[subprocess.Popen | None] = [None] * args.shards
+        self.endpoints = [f"unix:{workdir / f'shard{i}.sock'}"
+                          for i in range(args.shards)]
+
+    def launch(self, i: int) -> None:
+        """Start (or restart) shard i and wait for its READY line.  A shard
+        that never says READY is a failed launch; its stderr says why."""
+        socket_path = pathlib.Path(self.endpoints[i].removeprefix("unix:"))
+        socket_path.unlink(missing_ok=True)  # stale socket from a kill
+        proc = subprocess.Popen(
+            [str(self.lcsshard), "--store", str(self.store),
+             "--fingerprint", self.fingerprint, "--listen", self.endpoints[i],
+             "--seed", str(self.args.seed), "--threads", "2"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        line = read_line_with_timeout(proc, self.args.timeout)
+        if not line.startswith("READY "):
+            proc.kill()
+            _, stderr = proc.communicate(timeout=self.args.timeout)
+            fail(f"shard {i} never became ready (got: {line!r}, "
+                 f"exit code {proc.returncode}):\n{stderr}")
+        self.procs[i] = proc
+
+    def kill(self, i: int) -> None:
+        proc = self.procs[i]
+        if proc is not None:
+            proc.kill()
+            proc.wait(timeout=self.args.timeout)
+        self.procs[i] = None
+
+    def kill_all(self) -> None:
+        for i in range(len(self.procs)):
+            self.kill(i)
+
+    def shard_flags(self) -> list[str]:
+        flags: list[str] = []
+        for endpoint in self.endpoints:
+            flags += ["--shard", endpoint]
+        return flags
+
+
+def run_oracle(lcsrouter: pathlib.Path, store: pathlib.Path, fingerprint: str,
+               first_id: int, args) -> str:
+    """The same batch on one in-process service — the content reference."""
+    oracle = subprocess.run(
+        [str(lcsrouter), "--local", "--store", str(store),
+         "--fingerprint", fingerprint, "--count", str(args.count),
+         "--first-id", str(first_id), "--seed", str(args.seed)],
+        capture_output=True, text=True, timeout=args.timeout)
+    if oracle.returncode != 0:
+        fail(f"oracle (first id {first_id}) exited {oracle.returncode}:\n"
+             f"{oracle.stderr}")
+    return oracle.stdout
+
+
+def diff_against_oracle(label: str, sharded: str, oracle: str) -> bool:
+    """Print a unified diff of the content lines on mismatch."""
+    if strip_comments(sharded) == strip_comments(oracle):
+        return True
+    print(f"{label}: DIGEST MISMATCH", file=sys.stderr)
+    sys.stderr.writelines(difflib.unified_diff(
+        strip_comments(oracle).splitlines(keepends=True),
+        strip_comments(sharded).splitlines(keepends=True),
+        fromfile=f"oracle ({label})", tofile=f"sharded ({label})"))
+    return False
+
+
+def require_all_ok(label: str, output: str, count: int) -> None:
+    match = re.search(r"^batch .* count=(\d+) ok=(\d+) ", output, re.M)
+    if not match:
+        fail(f"{label}: no batch summary in router output:\n{output}")
+    if match.group(1) != str(count) or match.group(2) != str(count):
+        fail(f"{label}: expected {count}/{count} ok, got "
+             f"{match.group(2)}/{match.group(1)} — failover did not mask "
+             f"the fault:\n{output}")
+
+
+def run_baseline(tools, fleet: Fleet, store, fingerprint, args) -> None:
+    """The original gate: concurrent healthy batches, byte-identical to the
+    oracle."""
+    first_ids = [1000 + b * 100_000 for b in range(args.batches)]
+    routers = [
+        subprocess.Popen(
+            [str(tools["lcsrouter"]), *fleet.shard_flags(),
+             "--count", str(args.count), "--first-id", str(first_id)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        for first_id in first_ids
+    ]
+    sharded_out = []
+    for b, proc in enumerate(routers):
+        stdout, stderr = proc.communicate(timeout=args.timeout)
+        if proc.returncode != 0:
+            fail(f"batch {b} router exited {proc.returncode}:\n{stderr}")
+        sharded_out.append(stdout)
+
+    mismatches = 0
+    for b, first_id in enumerate(first_ids):
+        oracle = run_oracle(tools["lcsrouter"], store, fingerprint, first_id, args)
+        if diff_against_oracle(f"batch {b} (first id {first_id})",
+                               sharded_out[b], oracle):
+            summary = strip_comments(sharded_out[b]).strip().splitlines()[-1]
+            print(f"batch {b} identical to oracle: {summary}")
+        else:
+            mismatches += 1
+    if mismatches:
+        fail(f"{mismatches}/{args.batches} batches diverged from the oracle")
+
+
+def run_chaos(tools, fleet: Fleet, store, fingerprint, args) -> None:
+    """Contract point 8, cross-process: kill one shard of a --replicas 2
+    fleet before and during batches; surviving output must be byte-identical
+    to the oracle with zero failed queries, and a restarted shard must be
+    probed back up."""
+    victim = args.shards // 2
+    replicated = [*fleet.shard_flags(), "--replicas", "2"]
+
+    def router_cmd(first_id: int) -> list[str]:
+        return [str(tools["lcsrouter"]), *replicated,
+                "--count", str(args.count), "--first-id", str(first_id)]
+
+    # Phase 1 — healthy replicated fleet: replication alone must not change
+    # a single digest.
+    out = subprocess.run(router_cmd(500_000), capture_output=True, text=True,
+                         timeout=args.timeout)
+    if out.returncode != 0:
+        fail(f"chaos healthy batch exited {out.returncode}:\n{out.stderr}")
+    oracle = run_oracle(tools["lcsrouter"], store, fingerprint, 500_000, args)
+    if not diff_against_oracle("chaos healthy batch", out.stdout, oracle):
+        fail("replicated placement changed digests on a healthy fleet")
+    require_all_ok("chaos healthy batch", out.stdout, args.count)
+    print(f"chaos: healthy replicated fleet identical to oracle")
+
+    # Phase 2 — kill the victim, then drive concurrent batches.  Every
+    # query must fail over to the surviving replica: same bytes, zero
+    # failures, no matter when each router observes the corpse.
+    fleet.kill(victim)
+    print(f"chaos: killed shard {victim}")
+    first_ids = [600_000 + b * 100_000 for b in range(args.batches)]
+    routers = [subprocess.Popen(router_cmd(first_id), stdout=subprocess.PIPE,
+                                stderr=subprocess.PIPE, text=True)
+               for first_id in first_ids]
+    saw_down = False
+    for b, proc in enumerate(routers):
+        stdout, stderr = proc.communicate(timeout=args.timeout)
+        if proc.returncode != 0:
+            fail(f"chaos batch {b} router exited {proc.returncode}:\n{stderr}")
+        oracle = run_oracle(tools["lcsrouter"], store, fingerprint,
+                            first_ids[b], args)
+        if not diff_against_oracle(f"chaos batch {b}", stdout, oracle):
+            fail(f"chaos batch {b} diverged from the oracle after the kill")
+        require_all_ok(f"chaos batch {b}", stdout, args.count)
+        if re.search(rf"^# health shard={victim} .* up=0", stdout, re.M):
+            saw_down = True
+    if not saw_down:
+        fail(f"no batch reported shard {victim} down — the kill was never "
+             f"observed, the chaos gate proved nothing")
+    print(f"chaos: {args.batches} batches survived the kill, "
+          f"all identical to oracle, zero failed queries")
+
+    # Phase 3 — restart the victim: the next batch's probe must reattach it.
+    fleet.launch(victim)
+    out = subprocess.run(router_cmd(900_000), capture_output=True, text=True,
+                         timeout=args.timeout)
+    if out.returncode != 0:
+        fail(f"post-restart batch exited {out.returncode}:\n{out.stderr}")
+    oracle = run_oracle(tools["lcsrouter"], store, fingerprint, 900_000, args)
+    if not diff_against_oracle("post-restart batch", out.stdout, oracle):
+        fail("post-restart batch diverged from the oracle")
+    require_all_ok("post-restart batch", out.stdout, args.count)
+    if not re.search(rf"^# health shard={victim} .* up=1", out.stdout, re.M):
+        fail(f"restarted shard {victim} not reported up:\n{out.stdout}")
+    print(f"chaos: restarted shard {victim} rejoined the fleet")
 
 
 def main() -> None:
@@ -79,6 +279,9 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=7, help="service seed")
     parser.add_argument("--timeout", type=float, default=120.0,
                         help="per-step timeout in seconds")
+    parser.add_argument("--chaos", action="store_true",
+                        help="also kill + restart a shard under a replicated "
+                             "fleet and require byte-identical failover")
     args = parser.parse_args()
 
     build = pathlib.Path(args.build_dir)
@@ -87,10 +290,12 @@ def main() -> None:
     for name, path in tools.items():
         if not path.is_file():
             fail(f"{path} not built — build the '{name}' target first")
+    if args.chaos and args.shards < 2:
+        fail("--chaos needs at least 2 shards to have a surviving replica")
 
     workdir = pathlib.Path(tempfile.mkdtemp(prefix="lcs-stress-sharded-"))
     store = workdir / "store"
-    shards: list[subprocess.Popen] = []
+    fleet: Fleet | None = None
     try:
         fingerprint = ingest(tools["lcsingest"], store, args)
         print(f"store ready: fingerprint={fingerprint} "
@@ -98,77 +303,26 @@ def main() -> None:
 
         # Fleet: one lcsshard per socket.  READY on stdout marks a shard
         # accepting; a shard that never says it is a failed launch.
-        endpoints = []
+        fleet = Fleet(tools["lcsshard"], store, fingerprint, workdir, args)
         for i in range(args.shards):
-            endpoint = f"unix:{workdir / f'shard{i}.sock'}"
-            proc = subprocess.Popen(
-                [str(tools["lcsshard"]), "--store", str(store),
-                 "--fingerprint", fingerprint, "--listen", endpoint,
-                 "--seed", str(args.seed), "--threads", "2"],
-                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
-            line = read_line_with_timeout(proc, args.timeout)
-            if not line.startswith("READY "):
-                proc.kill()
-                fail(f"shard {i} never became ready (got: {line!r})")
-            shards.append(proc)
-            endpoints.append(endpoint)
+            fleet.launch(i)
         print(f"fleet ready: {args.shards} shard(s)")
 
-        shard_flags: list[str] = []
-        for endpoint in endpoints:
-            shard_flags += ["--shard", endpoint]
-
-        # Concurrent batches with disjoint id ranges, all in flight at
-        # once against the same fleet.
-        first_ids = [1000 + b * 100_000 for b in range(args.batches)]
-        routers = [
-            subprocess.Popen(
-                [str(tools["lcsrouter"]), *shard_flags,
-                 "--count", str(args.count), "--first-id", str(first_id)],
-                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
-            for first_id in first_ids
-        ]
-        sharded_out = []
-        for b, proc in enumerate(routers):
-            stdout, stderr = proc.communicate(timeout=args.timeout)
-            if proc.returncode != 0:
-                fail(f"batch {b} router exited {proc.returncode}:\n{stderr}")
-            sharded_out.append(stdout)
-
-        # Oracle: the same batches on one in-process service.
-        mismatches = 0
-        for b, first_id in enumerate(first_ids):
-            oracle = subprocess.run(
-                [str(tools["lcsrouter"]), "--local", "--store", str(store),
-                 "--fingerprint", fingerprint, "--count", str(args.count),
-                 "--first-id", str(first_id), "--seed", str(args.seed)],
-                capture_output=True, text=True, timeout=args.timeout)
-            if oracle.returncode != 0:
-                fail(f"batch {b} oracle exited {oracle.returncode}:\n{oracle.stderr}")
-            if sharded_out[b] != oracle.stdout:
-                mismatches += 1
-                print(f"batch {b} (first id {first_id}): DIGEST MISMATCH",
-                      file=sys.stderr)
-                sys.stderr.writelines(difflib.unified_diff(
-                    oracle.stdout.splitlines(keepends=True),
-                    sharded_out[b].splitlines(keepends=True),
-                    fromfile=f"oracle (batch {b})",
-                    tofile=f"sharded (batch {b})"))
-            else:
-                summary = sharded_out[b].strip().splitlines()[-1]
-                print(f"batch {b} identical to oracle: {summary}")
-        if mismatches:
-            fail(f"{mismatches}/{args.batches} batches diverged from the oracle")
+        run_baseline(tools, fleet, store, fingerprint, args)
+        if args.chaos:
+            run_chaos(tools, fleet, store, fingerprint, args)
 
         # Clean shutdown: one more (tiny) batch with --shutdown, then the
         # whole fleet must exit on its own.
         out = subprocess.run(
-            [str(tools["lcsrouter"]), *shard_flags, "--count", "1",
+            [str(tools["lcsrouter"]), *fleet.shard_flags(), "--count", "1",
              "--first-id", "999000", "--shutdown"],
             capture_output=True, text=True, timeout=args.timeout)
         if out.returncode != 0:
             fail(f"shutdown router exited {out.returncode}:\n{out.stderr}")
-        for i, proc in enumerate(shards):
+        for i, proc in enumerate(fleet.procs):
+            if proc is None:
+                continue
             try:
                 code = proc.wait(timeout=args.timeout)
             except subprocess.TimeoutExpired:
@@ -176,13 +330,14 @@ def main() -> None:
                 fail(f"shard {i} ignored shutdown")
             if code != 0:
                 fail(f"shard {i} exited {code}:\n{proc.stderr.read()}")
-        shards.clear()
-        print(f"OK: {args.batches} concurrent batches x {args.count} queries "
-              f"over {args.shards} shards, all digests identical to the "
-              f"single-process oracle; clean fleet shutdown")
+            fleet.procs[i] = None
+        mode = "baseline + chaos" if args.chaos else "baseline"
+        print(f"OK ({mode}): {args.batches} concurrent batches x {args.count} "
+              f"queries over {args.shards} shards, all digests identical to "
+              f"the single-process oracle; clean fleet shutdown")
     finally:
-        for proc in shards:
-            proc.kill()
+        if fleet is not None:
+            fleet.kill_all()
         shutil.rmtree(workdir, ignore_errors=True)
 
 

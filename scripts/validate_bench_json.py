@@ -132,6 +132,26 @@ S6_TRUE_CHECKS = [
     "deterministic_sharded_vs_local",
 ]
 
+# Availability ratios, failover timings and boolean gates every s7_ (fault
+# tolerance) record must carry.  Schema documented in docs/bench.md.
+S7_RATIO_METRICS = [
+    "availability_kill",
+    "availability_drop",
+    "availability_garble",
+    "availability_deadline",
+    "availability_r1_kill",
+]
+S7_TIMING_METRICS = [
+    "healthy_p99_ms",
+    "failover_p99_ms",
+]
+S7_TRUE_CHECKS = [
+    "all_queries_ok",
+    "zero_failures_with_replication",
+    "deterministic_failover_vs_healthy",
+    "deterministic_fault_replay",
+]
+
 
 def validate_overload(record: dict, args) -> list[str]:
     """s4_ records sweep offered load, not threads: per load multiple there
@@ -231,6 +251,35 @@ def validate_sharded(record: dict, args) -> list[str]:
     return problems
 
 
+def validate_fault_tolerance(record: dict, args) -> list[str]:
+    """s7_ records inject scripted faults into a replicated fleet: every
+    availability metric must be a valid ratio (and exactly 1.0 for the
+    replicated legs — replication must fully mask a single fault), the
+    healthy/failover latency legs must be present, and the inline gates —
+    failover digests identical to the healthy fleet at every thread count
+    and seeded chaos plans replaying byte-identically — must have passed."""
+    del args
+    name = record["scenario"]
+    problems = []
+    if not isinstance(record["params"], dict) or not isinstance(record["metrics"], dict):
+        return [f"{name}: params/metrics must be objects"]
+    metrics = record["metrics"]
+    for key in S7_RATIO_METRICS:
+        value = metrics.get(key)
+        if not isinstance(value, (int, float)) or not 0 <= value <= 1:
+            problems.append(f"{name}: missing or bad availability ratio {key}: {value!r}")
+        elif key != "availability_r1_kill" and value != 1:
+            problems.append(f"{name}: {key} is {value!r}, replication must mask the fault")
+    for key in S7_TIMING_METRICS:
+        value = metrics.get(key)
+        if not isinstance(value, (int, float)) or value < 0:
+            problems.append(f"{name}: missing or bad timing metric {key}: {value!r}")
+    for key in S7_TRUE_CHECKS:
+        if metrics.get(key) is not True:
+            problems.append(f"{name}: {key} is not true")
+    return problems
+
+
 def validate_scaling(record: dict, legs: list[str], args) -> list[str]:
     """Thread-scaling records must carry the thread sweep and a speedup curve
     per leg (and the inline determinism cross-check must not have failed).
@@ -313,6 +362,8 @@ def validate_record(record: dict, require_ok: bool, args) -> list[str]:
             problems.extend(validate_snapshot_io(record, args))
         if name.lower().startswith("s6_"):
             problems.extend(validate_sharded(record, args))
+        if name.lower().startswith("s7_"):
+            problems.extend(validate_fault_tolerance(record, args))
     return problems
 
 

@@ -37,9 +37,21 @@ std::string payload_text(const Frame& frame) {
 
 }  // namespace
 
-RpcShard::RpcShard(const Endpoint& endpoint) : endpoint_(endpoint) {
+RpcShard::RpcShard(const Endpoint& endpoint, const DeadlineOptions& deadlines)
+    : endpoint_(endpoint), deadlines_(deadlines) {
   try {
-    socket_ = connect_endpoint(endpoint_);
+    dial();
+  } catch (const service::ShardUnavailable&) {
+    // Recorded in last_error_ by dial(); surfaced lazily so a replicated
+    // router can attach around a shard that is down right now.
+  }
+}
+
+void RpcShard::dial() {
+  attached_ = false;
+  socket_.close();
+  try {
+    socket_ = connect_endpoint(endpoint_, deadlines_);
     socket_.send_frame(make_frame(FrameType::kHello));
     const Frame ack = socket_.recv_frame();
     if (ack.type != FrameType::kHelloAck) unexpected(ack, "hello_ack");
@@ -49,20 +61,38 @@ RpcShard::RpcShard(const Endpoint& endpoint) : endpoint_(endpoint) {
     info_.num_vertices = r.u32();
     info_.num_edges = r.u32();
     if (!r.done()) throw std::runtime_error("rpc: wire payload has trailing bytes");
+    attached_ = true;
+    last_error_.clear();
   } catch (const std::exception& e) {
-    throw service::ShardUnavailable(e.what());
+    socket_.close();
+    last_error_ = e.what();
+    throw service::ShardUnavailable(last_error_);
   }
 }
 
+service::ShardInfo RpcShard::info() {
+  if (!attached_) throw service::ShardUnavailable(last_error_);
+  return info_;
+}
+
+service::ShardInfo RpcShard::reattach() {
+  dial();  // fresh connection + kHello: the deterministic health probe
+  return info_;
+}
+
 void RpcShard::send_batch(const std::vector<service::QueryRequest>& batch) {
+  if (!attached_) throw service::ShardUnavailable(last_error_);
   try {
     socket_.send_frame(make_frame(FrameType::kRunBatch, service::encode_requests(batch)));
   } catch (const std::exception& e) {
-    throw service::ShardUnavailable(e.what());
+    attached_ = false;  // the stream is dead; reattach() re-dials
+    last_error_ = e.what();
+    throw service::ShardUnavailable(last_error_);
   }
 }
 
 std::vector<service::QueryResult> RpcShard::gather() {
+  if (!attached_) throw service::ShardUnavailable(last_error_);
   try {
     const Frame reply = socket_.recv_frame();
     if (reply.type == FrameType::kError)
@@ -70,13 +100,18 @@ std::vector<service::QueryResult> RpcShard::gather() {
     if (reply.type != FrameType::kResults) unexpected(reply, "results");
     return service::decode_results(reply.payload.data(), reply.payload.size());
   } catch (const service::ShardUnavailable&) {
+    // A kError reply is a per-batch contract failure, not a dead stream:
+    // the connection stays attached and usable.
     throw;
   } catch (const std::exception& e) {
-    throw service::ShardUnavailable(e.what());
+    attached_ = false;  // mid-frame loss or deadline: the stream is unusable
+    last_error_ = e.what();
+    throw service::ShardUnavailable(last_error_);
   }
 }
 
 void RpcShard::shutdown_server() {
+  if (!attached_) return;  // a shard that died first is already shut down
   try {
     socket_.send_frame(make_frame(FrameType::kShutdown));
     while (true) {
@@ -84,13 +119,13 @@ void RpcShard::shutdown_server() {
       if (reply.type == FrameType::kShutdownAck) break;
     }
   } catch (const std::exception&) {
-    // A shard that died first is already shut down.
+    // Best-effort: the server may have exited before acking.
   }
 }
 
 ShardServer::ShardServer(std::shared_ptr<const service::ShortcutService> service,
-                         const Endpoint& endpoint)
-    : service_(std::move(service)) {
+                         const Endpoint& endpoint, int send_deadline_ms)
+    : service_(std::move(service)), send_deadline_ms_(send_deadline_ms) {
   LCS_REQUIRE(service_ != nullptr, "shard server needs a service");
   listener_ = Listener::listen(endpoint);
   accept_thread_ = std::thread([this] { accept_loop(); });
@@ -102,6 +137,9 @@ void ShardServer::accept_loop() {
   while (true) {
     Socket conn = listener_.accept();
     if (!conn.valid()) break;  // listener closed
+    // Replies carry the server's send budget; reads stay unbounded because
+    // an idle-but-connected client is normal between batches.
+    conn.set_deadlines(send_deadline_ms_, 0);
     std::lock_guard<std::mutex> lock(mu_);
     if (stopped_) break;
     connections_.push_back(std::move(conn));

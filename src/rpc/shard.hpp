@@ -46,12 +46,21 @@ namespace lcs::rpc {
 /// ShardBackend speaking the wire protocol to a ShardServer.
 class RpcShard : public service::ShardBackend {
  public:
-  /// Connect and run the hello handshake; throws service::ShardUnavailable
-  /// when the shard cannot be reached or answers a malformed handshake.
-  explicit RpcShard(const Endpoint& endpoint);
+  /// Dial and run the hello handshake.  Never throws: a shard that cannot
+  /// be reached (or answers a malformed handshake) is recorded as detached
+  /// with its deterministic failure text, which info()/send_batch/gather
+  /// then throw as service::ShardUnavailable and reattach() retries — so a
+  /// replicated router can attach a fleet whose member is mid-restart.
+  /// `deadlines` bounds the dial and every subsequent frame; the default
+  /// (no deadlines) blocks exactly as before.
+  explicit RpcShard(const Endpoint& endpoint, const DeadlineOptions& deadlines = {});
 
   std::string describe() const override { return endpoint_.describe(); }
-  service::ShardInfo info() override { return info_; }
+  service::ShardInfo info() override;
+  /// Re-dial and re-run the kHello handshake — the router's down-shard
+  /// probe.  Throws service::ShardUnavailable while the shard stays
+  /// unreachable.
+  service::ShardInfo reattach() override;
   void send_batch(const std::vector<service::QueryRequest>& batch) override;
   std::vector<service::QueryResult> gather() override;
 
@@ -60,9 +69,14 @@ class RpcShard : public service::ShardBackend {
   void shutdown_server();
 
  private:
+  void dial();  ///< connect + kHello; fills info_ or throws ShardUnavailable
+
   Endpoint endpoint_;
+  DeadlineOptions deadlines_;
   Socket socket_;
   service::ShardInfo info_;
+  bool attached_ = false;
+  std::string last_error_;  ///< deterministic reason while detached
 };
 
 /// Serving side: accept loop on a background thread, one thread per
@@ -70,9 +84,11 @@ class RpcShard : public service::ShardBackend {
 class ShardServer {
  public:
   /// Bind `endpoint` (tcp port 0 resolves to an ephemeral port — read it
-  /// back from endpoint()) and start accepting.
+  /// back from endpoint()) and start accepting.  `send_deadline_ms` > 0
+  /// bounds every reply write so a stalled client cannot pin a connection
+  /// thread forever; 0 (the default) blocks as before.
   ShardServer(std::shared_ptr<const service::ShortcutService> service,
-              const Endpoint& endpoint);
+              const Endpoint& endpoint, int send_deadline_ms = 0);
   ~ShardServer();
   ShardServer(const ShardServer&) = delete;
   ShardServer& operator=(const ShardServer&) = delete;
@@ -92,6 +108,7 @@ class ShardServer {
 
   std::shared_ptr<const service::ShortcutService> service_;
   Listener listener_;
+  int send_deadline_ms_ = 0;
   std::thread accept_thread_;
 
   std::mutex mu_;

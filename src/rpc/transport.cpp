@@ -1,6 +1,7 @@
 #include "rpc/transport.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -9,6 +10,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <stdexcept>
@@ -20,14 +22,65 @@ namespace {
 
 [[noreturn]] void bad(const std::string& what) { throw std::runtime_error("rpc: " + what); }
 
+/// An absolute deadline derived from a millisecond budget.  budget_ms == 0
+/// means "none"; the error text always quotes the configured budget, never
+/// a measured elapsed time, so deadline failures are deterministic strings.
+struct Deadline {
+  int budget_ms = 0;
+  std::chrono::steady_clock::time_point at{};
+
+  static Deadline after(int budget_ms) {
+    Deadline d;
+    d.budget_ms = budget_ms;
+    if (budget_ms > 0)
+      d.at = std::chrono::steady_clock::now() + std::chrono::milliseconds(budget_ms);
+    return d;
+  }
+
+  int remaining_ms() const {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          at - std::chrono::steady_clock::now())
+                          .count();
+    return left > 0 ? static_cast<int>(left) : 0;
+  }
+
+  [[noreturn]] void expired() const {
+    bad("deadline exceeded after " + std::to_string(budget_ms) + " ms");
+  }
+};
+
+/// Block until `fd` is ready for `events` or the deadline passes (throws
+/// the deadline error).  No-op without a deadline: the plain blocking
+/// syscalls already wait.
+void poll_or_deadline(int fd, short events, const Deadline& deadline) {
+  while (true) {
+    pollfd p{fd, events, 0};
+    const int ready = ::poll(&p, 1, deadline.remaining_ms());
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      bad("connection lost");
+    }
+    if (ready == 0) deadline.expired();
+    return;
+  }
+}
+
 /// Full-write loop; distinguishes nothing about errno — any failure is the
-/// one deterministic "connection lost".
-void write_all(int fd, const std::byte* data, std::size_t size) {
+/// one deterministic "connection lost" (or the deadline error under a send
+/// budget).  With a deadline the writes are non-blocking so a peer that
+/// stops reading cannot pin the caller past the budget.
+void write_all(int fd, const std::byte* data, std::size_t size, const Deadline& deadline) {
   std::size_t done = 0;
   while (done < size) {
-    const ssize_t wrote = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+    int flags = MSG_NOSIGNAL;
+    if (deadline.budget_ms > 0) {
+      poll_or_deadline(fd, POLLOUT, deadline);
+      flags |= MSG_DONTWAIT;
+    }
+    const ssize_t wrote = ::send(fd, data + done, size - done, flags);
     if (wrote < 0) {
       if (errno == EINTR) continue;
+      if (deadline.budget_ms > 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
       bad("connection lost");
     }
     if (wrote == 0) bad("connection lost");
@@ -37,10 +90,13 @@ void write_all(int fd, const std::byte* data, std::size_t size) {
 
 /// Full-read loop.  A clean EOF before the first byte reports "closed"
 /// (normal peer departure at a frame boundary); an EOF after it reports
-/// "lost" (a torn frame).
-void read_all(int fd, std::byte* data, std::size_t size, bool at_boundary) {
+/// "lost" (a torn frame); a recv budget that expires first reports the
+/// deadline error.
+void read_all(int fd, std::byte* data, std::size_t size, bool at_boundary,
+              const Deadline& deadline) {
   std::size_t done = 0;
   while (done < size) {
+    if (deadline.budget_ms > 0) poll_or_deadline(fd, POLLIN, deadline);
     const ssize_t got = ::read(fd, data + done, size - done);
     if (got < 0) {
       if (errno == EINTR) continue;
@@ -107,12 +163,19 @@ std::string Endpoint::describe() const {
   return "tcp:" + host + ":" + std::to_string(port);
 }
 
-Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_),
+      send_deadline_ms_(other.send_deadline_ms_),
+      recv_deadline_ms_(other.recv_deadline_ms_) {
+  other.fd_ = -1;
+}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = other.fd_;
+    send_deadline_ms_ = other.send_deadline_ms_;
+    recv_deadline_ms_ = other.recv_deadline_ms_;
     other.fd_ = -1;
   }
   return *this;
@@ -134,18 +197,21 @@ void Socket::shutdown_both() {
 void Socket::send_frame(const Frame& frame) {
   if (fd_ < 0) bad("connection lost");
   const std::vector<std::byte> bytes = encode_frame(frame);
-  write_all(fd_, bytes.data(), bytes.size());
+  write_all(fd_, bytes.data(), bytes.size(), Deadline::after(send_deadline_ms_));
 }
 
 Frame Socket::recv_frame() {
   if (fd_ < 0) bad("connection lost");
+  // One budget covers the whole frame: a peer trickling header bytes and a
+  // peer stalling mid-payload hit the same deterministic deadline error.
+  const Deadline deadline = Deadline::after(recv_deadline_ms_);
   std::byte header_bytes[kFrameHeaderBytes];
-  read_all(fd_, header_bytes, kFrameHeaderBytes, /*at_boundary=*/true);
+  read_all(fd_, header_bytes, kFrameHeaderBytes, /*at_boundary=*/true, deadline);
   const FrameHeader header = decode_frame_header(header_bytes, kFrameHeaderBytes);
   Frame frame;
   frame.type = header.type;
   frame.payload.resize(header.payload_bytes);
-  read_all(fd_, frame.payload.data(), frame.payload.size(), /*at_boundary=*/false);
+  read_all(fd_, frame.payload.data(), frame.payload.size(), /*at_boundary=*/false, deadline);
   verify_frame_payload(header, frame.payload.data(), frame.payload.size());
   return frame;
 }
@@ -234,25 +300,72 @@ void Listener::close() {
   }
 }
 
-Socket connect_endpoint(const Endpoint& endpoint) {
+namespace {
+
+/// Connect with an optional budget: non-blocking connect, poll for
+/// writability, then read back SO_ERROR.  A refusal is the usual "cannot
+/// connect"; running out the budget is the deadline error.
+int connect_with_deadline(int fd, const sockaddr* addr, socklen_t len,
+                          const Endpoint& endpoint, const Deadline& deadline) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, addr, len);
+  if (rc != 0 && (errno == EINPROGRESS || errno == EAGAIN)) {
+    while (true) {
+      pollfd p{fd, POLLOUT, 0};
+      const int ready = ::poll(&p, 1, deadline.remaining_ms());
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return -1;
+      }
+      if (ready == 0) {
+        ::close(fd);
+        deadline.expired();
+      }
+      break;
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 || err != 0) return -1;
+    rc = 0;
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  (void)endpoint;
+  return rc;
+}
+
+}  // namespace
+
+Socket connect_endpoint(const Endpoint& endpoint, const DeadlineOptions& deadlines) {
   int fd = -1;
   int rc = -1;
+  const Deadline deadline = Deadline::after(deadlines.connect_ms);
   if (endpoint.kind == Endpoint::Kind::kUnix) {
     fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) bad("cannot create socket for " + endpoint.describe());
     const sockaddr_un addr = unix_address(endpoint.path);
-    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    if (deadline.budget_ms > 0)
+      rc = connect_with_deadline(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr),
+                                 endpoint, deadline);
+    else
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
   } else {
     fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) bad("cannot create socket for " + endpoint.describe());
     const sockaddr_in addr = tcp_address(endpoint.host, endpoint.port);
-    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    if (deadline.budget_ms > 0)
+      rc = connect_with_deadline(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr),
+                                 endpoint, deadline);
+    else
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
   }
   if (rc != 0) {
     ::close(fd);
     bad("cannot connect to " + endpoint.describe());
   }
-  return Socket(fd);
+  Socket socket(fd);
+  socket.set_deadlines(deadlines.call_ms, deadlines.call_ms);
+  return socket;
 }
 
 }  // namespace lcs::rpc

@@ -12,6 +12,14 @@
 // closed", "connection lost", frame validation errors from
 // rpc/frame.hpp), because the router folds them into per-query ok=false
 // results whose digests must not vary run to run.
+//
+// PR 8 adds deadlines to the same vocabulary: a socket configured with
+// per-frame send/recv budgets polls before every I/O step and fails a
+// frame that cannot complete in time with the deterministic
+// "rpc: deadline exceeded after <ms> ms" (the *configured* budget, never
+// a measured elapsed time, so the text is stable run to run).  Without a
+// budget (the default), behavior is byte-identical to PR 7's fully
+// blocking transport.
 #pragma once
 
 #include <atomic>
@@ -38,6 +46,13 @@ struct Endpoint {
   std::string describe() const;
 };
 
+/// Deadline budgets of one RPC client conversation, in milliseconds.
+/// 0 means "no deadline" — block indefinitely, exactly as before PR 8.
+struct DeadlineOptions {
+  int connect_ms = 0;  ///< budget for establishing the connection
+  int call_ms = 0;     ///< whole-frame budget for each send_frame/recv_frame
+};
+
 /// RAII connected socket.  Move-only; closes on destruction.
 class Socket {
  public:
@@ -56,14 +71,26 @@ class Socket {
   /// blocked in recv_frame() on this socket (used by server stop()).
   void shutdown_both();
 
+  /// Per-frame deadlines (0 = block indefinitely).  A send_frame that
+  /// cannot complete within send_ms — or a recv_frame within recv_ms —
+  /// throws the deterministic "rpc: deadline exceeded after <ms> ms",
+  /// quoting the configured budget.
+  void set_deadlines(int send_ms, int recv_ms) {
+    send_deadline_ms_ = send_ms;
+    recv_deadline_ms_ = recv_ms;
+  }
+  int send_deadline_ms() const { return send_deadline_ms_; }
+  int recv_deadline_ms() const { return recv_deadline_ms_; }
+
   /// Write one whole frame; throws "rpc: connection lost" when the peer is
-  /// gone mid-write.
+  /// gone mid-write, or the deadline error under a send budget.
   void send_frame(const Frame& frame);
 
   /// Read one whole frame: exactly one header, validated, then exactly
   /// payload_bytes, validated.  Throws "rpc: connection closed" on a clean
   /// EOF at a frame boundary, "rpc: connection lost" mid-frame or on any
-  /// socket error, and the frame.hpp errors on malformed bytes.
+  /// socket error, the frame.hpp errors on malformed bytes, and the
+  /// deadline error when a recv budget expires before the frame is whole.
   Frame recv_frame();
 
   /// An AF_UNIX socketpair (test harness for the framing layer).
@@ -71,6 +98,8 @@ class Socket {
 
  private:
   int fd_ = -1;
+  int send_deadline_ms_ = 0;
+  int recv_deadline_ms_ = 0;
 };
 
 /// Bound + listening server socket.
@@ -108,7 +137,10 @@ class Listener {
   Endpoint endpoint_;
 };
 
-/// Connect to `endpoint`; throws "rpc: cannot connect to <spec>".
-Socket connect_endpoint(const Endpoint& endpoint);
+/// Connect to `endpoint`; throws "rpc: cannot connect to <spec>" on
+/// refusal, or "rpc: deadline exceeded after <ms> ms" when
+/// `deadlines.connect_ms` > 0 and the peer does not accept in time.  The
+/// returned socket carries `deadlines.call_ms` as both frame budgets.
+Socket connect_endpoint(const Endpoint& endpoint, const DeadlineOptions& deadlines = {});
 
 }  // namespace lcs::rpc

@@ -1,0 +1,64 @@
+#include "service/fault.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace lcs::service {
+
+FaultyShard::FaultyShard(std::unique_ptr<ShardBackend> inner, FaultPlan plan,
+                         std::uint32_t call_deadline_ms)
+    : inner_(std::move(inner)), plan_(plan), call_deadline_ms_(call_deadline_ms) {
+  LCS_REQUIRE(inner_ != nullptr, "faulty shard needs an inner backend");
+  LCS_REQUIRE(plan_.drop_percent <= 100,
+              "fault plan drop_percent must be a percent in [0, 100]");
+}
+
+void FaultyShard::check_alive() const {
+  if (killed_) throw ShardUnavailable("shard killed");
+}
+
+ShardInfo FaultyShard::info() {
+  check_alive();
+  return inner_->info();
+}
+
+ShardInfo FaultyShard::reattach() {
+  // A killed shard stays dead through probes; transient faults do not
+  // survive into the probe, so a drop/garble/delay victim re-attaches.
+  check_alive();
+  return inner_->reattach();
+}
+
+void FaultyShard::send_batch(const std::vector<QueryRequest>& batch) {
+  const std::uint64_t b = next_batch_;
+  if (plan_.kills(b)) killed_ = true;
+  check_alive();
+  next_batch_ += 1;  // only live batches advance the fault clock
+  pending_fault_.clear();
+  if (plan_.drops(b)) {
+    pending_fault_ = "rpc: connection lost";
+  } else if (plan_.garbles(b)) {
+    pending_fault_ = "rpc: frame payload checksum mismatch";
+  } else if (const std::uint32_t stall = plan_.delays(b);
+             stall > 0 && call_deadline_ms_ > 0 && stall >= call_deadline_ms_) {
+    pending_fault_ =
+        "rpc: deadline exceeded after " + std::to_string(call_deadline_ms_) + " ms";
+  }
+  inner_->send_batch(batch);
+}
+
+std::vector<QueryResult> FaultyShard::gather() {
+  check_alive();
+  // Drain the inner backend first so a transient fault leaves it
+  // consistent for the next batch, then lose/corrupt the reply.
+  std::vector<QueryResult> results = inner_->gather();
+  if (!pending_fault_.empty()) {
+    const std::string fault = std::move(pending_fault_);
+    pending_fault_.clear();
+    throw ShardUnavailable(fault);
+  }
+  return results;
+}
+
+}  // namespace lcs::service

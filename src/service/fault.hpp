@@ -1,0 +1,98 @@
+// Scripted, reproducible fault injection for the sharded service.
+//
+// FaultPlan describes *when* a shard misbehaves — kill from batch k
+// onward, drop or garble one reply frame, stall past a deadline — either
+// scripted exactly (the *_at_batch fields) or drawn probabilistically from
+// a counter-based hash of (seed, batch index), so two runs of the same
+// plan misbehave identically with no RNG state to thread through.
+//
+// FaultyShard is a ShardBackend decorator applying a plan to any inner
+// backend (a LocalShard in tests and the S7 bench, an RpcShard if a fleet
+// should be chaos-tested in-process before scripts/stress_sharded.py does
+// it cross-process).  Every injected failure throws ShardUnavailable with
+// the *same* deterministic text the real failure mode produces:
+//
+//   kill    -> "shard killed"                        (LocalShard::kill)
+//   drop    -> "rpc: connection lost"                (transport mid-frame)
+//   garble  -> "rpc: frame payload checksum mismatch" (frame validation)
+//   delay   -> "rpc: deadline exceeded after <ms> ms" (socket deadline),
+//              quoting the configured call deadline — a delay shorter than
+//              the deadline (or with no deadline at all) is absorbed
+//
+// so the router cannot tell an injected fault from a real one, and every
+// digest/capture gate exercised under injection holds verbatim under real
+// faults.  Transient faults (drop, garble, delay) leave the inner backend
+// alive: its gather is drained before the throw, so the next batch finds
+// the shard consistent and the router's probe re-attaches it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/sharded.hpp"
+
+namespace lcs::service {
+
+/// When a shard misbehaves, keyed by the backend's send_batch counter
+/// (batch 0 is the first batch sent through the wrapper).
+struct FaultPlan {
+  /// "Never" for the scripted one-shot faults below.
+  static constexpr std::uint64_t kNever = static_cast<std::uint64_t>(-1);
+
+  std::uint64_t seed = 0;  ///< keys the probabilistic faults, nothing else
+
+  std::uint64_t kill_at_batch = kNever;    ///< dead from this batch onward
+  std::uint64_t drop_frame_at = kNever;    ///< this batch's reply frame is lost
+  std::uint64_t garble_frame_at = kNever;  ///< this batch's reply frame is corrupted
+  std::uint64_t delay_at = kNever;         ///< this batch's reply stalls delay_ms
+  std::uint32_t delay_ms = 0;              ///< the stall length for delay_at
+
+  /// Per-batch percent chance [0, 100] of a transient dropped reply, drawn
+  /// from hash64(seed, batch) — scriptable chaos without scripting every
+  /// batch index.
+  std::uint32_t drop_percent = 0;
+
+  bool kills(std::uint64_t batch) const { return batch >= kill_at_batch; }
+  bool garbles(std::uint64_t batch) const { return batch == garble_frame_at; }
+  std::uint32_t delays(std::uint64_t batch) const {
+    return batch == delay_at ? delay_ms : 0;
+  }
+  bool drops(std::uint64_t batch) const {
+    if (batch == drop_frame_at) return true;
+    if (drop_percent == 0) return false;
+    return hash64(seed ^ hash64(0x6661756c74ULL + batch)) % 100 < drop_percent;
+  }
+};
+
+/// ShardBackend decorator injecting a FaultPlan into any inner backend.
+/// `call_deadline_ms` mirrors the rpc-layer DeadlineOptions::call_ms as a
+/// plain integer (the service layer does not depend on rpc): a scripted
+/// delay at or past it throws the deadline error, 0 means no deadline.
+class FaultyShard : public ShardBackend {
+ public:
+  FaultyShard(std::unique_ptr<ShardBackend> inner, FaultPlan plan,
+              std::uint32_t call_deadline_ms = 0);
+
+  std::string describe() const override { return inner_->describe(); }
+  ShardInfo info() override;
+  ShardInfo reattach() override;
+  void send_batch(const std::vector<QueryRequest>& batch) override;
+  std::vector<QueryResult> gather() override;
+
+  /// Batches sent through this wrapper so far (the fault clock).
+  std::uint64_t batches_sent() const { return next_batch_; }
+
+ private:
+  void check_alive() const;
+
+  std::unique_ptr<ShardBackend> inner_;
+  FaultPlan plan_;
+  std::uint32_t call_deadline_ms_ = 0;
+  std::uint64_t next_batch_ = 0;
+  bool killed_ = false;
+  std::string pending_fault_;  ///< error text to throw at the next gather
+};
+
+}  // namespace lcs::service

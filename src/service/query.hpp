@@ -107,6 +107,12 @@ struct QueryResult {
   double queue_ms = 0.0;   ///< wait from admission to wave dispatch
   std::uint32_t wave = 0;  ///< index of the admission wave that ran the query
 
+  // Failover telemetry (ShardRouter fills these; everything else leaves
+  // them zero).  Placement observations, never content: digest-excluded,
+  // because which replica answered cannot change what it answered.
+  std::uint32_t attempts = 0;          ///< shards this query was actually sent to
+  std::uint32_t served_by_replica = 0; ///< preference-list index that answered (0 = primary)
+
   // Deterministic outcome fields (meaning depends on kind; unused stay 0).
   std::uint64_t congestion = 0;    ///< shortcut queries: Definition-1.1 c
   std::uint64_t dilation = 0;      ///< shortcut queries: Definition-1.1 d (ub)

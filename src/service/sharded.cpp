@@ -1,10 +1,39 @@
 #include "service/sharded.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/check.hpp"
 
 namespace lcs::service {
+
+std::vector<std::size_t> replicas_of(std::uint64_t id, std::size_t num_shards,
+                                     std::size_t replicas) {
+  LCS_REQUIRE(num_shards > 0, "replicas_of needs at least one shard");
+  LCS_REQUIRE(replicas > 0, "replicas_of needs at least one replica");
+  const std::size_t r = std::min(replicas, num_shards);
+  std::vector<std::size_t> prefs;
+  prefs.reserve(r);
+  prefs.push_back(shard_of(id, num_shards));
+  if (r == 1) return prefs;
+  // Rendezvous-rank the remaining shards for this id: highest
+  // hash64(id-key ^ shard-key) first, ties broken by shard index so the
+  // order is total.  Every id draws its own fallback permutation, so the
+  // load of a dead shard spreads over the whole fleet.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ranked;
+  ranked.reserve(num_shards - 1);
+  const std::uint64_t id_key = hash64(id);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (s == prefs[0]) continue;
+    ranked.emplace_back(hash64(id_key ^ hash64(0x7265706c69636173ULL + s)), s);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first > b.first : a.second < b.second;
+            });
+  for (std::size_t k = 0; k + 1 < r; ++k) prefs.push_back(ranked[k].second);
+  return prefs;
+}
 
 LocalShard::LocalShard(std::shared_ptr<const ShortcutService> service)
     : service_(std::move(service)) {
@@ -37,16 +66,34 @@ std::vector<QueryResult> LocalShard::gather() {
   return service_->run_batch(batch);
 }
 
-ShardRouter::ShardRouter(std::vector<std::unique_ptr<ShardBackend>> shards)
-    : shards_(std::move(shards)) {
+ShardRouter::ShardRouter(std::vector<std::unique_ptr<ShardBackend>> shards,
+                         RouterOptions options)
+    : shards_(std::move(shards)), options_(options) {
   LCS_REQUIRE(!shards_.empty(), "router needs at least one shard");
+  LCS_REQUIRE(options_.replicas > 0, "router needs replicas >= 1");
+  health_.resize(shards_.size());
+  bool have_reference = false;
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     LCS_REQUIRE(shards_[s] != nullptr, "router shard " + std::to_string(s) + " is null");
-    const ShardInfo info = shards_[s]->info();  // ShardUnavailable propagates: a
-                                                // fleet that cannot attach is misuse
-    if (s == 0) {
+    ShardInfo info;
+    try {
+      info = shards_[s]->info();
+    } catch (const ShardUnavailable& e) {
+      // Unreplicated fleets keep the legacy strictness: a fleet that cannot
+      // attach is misuse.  With replication the shard is marked down and the
+      // first batch probes it — that is what lets a router attach to a fleet
+      // whose member is mid-restart.
+      if (options_.replicas <= 1) throw;
+      health_[s].up = false;
+      health_[s].last_error = e.what();
+      health_[s].failures = 1;
+      health_[s].next_probe_batch = 0;
+      continue;
+    }
+    if (!have_reference) {
       fingerprint_ = info.fingerprint;
       seed_ = info.seed;
+      have_reference = true;
       continue;
     }
     LCS_REQUIRE(info.fingerprint == fingerprint_,
@@ -58,67 +105,175 @@ ShardRouter::ShardRouter(std::vector<std::unique_ptr<ShardBackend>> shards)
                     ") uses service seed " + std::to_string(info.seed) +
                     " but the router expects " + std::to_string(seed_));
   }
+  LCS_REQUIRE(have_reference, "router could not attach any shard");
+}
+
+void ShardRouter::mark_down(std::size_t shard, const std::string& reason,
+                            std::uint64_t batch) const {
+  Health& h = health_[shard];
+  h.up = false;
+  h.last_error = reason;
+  h.failures = 1;
+  h.next_probe_batch = batch + 1;  // first re-probe on the very next batch
+}
+
+void ShardRouter::probe_down_shards(std::uint64_t batch) const {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Health& h = health_[s];
+    if (h.up || batch < h.next_probe_batch) continue;
+    try {
+      const ShardInfo info = shards_[s]->reattach();
+      if (info.fingerprint != fingerprint_ || info.seed != seed_)
+        throw ShardUnavailable("reattached shard serves different frozen inputs");
+      h.up = true;
+      h.failures = 0;
+      h.last_error.clear();
+    } catch (const std::exception& e) {
+      h.last_error = e.what();
+      h.failures += 1;
+      // Capped exponential backoff in batch counts: probe after 1, 2, 4, ...
+      // further batches, never more than the cap apart.
+      const std::uint64_t shift = std::min<std::uint64_t>(h.failures - 1, 20);
+      h.next_probe_batch =
+          batch + std::min<std::uint64_t>(std::uint64_t{1} << shift, options_.probe_backoff_cap);
+    }
+  }
 }
 
 std::vector<QueryResult> ShardRouter::run_batch(const std::vector<QueryRequest>& batch) const {
   check_distinct_query_ids(batch);
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t batch_index = next_batch_++;
+  // One reconnect attempt per marked-down shard per batch, backoff allowing.
+  probe_down_shards(batch_index);
+
   const std::size_t n = shards_.size();
+  const std::size_t max_targets =
+      options_.retries == kRetryAllReplicas
+          ? n
+          : std::min(n, options_.retries + 1);
 
-  std::vector<std::vector<QueryRequest>> sub(n);
-  std::vector<std::vector<std::size_t>> origin(n);  // sub position -> batch position
+  // Per-query failover state: the preference cursor walks replicas_of in
+  // order, skipping known-down shards for free; only shards the query was
+  // actually sent to consume the retry budget (and count as attempts).
+  struct Pending {
+    std::size_t pos = 0;            ///< position in the caller's batch
+    std::vector<std::size_t> prefs;
+    std::size_t cursor = 0;         ///< next preference to consider
+    std::uint32_t sends = 0;        ///< live shards actually attempted
+    std::size_t fail_shard = 0;     ///< last shard skipped or failed
+    std::string fail_reason;
+  };
+  std::vector<Pending> pending(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    const std::size_t s = shard_of(batch[i].id, n);
-    sub[s].push_back(batch[i]);
-    origin[s].push_back(i);
-  }
-
-  // Scatter first, gather second: remote shards overlap their compute while
-  // the router is still blocked on an earlier shard's reply.
-  std::vector<std::string> failure(n);
-  for (std::size_t s = 0; s < n; ++s) {
-    if (sub[s].empty()) continue;
-    try {
-      shards_[s]->send_batch(sub[s]);
-    } catch (const std::exception& e) {
-      failure[s] = e.what();
-    }
+    pending[i].pos = i;
+    pending[i].prefs = replicas_of(batch[i].id, n, options_.replicas);
   }
 
   std::vector<QueryResult> out(batch.size());
-  for (std::size_t s = 0; s < n; ++s) {
-    if (sub[s].empty()) continue;
-    std::vector<QueryResult> got;
-    if (failure[s].empty()) {
+  auto capture = [&](const Pending& q) {
+    QueryResult r;
+    r.id = batch[q.pos].id;
+    r.kind = batch[q.pos].kind;
+    r.ok = false;
+    r.error = "shard " + std::to_string(q.fail_shard) + " unavailable: " + q.fail_reason;
+    r.attempts = q.sends;
+    out[q.pos] = std::move(r);
+  };
+
+  // Failover rounds: assign every unresolved query to its first live
+  // preference, scatter, gather, and carry live failures into the next
+  // round.  Each round either resolves a query or advances its cursor, so
+  // the loop terminates after at most `replicas` rounds.
+  while (!pending.empty()) {
+    std::vector<std::vector<std::size_t>> assigned(n);  // shard -> pending indices
+    std::vector<Pending> still_pending;
+    for (Pending& q : pending) {
+      while (q.cursor < q.prefs.size() && !health_[q.prefs[q.cursor]].up) {
+        q.fail_shard = q.prefs[q.cursor];
+        q.fail_reason = health_[q.fail_shard].last_error;
+        ++q.cursor;
+      }
+      if (q.cursor >= q.prefs.size() || q.sends >= max_targets) {
+        capture(q);
+        continue;
+      }
+      assigned[q.prefs[q.cursor]].push_back(still_pending.size());
+      still_pending.push_back(std::move(q));
+    }
+    pending = std::move(still_pending);
+    if (pending.empty()) break;
+
+    // Scatter first, gather second: remote shards overlap their compute
+    // while the router is still blocked on an earlier shard's reply.
+    std::vector<std::string> failure(n);
+    std::vector<std::vector<QueryRequest>> sub(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      if (assigned[s].empty()) continue;
+      sub[s].reserve(assigned[s].size());
+      for (const std::size_t qi : assigned[s]) sub[s].push_back(batch[pending[qi].pos]);
       try {
-        got = shards_[s]->gather();
-        // A reply that does not line up with the sub-batch is as unusable
-        // as no reply: fold it into the same failure path.
-        if (got.size() != sub[s].size()) {
-          failure[s] = "result count mismatch";
-        } else {
-          for (std::size_t k = 0; k < got.size(); ++k) {
-            if (got[k].id != sub[s][k].id) {
-              failure[s] = "result id mismatch";
-              break;
-            }
-          }
-        }
+        shards_[s]->send_batch(sub[s]);
       } catch (const std::exception& e) {
         failure[s] = e.what();
       }
     }
-    if (!failure[s].empty()) {
-      for (std::size_t k = 0; k < sub[s].size(); ++k) {
-        QueryResult r;
-        r.id = sub[s][k].id;
-        r.kind = sub[s][k].kind;
-        r.ok = false;
-        r.error = "shard " + std::to_string(s) + " unavailable: " + failure[s];
-        out[origin[s][k]] = std::move(r);
+
+    std::vector<Pending> next_round;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (assigned[s].empty()) continue;
+      std::vector<QueryResult> got;
+      if (failure[s].empty()) {
+        try {
+          got = shards_[s]->gather();
+          // A reply that does not line up with the sub-batch is as unusable
+          // as no reply: fold it into the same failure path.
+          if (got.size() != sub[s].size()) {
+            failure[s] = "result count mismatch";
+          } else {
+            for (std::size_t k = 0; k < got.size(); ++k) {
+              if (got[k].id != sub[s][k].id) {
+                failure[s] = "result id mismatch";
+                break;
+              }
+            }
+          }
+        } catch (const std::exception& e) {
+          failure[s] = e.what();
+        }
       }
-    } else {
-      for (std::size_t k = 0; k < got.size(); ++k) out[origin[s][k]] = std::move(got[k]);
+      if (!failure[s].empty()) {
+        mark_down(s, failure[s], batch_index);
+        for (const std::size_t qi : assigned[s]) {
+          Pending& q = pending[qi];
+          q.sends += 1;
+          q.fail_shard = s;
+          q.fail_reason = failure[s];
+          q.cursor += 1;
+          next_round.push_back(std::move(q));
+        }
+      } else {
+        for (std::size_t k = 0; k < assigned[s].size(); ++k) {
+          Pending& q = pending[assigned[s][k]];
+          q.sends += 1;
+          got[k].attempts = q.sends;
+          got[k].served_by_replica = static_cast<std::uint32_t>(q.cursor);
+          out[q.pos] = std::move(got[k]);
+        }
+      }
     }
+    pending = std::move(next_round);
+  }
+  return out;
+}
+
+std::vector<ShardRouter::ShardHealthView> ShardRouter::health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ShardHealthView> out(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    out[s].up = health_[s].up;
+    out[s].failures = health_[s].failures;
+    out[s].last_error = health_[s].last_error;
   }
   return out;
 }

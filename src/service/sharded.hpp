@@ -1,33 +1,43 @@
-// Sharded query execution: a router scattering batches across shard
-// backends by query id.
+// Sharded query execution: a router scattering batches across replicated
+// shard backends by query id, with deterministic failover.
 //
-// Placement is the pure function shard_of(id, N) = hash64(id) % N — no
-// load feedback, no affinity state — so where a query runs is as
-// deterministic as what it computes.  Combined with the service contract
-// (a result is a pure function of snapshot, seed and request), this gives
-// the sharding determinism guarantee the tests pin down: the same batch
-// routed across 1, 2 or 4 shards produces digests bit-identical to a
-// single ShortcutService, at any thread count.
+// Placement is a pure function of the query id.  The primary shard is
+// shard_of(id, N) = hash64(id) % N — no load feedback, no affinity state —
+// and replicas_of(id, N, R) extends it to an ordered preference list of R
+// distinct shards via rendezvous hashing (R = 1 reduces exactly to
+// shard_of).  Combined with the service contract (a result is a pure
+// function of snapshot, seed and request), this gives the determinism
+// guarantee the tests pin down: because every shard of a coherent fleet
+// serves the same frozen inputs, serving a query from *any* replica in its
+// preference list produces bit-identical bytes — so failover is
+// determinism-safe, and the same batch routed across any fleet shape
+// produces digests bit-identical to a single ShortcutService.
 //
-// The router talks to shards through the ShardBackend interface in two
-// sequential passes: send every sub-batch, then gather every reply.  A
-// LocalShard wraps an in-process ShortcutService (and can be killed for
-// fault-injection tests); rpc/shard.hpp plugs a remote lcsshard process
-// into the same seam.  Coherence is checked once at construction: every
-// backend must report the snapshot fingerprint and service seed of shard
-// 0, because a mixed fleet would silently answer queries against different
-// frozen inputs.
+// The router talks to shards through the ShardBackend interface in
+// sequential scatter/gather rounds: send every sub-batch, then gather
+// every reply; queries whose shard failed move to their next live replica
+// and go out in the next round.  A LocalShard wraps an in-process
+// ShortcutService (and can be killed and revived for fault-injection
+// tests); rpc/shard.hpp plugs a remote lcsshard process into the same
+// seam, and service/fault.hpp wraps any backend in a scripted FaultPlan.
+// Coherence is checked at attach: every reachable backend must report one
+// common snapshot fingerprint and service seed, because a mixed fleet
+// would silently answer queries against different frozen inputs.
 //
-// Shard death is captured, not retried: every query placed on a failed
-// shard comes back ok=false with error "shard <i> unavailable: <reason>"
-// (the reason is the backend's deterministic failure text), and queries on
-// other shards are untouched.  A retry could land the query on a live
-// shard and change the batch's failure pattern run to run; capturing keeps
-// the whole result vector a function of (batch, fleet state).
+// Failure handling is capture-or-failover, never blind retry: a query
+// whose shard dies mid-batch fails over in preference order (at most one
+// attempt per shard, bounded by RouterOptions::retries), and a query whose
+// whole replica group is down comes back ok=false with error "shard <i>
+// unavailable: <reason>" (the reason is the backend's deterministic
+// failure text).  A shard that fails is marked down and re-probed lazily —
+// one reattach() per due batch, spaced by capped exponential backoff
+// counted in batches (never wall-clock), so the probe schedule itself is a
+// pure function of the batch sequence.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -36,10 +46,18 @@
 
 namespace lcs::service {
 
-/// The shard a query id lives on, given a fleet of `num_shards` (> 0).
+/// The primary shard of a query id, given a fleet of `num_shards` (> 0).
 inline std::size_t shard_of(std::uint64_t id, std::size_t num_shards) {
   return static_cast<std::size_t>(hash64(id) % num_shards);
 }
+
+/// The ordered replica preference list of a query id: `replicas` distinct
+/// shards, primary first (== shard_of), fallbacks ranked by rendezvous
+/// hashing over (id, shard) so each id gets its own deterministic fallback
+/// order and a dead shard's load spreads over the whole fleet instead of
+/// piling onto one neighbor.  `replicas` is clamped to `num_shards`.
+std::vector<std::size_t> replicas_of(std::uint64_t id, std::size_t num_shards,
+                                     std::size_t replicas);
 
 /// Thrown by a backend whose shard is gone; the message is the
 /// deterministic reason the router embeds in affected results.
@@ -69,6 +87,12 @@ class ShardBackend {
   /// The shard's identity; throws ShardUnavailable when it cannot answer.
   virtual ShardInfo info() = 0;
 
+  /// Re-establish a lost connection and report identity — the router's
+  /// down-shard probe.  The default is info() (in-process backends have
+  /// nothing to re-dial); throws ShardUnavailable while the shard stays
+  /// unreachable.
+  virtual ShardInfo reattach() { return info(); }
+
   /// Hand the shard its sub-batch.  Throws ShardUnavailable on a dead
   /// shard; must not partially apply (the router treats any throw as
   /// whole-sub-batch failure).
@@ -82,7 +106,8 @@ class ShardBackend {
 /// In-process backend over a ShortcutService — the reference shard the
 /// digest gates compare remote fleets against, and the fault-injection
 /// vehicle: kill() makes every later call throw ShardUnavailable("shard
-/// killed") deterministically.
+/// killed") deterministically, revive() brings it back (the router's next
+/// probe re-attaches it).
 class LocalShard : public ShardBackend {
  public:
   explicit LocalShard(std::shared_ptr<const ShortcutService> service);
@@ -94,6 +119,8 @@ class LocalShard : public ShardBackend {
 
   /// Simulate shard death: every subsequent call throws.
   void kill() { killed_ = true; }
+  /// Undo kill(): the shard answers again (snapshot and seed unchanged).
+  void revive() { killed_ = false; }
 
  private:
   void check_alive() const;
@@ -103,31 +130,88 @@ class LocalShard : public ShardBackend {
   bool killed_ = false;
 };
 
-/// The scatter/gather frontend.  Owns its backends; stateless across
-/// batches beyond them.
+/// "Try every replica" — the default retry budget.
+inline constexpr std::size_t kRetryAllReplicas = static_cast<std::size_t>(-1);
+
+/// Fault-tolerance knobs of a ShardRouter.  The defaults reproduce the
+/// unreplicated pre-replication router byte for byte: one replica per
+/// query, so there is nowhere to fail over to and every shard failure is
+/// captured exactly as before.
+struct RouterOptions {
+  /// Preference-list length per query, clamped to the fleet size.
+  std::size_t replicas = 1;
+  /// Max *distinct* shards a query is sent to (1 + this many failovers).
+  /// Never a same-shard blind retry; kRetryAllReplicas walks the whole
+  /// preference list.
+  std::size_t retries = kRetryAllReplicas;
+  /// Cap on the probe backoff: a down shard is re-probed after 1, 2, 4, ...
+  /// batches, never more than this many apart.  Counted in batches, not
+  /// wall-clock, so the schedule is deterministic.
+  std::uint64_t probe_backoff_cap = 8;
+};
+
+/// The scatter/gather frontend.  Owns its backends; across batches it
+/// keeps only per-shard health state (up/down, last deterministic failure
+/// text, probe backoff), guarded by a mutex so run_batch stays usable from
+/// the existing const call sites.
 class ShardRouter {
  public:
-  /// Attaches the fleet and verifies coherence: every shard must report
-  /// shard 0's snapshot fingerprint and service seed (LCS_REQUIRE
+  /// A snapshot of one shard's health for telemetry (lcsrouter's batch
+  /// summary).  Never part of any digest.
+  struct ShardHealthView {
+    bool up = true;
+    std::uint64_t failures = 0;  ///< consecutive failed probes while down
+    std::string last_error;      ///< deterministic reason while down
+  };
+
+  /// Attaches the fleet and verifies coherence: every reachable shard must
+  /// report one common snapshot fingerprint and service seed (LCS_REQUIRE
   /// otherwise — a mixed fleet is caller misuse, not a per-query error).
-  explicit ShardRouter(std::vector<std::unique_ptr<ShardBackend>> shards);
+  /// With replicas == 1 an unreachable shard fails attach (the legacy
+  /// strictness: ShardUnavailable propagates); with replicas > 1 it is
+  /// marked down and probed lazily, and only a fleet with *no* reachable
+  /// shard is rejected.
+  explicit ShardRouter(std::vector<std::unique_ptr<ShardBackend>> shards,
+                       RouterOptions options = {});
 
   std::size_t num_shards() const { return shards_.size(); }
   /// The fleet's common snapshot fingerprint — the coherence token.
   std::uint64_t fingerprint() const { return fingerprint_; }
   std::uint64_t seed() const { return seed_; }
+  const RouterOptions& options() const { return options_; }
 
-  /// Scatter `batch` by shard_of, gather, and return results in the
-  /// caller's order.  Requires pairwise-distinct ids (the same guard as
+  /// Scatter `batch` by replicas_of, gather, fail queries over to their
+  /// next live replica in rounds, and return results in the caller's
+  /// order.  Requires pairwise-distinct ids (the same guard as
   /// ShortcutService::run_batch, applied before anything crosses a
-  /// process boundary).  Never throws for a dead shard: affected queries
-  /// come back ok=false as documented above.
+  /// process boundary).  Never throws for a dead shard: queries whose
+  /// whole replica group is exhausted come back ok=false as documented
+  /// above.  Fills the digest-excluded QueryResult::attempts /
+  /// served_by_replica telemetry.
   std::vector<QueryResult> run_batch(const std::vector<QueryRequest>& batch) const;
 
+  /// Per-shard health after the last batch (telemetry only).
+  std::vector<ShardHealthView> health() const;
+
  private:
+  struct Health {
+    bool up = true;
+    std::string last_error;
+    std::uint64_t failures = 0;          ///< consecutive failures (backoff exponent)
+    std::uint64_t next_probe_batch = 0;  ///< earliest batch index to probe again
+  };
+
+  void mark_down(std::size_t shard, const std::string& reason, std::uint64_t batch) const;
+  void probe_down_shards(std::uint64_t batch) const;
+
   std::vector<std::unique_ptr<ShardBackend>> shards_;
+  RouterOptions options_;
   std::uint64_t fingerprint_ = 0;
   std::uint64_t seed_ = 0;
+
+  mutable std::mutex mu_;                ///< serializes batches over the health state
+  mutable std::vector<Health> health_;
+  mutable std::uint64_t next_batch_ = 0;
 };
 
 }  // namespace lcs::service

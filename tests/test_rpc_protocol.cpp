@@ -12,13 +12,18 @@
 
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "graph/generators.hpp"
 #include "rpc/frame.hpp"
+#include "rpc/shard.hpp"
 #include "rpc/transport.hpp"
+#include "service/service.hpp"
 #include "service/wire.hpp"
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
@@ -269,6 +274,175 @@ TEST(RpcTransport, EndpointParseAndDescribe) {
   EXPECT_THROW(Endpoint::parse("tcp:nohost"), std::invalid_argument);
   EXPECT_THROW(Endpoint::parse("tcp:h:99999"), std::invalid_argument);
   EXPECT_THROW(Endpoint::parse("tcp:h:12x"), std::invalid_argument);
+}
+
+TEST(RpcTransport, EndpointParseRejectionMessagesAreExact) {
+  const auto parse_error = [](const std::string& spec) {
+    try {
+      (void)Endpoint::parse(spec);
+      return std::string();
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+  };
+  EXPECT_EQ(parse_error("unix:"), "rpc: bad endpoint 'unix:' (empty unix path)");
+  EXPECT_EQ(parse_error("tcp:nohost"), "rpc: bad endpoint 'tcp:nohost' (want tcp:host:port)");
+  EXPECT_EQ(parse_error("tcp::123"), "rpc: bad endpoint 'tcp::123' (want tcp:host:port)");
+  EXPECT_EQ(parse_error("tcp:h:"), "rpc: bad endpoint 'tcp:h:' (want tcp:host:port)");
+  EXPECT_EQ(parse_error("tcp:h:99999"), "rpc: bad endpoint 'tcp:h:99999' (bad port)");
+  EXPECT_EQ(parse_error("tcp:h:12x"), "rpc: bad endpoint 'tcp:h:12x' (bad port)");
+  EXPECT_EQ(parse_error("http:foo"), "rpc: bad endpoint 'http:foo' (want unix:... or tcp:...)");
+  EXPECT_EQ(parse_error(""), "rpc: bad endpoint '' (want unix:... or tcp:...)");
+}
+
+// ---------------------------------------------------------------------------
+// Socket deadlines (PR 8)
+
+TEST(RpcTransport, RecvDeadlineFiresWithTheConfiguredBudgetInTheText) {
+  auto [a, b] = Socket::make_pair();
+  b.set_deadlines(0, 50);
+  try {
+    (void)b.recv_frame();
+    FAIL() << "recv_frame returned with nothing to read";
+  } catch (const std::runtime_error& e) {
+    // The text quotes the *configured* budget, never a measured time.
+    EXPECT_STREQ(e.what(), "rpc: deadline exceeded after 50 ms");
+  }
+  // The deadline fired before any byte was read, so the stream is intact:
+  // once the peer does send, the same socket still works.
+  a.send_frame(make_frame(FrameType::kHello, {}));
+  EXPECT_EQ(b.recv_frame().type, FrameType::kHello);
+}
+
+TEST(RpcTransport, SendDeadlineFiresWhenThePeerStopsReading) {
+  auto [a, b] = Socket::make_pair();
+  a.set_deadlines(50, 0);
+  // A payload far past the socketpair buffer: with nobody draining b, the
+  // send must hit its deadline instead of blocking forever.
+  const Frame big = make_frame(FrameType::kRunBatch, random_payload(8u << 20, 10));
+  try {
+    a.send_frame(big);
+    FAIL() << "oversized send to a stalled peer returned";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rpc: deadline exceeded after 50 ms");
+  }
+  b.close();
+}
+
+TEST(RpcTransport, ConnectCarriesCallDeadlinesOntoTheSocket) {
+  rpc::Listener listener = rpc::Listener::listen(Endpoint::parse("tcp:127.0.0.1:0"));
+  rpc::DeadlineOptions deadlines;
+  deadlines.connect_ms = 2000;
+  deadlines.call_ms = 250;
+  // The kernel backlog completes the handshake before accept(), so no
+  // accept thread is needed just to connect.
+  Socket s = rpc::connect_endpoint(listener.endpoint(), deadlines);
+  ASSERT_TRUE(s.valid());
+  EXPECT_EQ(s.send_deadline_ms(), 250);
+  EXPECT_EQ(s.recv_deadline_ms(), 250);
+  // Default-connected sockets keep the no-deadline legacy behavior.
+  Socket legacy = rpc::connect_endpoint(listener.endpoint());
+  EXPECT_EQ(legacy.send_deadline_ms(), 0);
+  EXPECT_EQ(legacy.recv_deadline_ms(), 0);
+  listener.close();
+}
+
+TEST(RpcTransport, RefusedConnectUnderADeadlineIsStillCannotConnect) {
+  Endpoint dead;
+  {
+    rpc::Listener listener = rpc::Listener::listen(Endpoint::parse("tcp:127.0.0.1:0"));
+    dead = listener.endpoint();
+    listener.close();  // the port is now closed: refusal, not timeout
+  }
+  rpc::DeadlineOptions deadlines;
+  deadlines.connect_ms = 2000;
+  try {
+    (void)rpc::connect_endpoint(dead, deadlines);
+    FAIL() << "connect to a closed port returned";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "rpc: cannot connect to " + dead.describe());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Server shutdown edges (PR 8)
+
+std::shared_ptr<const service::ShortcutService> tiny_service() {
+  Rng rng(5);
+  return std::make_shared<const service::ShortcutService>(
+      service::GraphSnapshot::build(graph::connected_gnm(60, 150, rng), {}), 7);
+}
+
+TEST(RpcShardServer, StopRacesAnInFlightConnection) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / ("lcs-rpc-stop-" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  {
+    rpc::ShardServer server(tiny_service(),
+                            Endpoint::parse("unix:" + (dir / "s.sock").string()));
+    // Connection A: mid-conversation (handshake done, more frames possible).
+    Socket a = rpc::connect_endpoint(server.endpoint());
+    a.send_frame(make_frame(FrameType::kHello, {}));
+    ASSERT_EQ(a.recv_frame().type, FrameType::kHelloAck);
+    // Connection B: accepted but never spoke — its server thread is parked
+    // in recv_frame.
+    Socket b = rpc::connect_endpoint(server.endpoint());
+    // stop() must shut both down and join every connection thread without
+    // hanging, even though neither client disconnected first.
+    server.stop();
+    EXPECT_THROW((void)a.recv_frame(), std::runtime_error);
+    EXPECT_THROW((void)b.recv_frame(), std::runtime_error);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RpcShardServer, ShutdownServerAgainstADeadServerIsBestEffort) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / ("lcs-rpc-dead-" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  {
+    const std::string sock = (dir / "s.sock").string();
+    auto server = std::make_unique<rpc::ShardServer>(tiny_service(),
+                                                     Endpoint::parse("unix:" + sock));
+    rpc::RpcShard shard(server->endpoint());
+    ASSERT_EQ(shard.info().seed, 7u);
+    server.reset();  // the server dies with the connection still open
+    shard.shutdown_server();  // must return promptly, not throw or hang
+    // A shard that never attached is equally fine to "shut down".
+    rpc::RpcShard never(Endpoint::parse("unix:" + (dir / "nothing.sock").string()));
+    EXPECT_THROW((void)never.info(), service::ShardUnavailable);
+    never.shutdown_server();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RpcShardServer, DetachedRpcShardReattachesOnceTheServerIsBack) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / ("lcs-rpc-re-" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  {
+    const Endpoint ep = Endpoint::parse("unix:" + (dir / "s.sock").string());
+    const auto svc = tiny_service();
+    // Dialed while nothing listens: constructing is fine, using throws the
+    // deterministic connect error, reattach() keeps failing...
+    rpc::RpcShard shard(ep);
+    try {
+      (void)shard.info();
+      FAIL() << "info() on a detached shard returned";
+    } catch (const service::ShardUnavailable& e) {
+      EXPECT_EQ(std::string(e.what()), "rpc: cannot connect to " + ep.describe());
+    }
+    EXPECT_THROW((void)shard.reattach(), service::ShardUnavailable);
+    // ...until the server appears, when the same backend object recovers.
+    rpc::ShardServer server(svc, ep);
+    const service::ShardInfo info = shard.reattach();
+    EXPECT_EQ(info.seed, 7u);
+    EXPECT_EQ(info.fingerprint, svc->snapshot().fingerprint());
+    shard.send_batch({});
+    EXPECT_TRUE(shard.gather().empty());
+    server.stop();
+  }
+  std::filesystem::remove_all(dir);
 }
 
 // ---------------------------------------------------------------------------

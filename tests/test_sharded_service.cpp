@@ -21,6 +21,7 @@
 
 #include "graph/generators.hpp"
 #include "rpc/shard.hpp"
+#include "service/fault.hpp"
 #include "service/service.hpp"
 #include "service/sharded.hpp"
 #include "util/parallel.hpp"
@@ -29,6 +30,8 @@
 namespace {
 
 using namespace lcs;
+using service::FaultPlan;
+using service::FaultyShard;
 using service::GraphSnapshot;
 using service::LocalShard;
 using service::QueryKind;
@@ -331,6 +334,363 @@ TEST(ShardedService, PlacementIsAPureFunction) {
   std::vector<bool> hit(4, false);
   for (std::uint64_t id = 1000; id < 1032; ++id) hit[service::shard_of(id, 4)] = true;
   for (const bool h : hit) EXPECT_TRUE(h);
+}
+
+// ---------------------------------------------------------------------------
+// Replicated placement (PR 8)
+
+TEST(ShardedService, ReplicaListsArePureDistinctAndReduceToShardOf) {
+  for (const std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{5}, std::size_t{8}}) {
+    for (std::uint64_t id = 500; id < 700; ++id) {
+      // R = 1 is exactly the legacy placement.
+      const std::vector<std::size_t> one = service::replicas_of(id, n, 1);
+      ASSERT_EQ(one.size(), 1u);
+      EXPECT_EQ(one[0], service::shard_of(id, n));
+      for (const std::size_t r : {std::size_t{2}, std::size_t{3}, n + 4}) {
+        const std::vector<std::size_t> prefs = service::replicas_of(id, n, r);
+        ASSERT_EQ(prefs.size(), std::min(r, n)) << "not clamped to the fleet";
+        EXPECT_EQ(prefs[0], service::shard_of(id, n)) << "primary must come first";
+        std::vector<bool> seen(n, false);
+        for (const std::size_t s : prefs) {
+          ASSERT_LT(s, n);
+          EXPECT_FALSE(seen[s]) << "replica list repeats shard " << s;
+          seen[s] = true;
+        }
+        EXPECT_EQ(prefs, service::replicas_of(id, n, r)) << "not a pure function";
+      }
+    }
+  }
+  // Rendezvous ranking spreads fallbacks: with 4 shards, the first fallback
+  // of ids homed on shard 0 must not all pile onto one neighbor.
+  std::vector<bool> fallback_hit(4, false);
+  for (std::uint64_t id = 0; id < 4000; ++id) {
+    const std::vector<std::size_t> prefs = service::replicas_of(id, 4, 2);
+    if (prefs[0] == 0) fallback_hit[prefs[1]] = true;
+  }
+  EXPECT_FALSE(fallback_hit[0]);
+  for (const std::size_t s : {std::size_t{1}, std::size_t{2}, std::size_t{3}})
+    EXPECT_TRUE(fallback_hit[s]) << "fallbacks never land on shard " << s;
+}
+
+/// A router over `k` LocalShards with explicit options; `shards` receives
+/// non-owning handles for kill()/revive().
+ShardRouter replicated_router(const std::shared_ptr<const GraphSnapshot>& snap, std::size_t k,
+                              service::RouterOptions options,
+                              std::vector<LocalShard*>* shards = nullptr) {
+  std::vector<std::unique_ptr<ShardBackend>> backends;
+  for (std::size_t s = 0; s < k; ++s) {
+    auto shard =
+        std::make_unique<LocalShard>(std::make_shared<const ShortcutService>(snap, kSeed));
+    if (shards != nullptr) shards->push_back(shard.get());
+    backends.push_back(std::move(shard));
+  }
+  return ShardRouter(std::move(backends), options);
+}
+
+// The tentpole gate: with R=2, killing ANY single shard mid-run yields zero
+// ok=false results and digests bit-identical to the all-healthy fleet — at
+// 1, 2 and 8 threads.  Failover is determinism-safe because every result is
+// a pure function of (snapshot fingerprint, seed, id).
+TEST(ShardedService, ReplicatedFailoverNeverChangesDigests) {
+  const auto snap = test_snapshot();
+  const auto batch = mixed_batch(32);
+  const ShortcutService plain(snap, kSeed);
+  const std::vector<std::uint64_t> expected = digests(plain.run_batch(batch));
+
+  service::RouterOptions options;
+  options.replicas = 2;
+  const std::size_t kShards = 3;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ThreadOverrideGuard guard;
+    set_num_threads(threads);
+    for (std::size_t victim = 0; victim < kShards; ++victim) {
+      std::vector<LocalShard*> shards;
+      const ShardRouter router = replicated_router(snap, kShards, options, &shards);
+      shards[victim]->kill();  // dies after attach, before the batch: mid-flight
+      const std::vector<QueryResult> results = router.run_batch(batch);
+      ASSERT_EQ(results.size(), batch.size());
+      std::size_t failed_over = 0;
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        ASSERT_TRUE(results[i].ok) << "victim " << victim << ": " << results[i].error;
+        EXPECT_EQ(results[i].digest(), expected[i])
+            << "failover changed digest of id " << results[i].id;
+        ASSERT_GE(results[i].attempts, 1u);
+        if (results[i].served_by_replica > 0) ++failed_over;
+      }
+      EXPECT_GT(failed_over, 0u) << "victim " << victim << " never had traffic to fail over";
+      EXPECT_FALSE(router.health()[victim].up);
+    }
+  }
+}
+
+TEST(ShardedService, UnreplicatedCaptureIsStableAcrossBatches) {
+  // With R=1 the legacy capture semantics hold batch after batch: the
+  // down shard's stored failure text is reused verbatim while probes keep
+  // failing, so every batch's capture is byte-identical.
+  const auto snap = test_snapshot();
+  const auto batch = mixed_batch(32);
+  std::vector<LocalShard*> shards;
+  const ShardRouter router = replicated_router(snap, 3, {}, &shards);
+  shards[1]->kill();
+  const std::vector<QueryResult> first = router.run_batch(batch);
+  const std::vector<QueryResult> second = router.run_batch(batch);
+  EXPECT_EQ(digests(first), digests(second));
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (service::shard_of(batch[i].id, 3) != 1) continue;
+    EXPECT_FALSE(second[i].ok);
+    EXPECT_EQ(second[i].error, "shard 1 unavailable: shard killed");
+  }
+}
+
+TEST(ShardedService, TotalReplicaGroupLossCapturesDeterministically) {
+  const auto snap = test_snapshot();
+  const auto batch = mixed_batch(24);
+  service::RouterOptions options;
+  options.replicas = 2;
+  const auto run_all_dead = [&] {
+    std::vector<LocalShard*> shards;
+    const ShardRouter router = replicated_router(snap, 3, options, &shards);
+    for (LocalShard* shard : shards) shard->kill();
+    return router.run_batch(batch);
+  };
+  const std::vector<QueryResult> first = run_all_dead();
+  for (const QueryResult& r : first) {
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("unavailable: shard killed"), std::string::npos) << r.error;
+  }
+  // Only total replica-group loss changes the failure pattern — and it does
+  // so deterministically (contract point 8).
+  EXPECT_EQ(digests(run_all_dead()), digests(first));
+}
+
+TEST(ShardedService, RetryBudgetBoundsFailover) {
+  // retries = 0: a query is sent to its first live preference only; a live
+  // failure is captured instead of failing over.
+  const auto snap = test_snapshot();
+  const auto batch = mixed_batch(32);
+  service::RouterOptions options;
+  options.replicas = 2;
+  options.retries = 0;
+  std::vector<LocalShard*> shards;
+  const ShardRouter router = replicated_router(snap, 3, options, &shards);
+  shards[1]->kill();
+  const std::vector<QueryResult> results = router.run_batch(batch);
+  std::size_t captured = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (service::shard_of(batch[i].id, 3) == 1) {
+      ++captured;
+      EXPECT_FALSE(results[i].ok);
+      EXPECT_EQ(results[i].error, "shard 1 unavailable: shard killed");
+      EXPECT_EQ(results[i].attempts, 1u) << "retries=0 must not fail over";
+    } else {
+      EXPECT_TRUE(results[i].ok) << results[i].error;
+    }
+  }
+  EXPECT_GT(captured, 0u);
+}
+
+TEST(ShardedService, RevivedShardIsReattachedByTheNextBatchProbe) {
+  const auto snap = test_snapshot();
+  const auto batch = mixed_batch(32);
+  const ShortcutService plain(snap, kSeed);
+  const std::vector<std::uint64_t> expected = digests(plain.run_batch(batch));
+
+  service::RouterOptions options;
+  options.replicas = 2;
+  std::vector<LocalShard*> shards;
+  const ShardRouter router = replicated_router(snap, 3, options, &shards);
+  shards[2]->kill();
+  EXPECT_EQ(digests(router.run_batch(batch)), expected);  // batch 0: failover
+  ASSERT_FALSE(router.health()[2].up);
+  shards[2]->revive();
+  // Batch 1 probes the down shard (first re-probe is the very next batch),
+  // re-attaches it, and serves from the primary again.
+  const std::vector<QueryResult> results = router.run_batch(batch);
+  EXPECT_EQ(digests(results), expected);
+  EXPECT_TRUE(router.health()[2].up);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    EXPECT_EQ(results[i].served_by_replica, 0u) << "revived fleet must serve from primaries";
+}
+
+TEST(ShardedService, AttachToleratesDownShardsOnlyWhenReplicated) {
+  const auto snap = test_snapshot();
+  // R=1 keeps the legacy strictness: a dead shard fails attach.
+  {
+    std::vector<std::unique_ptr<ShardBackend>> backends;
+    auto dead = std::make_unique<LocalShard>(std::make_shared<const ShortcutService>(snap, kSeed));
+    dead->kill();
+    backends.push_back(std::move(dead));
+    backends.push_back(
+        std::make_unique<LocalShard>(std::make_shared<const ShortcutService>(snap, kSeed)));
+    EXPECT_THROW(ShardRouter(std::move(backends)), ShardUnavailable);
+  }
+  // R=2 marks it down and the first batch probes it (here: still dead, so
+  // its queries fail over and the batch is clean).
+  {
+    service::RouterOptions options;
+    options.replicas = 2;
+    std::vector<std::unique_ptr<ShardBackend>> backends;
+    auto dead = std::make_unique<LocalShard>(std::make_shared<const ShortcutService>(snap, kSeed));
+    dead->kill();
+    backends.push_back(std::move(dead));
+    backends.push_back(
+        std::make_unique<LocalShard>(std::make_shared<const ShortcutService>(snap, kSeed)));
+    const ShardRouter router(std::move(backends), options);
+    EXPECT_EQ(router.fingerprint(), snap->fingerprint());
+    EXPECT_FALSE(router.health()[0].up);
+    for (const QueryResult& r : router.run_batch(mixed_batch(16)))
+      EXPECT_TRUE(r.ok) << r.error;
+  }
+  // A fleet with no reachable shard at all is rejected even replicated.
+  {
+    service::RouterOptions options;
+    options.replicas = 2;
+    std::vector<std::unique_ptr<ShardBackend>> backends;
+    for (int s = 0; s < 2; ++s) {
+      auto dead =
+          std::make_unique<LocalShard>(std::make_shared<const ShortcutService>(snap, kSeed));
+      dead->kill();
+      backends.push_back(std::move(dead));
+    }
+    EXPECT_THROW(ShardRouter(std::move(backends), options), std::invalid_argument);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scripted fault injection (service/fault.hpp)
+
+TEST(ShardedService, FaultPlanErrorTextsMatchTheRealFailureModes) {
+  const auto snap = test_snapshot();
+  const auto make_inner = [&] {
+    return std::make_unique<LocalShard>(std::make_shared<const ShortcutService>(snap, kSeed));
+  };
+  const auto batch = mixed_batch(4);
+
+  FaultPlan kill;
+  kill.kill_at_batch = 0;
+  FaultyShard killed(make_inner(), kill);
+  try {
+    killed.send_batch(batch);
+    FAIL() << "kill fault not injected";
+  } catch (const ShardUnavailable& e) {
+    EXPECT_STREQ(e.what(), "shard killed");
+  }
+  EXPECT_THROW(killed.reattach(), ShardUnavailable) << "a killed shard must stay dead";
+
+  FaultPlan drop;
+  drop.drop_frame_at = 0;
+  FaultyShard dropped(make_inner(), drop);
+  dropped.send_batch(batch);
+  try {
+    (void)dropped.gather();
+    FAIL() << "drop fault not injected";
+  } catch (const ShardUnavailable& e) {
+    EXPECT_STREQ(e.what(), "rpc: connection lost");
+  }
+  // Transient: the next batch goes through untouched.
+  dropped.send_batch(batch);
+  EXPECT_EQ(dropped.gather().size(), batch.size());
+
+  FaultPlan garble;
+  garble.garble_frame_at = 0;
+  FaultyShard garbled(make_inner(), garble);
+  garbled.send_batch(batch);
+  try {
+    (void)garbled.gather();
+    FAIL() << "garble fault not injected";
+  } catch (const ShardUnavailable& e) {
+    EXPECT_STREQ(e.what(), "rpc: frame payload checksum mismatch");
+  }
+
+  FaultPlan stall;
+  stall.delay_at = 0;
+  stall.delay_ms = 100;
+  FaultyShard stalled(make_inner(), stall, /*call_deadline_ms=*/50);
+  stalled.send_batch(batch);
+  try {
+    (void)stalled.gather();
+    FAIL() << "deadline fault not injected";
+  } catch (const ShardUnavailable& e) {
+    EXPECT_STREQ(e.what(), "rpc: deadline exceeded after 50 ms");
+  }
+
+  // A delay under the deadline (or with no deadline) is absorbed.
+  FaultPlan slow;
+  slow.delay_at = 0;
+  slow.delay_ms = 10;
+  FaultyShard tolerated(make_inner(), slow, /*call_deadline_ms=*/50);
+  tolerated.send_batch(batch);
+  EXPECT_EQ(tolerated.gather().size(), batch.size());
+}
+
+TEST(ShardedService, SeededFaultPlanReplaysByteIdentically) {
+  const auto snap = test_snapshot();
+  // The replay record covers the full result vector — deterministic content
+  // (digest) AND failover telemetry — so two identical runs must agree on
+  // where every query actually ran, not just on what it answered.
+  const auto run_chaos = [&](std::uint64_t plan_seed) {
+    service::RouterOptions options;
+    options.replicas = 2;
+    std::vector<std::unique_ptr<ShardBackend>> backends;
+    for (std::size_t s = 0; s < 3; ++s) {
+      FaultPlan plan;
+      plan.seed = plan_seed + s;
+      plan.drop_percent = 40;
+      backends.push_back(std::make_unique<FaultyShard>(
+          std::make_unique<LocalShard>(std::make_shared<const ShortcutService>(snap, kSeed)),
+          plan));
+    }
+    const ShardRouter router(std::move(backends), options);
+    std::vector<std::uint64_t> record;
+    for (int b = 0; b < 6; ++b) {
+      for (const QueryResult& r : router.run_batch(mixed_batch(16, 1000 + 100 * b))) {
+        record.push_back(r.digest());
+        record.push_back((std::uint64_t{r.attempts} << 32) | r.served_by_replica);
+      }
+    }
+    return record;
+  };
+  // Two runs of the same plan produce byte-identical result vectors...
+  const std::vector<std::uint64_t> first = run_chaos(11);
+  EXPECT_EQ(run_chaos(11), first);
+  // ...and the plan seed actually matters (different chaos, different run).
+  EXPECT_NE(run_chaos(12), first);
+}
+
+TEST(ShardedService, TransientFaultsFailOverWithoutChangingDigests) {
+  // Replicated fleet with seeded drop chaos on ONE shard (so a victim's
+  // fallback is always a healthy shard): every batch stays fully ok with
+  // oracle digests — a transient drop just moves the victims to their
+  // fallback replica, and the dropped shard re-attaches on the next
+  // batch's probe.
+  const auto snap = test_snapshot();
+  const ShortcutService plain(snap, kSeed);
+  service::RouterOptions options;
+  options.replicas = 2;
+  std::vector<std::unique_ptr<ShardBackend>> backends;
+  for (std::size_t s = 0; s < 3; ++s) {
+    FaultPlan plan;
+    if (s == 0) {
+      plan.seed = 99;
+      plan.drop_percent = 50;
+    }
+    backends.push_back(std::make_unique<FaultyShard>(
+        std::make_unique<LocalShard>(std::make_shared<const ShortcutService>(snap, kSeed)),
+        plan));
+  }
+  const ShardRouter router(std::move(backends), options);
+  std::size_t failed_over = 0;
+  for (int b = 0; b < 6; ++b) {
+    const auto batch = mixed_batch(16, 1000 + 100 * b);
+    const std::vector<QueryResult> results = router.run_batch(batch);
+    const std::vector<std::uint64_t> expected = digests(plain.run_batch(batch));
+    for (const QueryResult& r : results) {
+      ASSERT_TRUE(r.ok) << r.error;
+      if (r.served_by_replica > 0) ++failed_over;
+    }
+    EXPECT_EQ(digests(results), expected) << "batch " << b << " diverged under chaos";
+  }
+  EXPECT_GT(failed_over, 0u) << "the chaos plan never actually dropped a frame";
 }
 
 }  // namespace

@@ -8,20 +8,29 @@
 // supervisor (scripts/stress_sharded.py) diffs the sharded digests
 // against: the two outputs must be byte-identical.
 //
-//   lcsrouter --shard SPEC [--shard SPEC ...] --count N [--first-id K] [--shutdown]
+//   lcsrouter --shard SPEC [--shard SPEC ...] --count N [--first-id K]
+//             [--replicas R] [--deadline-ms D] [--retries T] [--shutdown]
 //   lcsrouter --local --store DIR --fingerprint HEX --count N
 //             [--first-id K] [--seed S] [--threads T]
 //
-//   --shard SPEC   a shard endpoint ("unix:/path" / "tcp:host:port");
-//                  repeat for a fleet (placement = hash64(id) % fleet size)
-//   --count N      queries in the batch (ids first-id .. first-id+N-1,
-//                  kinds round-robin over quality/build/mst/mincut)
-//   --first-id K   base query id (default 1000) — disjoint ranges let
-//                  concurrent supervising batches stay duplicate-free
-//   --shutdown     after the batch, ask every shard process to exit
+//   --shard SPEC    a shard endpoint ("unix:/path" / "tcp:host:port");
+//                   repeat for a fleet (placement = hash64(id) % fleet size)
+//   --count N       queries in the batch (ids first-id .. first-id+N-1,
+//                   kinds round-robin over quality/build/mst/mincut)
+//   --first-id K    base query id (default 1000) — disjoint ranges let
+//                   concurrent supervising batches stay duplicate-free
+//   --replicas R    preference-list length per query (default 1 — the
+//                   unreplicated legacy placement, byte for byte)
+//   --deadline-ms D connect + per-frame budget for every shard connection
+//                   (default 0 — block forever, the legacy behavior)
+//   --retries T     max failovers per query (default: try every replica)
+//   --shutdown      after the batch, ask every shard process to exit
 //
 // Output: "query id=<id> ok=<0|1> digest=<hex>" per query in batch order,
 // then "batch fingerprint=<hex> seed=<S> count=<N> ok=<K> digest=<hex>".
+// Fleet mode appends one "# health shard=<i> ..." comment line per shard;
+// supervisors diffing against a --local oracle filter "#" lines (digest
+// lines must match byte for byte, telemetry need not).
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -93,6 +102,9 @@ struct Args {
   std::uint64_t first_id = 1000;
   std::uint64_t seed = 1;
   unsigned threads = 0;
+  std::size_t replicas = 1;
+  std::size_t retries = service::kRetryAllReplicas;
+  int deadline_ms = 0;
   bool shutdown = false;
 };
 
@@ -120,6 +132,12 @@ Args parse_args(int argc, char** argv) {
       a.seed = std::stoull(value(i, "--seed"));
     else if (arg == "--threads")
       a.threads = static_cast<unsigned>(std::stoul(value(i, "--threads")));
+    else if (arg == "--replicas")
+      a.replicas = std::stoull(value(i, "--replicas"));
+    else if (arg == "--retries")
+      a.retries = std::stoull(value(i, "--retries"));
+    else if (arg == "--deadline-ms")
+      a.deadline_ms = static_cast<int>(std::stol(value(i, "--deadline-ms")));
     else if (arg == "--shutdown")
       a.shutdown = true;
     else
@@ -130,6 +148,7 @@ Args parse_args(int argc, char** argv) {
     die("exactly one of --local / --shard is required");
   if (a.local && (a.store.empty() || a.fingerprint.empty()))
     die("--local needs --store and --fingerprint");
+  if (a.replicas == 0) die("--replicas must be >= 1");
   return a;
 }
 
@@ -166,13 +185,29 @@ int run(const Args& a) {
   std::vector<std::unique_ptr<service::ShardBackend>> backends;
   std::vector<rpc::RpcShard*> raw;  // to send --shutdown after the router is done
   backends.reserve(a.shards.size());
+  rpc::DeadlineOptions deadlines;
+  deadlines.connect_ms = a.deadline_ms;
+  deadlines.call_ms = a.deadline_ms;
   for (const std::string& spec : a.shards) {
-    auto shard = std::make_unique<rpc::RpcShard>(rpc::Endpoint::parse(spec));
+    auto shard = std::make_unique<rpc::RpcShard>(rpc::Endpoint::parse(spec), deadlines);
     raw.push_back(shard.get());
     backends.push_back(std::move(shard));
   }
-  const service::ShardRouter router(std::move(backends));
+  service::RouterOptions options;
+  options.replicas = a.replicas;
+  options.retries = a.retries;
+  const service::ShardRouter router(std::move(backends), options);
   print_results(router.run_batch(batch), router.fingerprint(), router.seed());
+  // Telemetry, never content: "#" comment lines a supervisor's oracle diff
+  // strips before comparing digests.
+  const auto health = router.health();
+  for (std::size_t s = 0; s < health.size(); ++s) {
+    std::cout << "# health shard=" << s << " endpoint=" << a.shards[s]
+              << " up=" << (health[s].up ? 1 : 0) << " failures=" << health[s].failures;
+    if (!health[s].up) std::cout << " error=" << health[s].last_error;
+    std::cout << "\n";
+  }
+  std::cout << std::flush;
   if (a.shutdown)
     for (rpc::RpcShard* shard : raw) shard->shutdown_server();
   return 0;

@@ -15,6 +15,9 @@
 //                   the oracle comparing against it must agree
 //   --threads T     worker threads of this shard's pool (default: library
 //                   default / LCS_THREADS)
+//   --send-deadline-ms D   budget for every reply write (default 0 =
+//                   block forever) so a stalled client cannot pin a
+//                   connection thread
 //
 // Prints "READY <endpoint> fingerprint=<hex> seed=<S>" on stdout once
 // accepting, so a supervisor (scripts/stress_sharded.py) can wait for it.
@@ -55,6 +58,7 @@ struct Args {
   std::string listen;
   std::uint64_t seed = 1;
   unsigned threads = 0;
+  int send_deadline_ms = 0;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -75,6 +79,8 @@ Args parse_args(int argc, char** argv) {
       a.seed = std::stoull(value(i, "--seed"));
     else if (arg == "--threads")
       a.threads = static_cast<unsigned>(std::stoul(value(i, "--threads")));
+    else if (arg == "--send-deadline-ms")
+      a.send_deadline_ms = static_cast<int>(std::stol(value(i, "--send-deadline-ms")));
     else
       die("unknown option '" + arg + "' (see the header comment for usage)");
   }
@@ -92,7 +98,7 @@ int run(const Args& a) {
   const auto svc =
       std::make_shared<const service::ShortcutService>(store.open(fingerprint), a.seed);
 
-  rpc::ShardServer server(svc, rpc::Endpoint::parse(a.listen));
+  rpc::ShardServer server(svc, rpc::Endpoint::parse(a.listen), a.send_deadline_ms);
   std::cout << "READY " << server.endpoint().describe() << " fingerprint=" << hex_of(fingerprint)
             << " seed=" << a.seed << std::endl;
   server.wait_for_shutdown();
