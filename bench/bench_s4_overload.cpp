@@ -76,9 +76,10 @@ LCS_BENCH_SCENARIO(S4_overload,
   service::GraphSnapshot::Options sopt;
   sopt.weight_seed = seed ^ 0x99ULL;
   sopt.max_weight = 12;
-  // Headroom above the full sweep's distinct artifact keys (63 partitions
-  // at {1,4,16} x capacity 6): a capacity flush mid-scenario would quietly
-  // zero the hot-pass hit-rate legs.
+  // Headroom above the full sweep's distinct artifact keys (default-shaped
+  // queries now share the PR 9 partition pool; explicit-num_parts ones still
+  // key uniquely): a capacity flush mid-scenario would quietly zero the
+  // hot-pass hit-rate legs.
   sopt.max_cached_partitions = 256;
   sopt.max_cached_samples = 256;
   const auto snapshot = service::GraphSnapshot::build(std::move(g), sopt);

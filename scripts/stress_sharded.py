@@ -12,6 +12,15 @@ that only fleet mode prints.  This is the cross-process form of
 determinism contract point 7 (docs/architecture.md): shard placement
 never changes digests.
 
+With --streaming it additionally gates determinism contract point 9
+(deterministic load shedding) across process boundaries: a rate-limited
+`lcsrouter --local --tenant` run over the same store must shed
+deterministically — rerunning the identical command must produce
+byte-identical stdout (including the "# shed" telemetry), both admitted
+and shed queries must occur, and every admitted query's digest must
+match the unthrottled --local oracle line for the same id (admission
+never changes content).
+
 With --chaos it additionally gates contract point 8 (failover): a
 replicated fleet (--replicas 2) is attacked by killing one shard process
 before and during in-flight batches, and every surviving batch must
@@ -26,6 +35,7 @@ is nonzero.
 Usage:
   python3 scripts/stress_sharded.py [--build-dir build] [--shards 3]
       [--batches 4] [--count 48] [--n 200] [--m 600] [--chaos]
+      [--streaming]
 """
 
 from __future__ import annotations
@@ -197,6 +207,51 @@ def run_baseline(tools, fleet: Fleet, store, fingerprint, args) -> None:
         fail(f"{mismatches}/{args.batches} batches diverged from the oracle")
 
 
+def run_streaming_gate(tools, store, fingerprint, args) -> None:
+    """Contract point 9, cross-process: a rate-limited streaming admission
+    run (`lcsrouter --local --tenant`) must shed deterministically.  The
+    identical command twice must print byte-identical stdout, the run must
+    contain both admitted and shed queries (else the gate proved nothing),
+    and every admitted digest must equal the unthrottled oracle's digest
+    for the same query id — admission policy never changes content."""
+    first_id = 800_000
+    cmd = [str(tools["lcsrouter"]), "--local", "--store", str(store),
+           "--fingerprint", fingerprint, "--count", str(args.count),
+           "--first-id", str(first_id), "--seed", str(args.seed),
+           "--tenant", "stress", "--burst", "4", "--refill", "500"]
+    runs = []
+    for attempt in range(2):
+        out = subprocess.run(cmd, capture_output=True, text=True,
+                             timeout=args.timeout)
+        if out.returncode != 0:
+            fail(f"streaming run {attempt} exited {out.returncode}:\n"
+                 f"{out.stderr}")
+        runs.append(out.stdout)
+    if runs[0] != runs[1]:
+        sys.stderr.writelines(difflib.unified_diff(
+            runs[0].splitlines(keepends=True), runs[1].splitlines(keepends=True),
+            fromfile="streaming run 0", tofile="streaming run 1"))
+        fail("streaming admission diverged across identical reruns")
+
+    digest_re = r"^query id=(\d+) ok=1 digest=([0-9a-f]{16})$"
+    admitted = dict(re.findall(digest_re, runs[0], re.M))
+    shed = re.findall(r"^# shed id=(\d+) ", runs[0], re.M)
+    if not admitted or not shed:
+        fail(f"streaming gate needs both admitted and shed queries, got "
+             f"{len(admitted)} admitted / {len(shed)} shed:\n{runs[0]}")
+    if set(admitted) & set(shed):
+        fail(f"queries both admitted and shed: {sorted(set(admitted) & set(shed))}")
+    oracle = run_oracle(tools["lcsrouter"], store, fingerprint, first_id, args)
+    oracle_digests = dict(re.findall(digest_re, oracle, re.M))
+    for qid, digest in admitted.items():
+        if oracle_digests.get(qid) != digest:
+            fail(f"admitted query {qid}: streaming digest {digest} != "
+                 f"oracle {oracle_digests.get(qid)} — admission changed content")
+    print(f"streaming: {len(admitted)} admitted / {len(shed)} shed of "
+          f"{args.count}; rerun byte-identical, admitted digests match the "
+          f"oracle")
+
+
 def run_chaos(tools, fleet: Fleet, store, fingerprint, args) -> None:
     """Contract point 8, cross-process: kill one shard of a --replicas 2
     fleet before and during batches; surviving output must be byte-identical
@@ -282,6 +337,10 @@ def main() -> None:
     parser.add_argument("--chaos", action="store_true",
                         help="also kill + restart a shard under a replicated "
                              "fleet and require byte-identical failover")
+    parser.add_argument("--streaming", action="store_true",
+                        help="also gate rate-limited streaming admission: "
+                             "deterministic sheds on rerun, admitted digests "
+                             "identical to the unthrottled oracle")
     args = parser.parse_args()
 
     build = pathlib.Path(args.build_dir)
@@ -309,6 +368,8 @@ def main() -> None:
         print(f"fleet ready: {args.shards} shard(s)")
 
         run_baseline(tools, fleet, store, fingerprint, args)
+        if args.streaming:
+            run_streaming_gate(tools, store, fingerprint, args)
         if args.chaos:
             run_chaos(tools, fleet, store, fingerprint, args)
 
@@ -331,7 +392,11 @@ def main() -> None:
             if code != 0:
                 fail(f"shard {i} exited {code}:\n{proc.stderr.read()}")
             fleet.procs[i] = None
-        mode = "baseline + chaos" if args.chaos else "baseline"
+        mode = "baseline"
+        if args.streaming:
+            mode += " + streaming"
+        if args.chaos:
+            mode += " + chaos"
         print(f"OK ({mode}): {args.batches} concurrent batches x {args.count} "
               f"queries over {args.shards} shards, all digests identical to "
               f"the single-process oracle; clean fleet shutdown")

@@ -334,6 +334,97 @@ def validate_scaling(record: dict, legs: list[str], args) -> list[str]:
     return problems
 
 
+# Per-load-leg metric prefixes every s8_ (streaming admission) record must
+# carry — scenario-wide per offered-load multiple, and per (multiple, tenant)
+# for the QoS curves — plus the prewarm contrast metrics and boolean gates
+# that must be true.  Schema documented in docs/bench.md.
+S8_LEG_PREFIXES = [
+    "wall_ms",
+    "qps",
+    "waves",
+    "queue_depth_p99",
+]
+S8_TENANT_PREFIXES = [
+    "latency_p50_ms",
+    "latency_p99_ms",
+    "queue_p99_ms",
+    "shed_rate",
+]
+S8_PREWARM_METRICS = [
+    "prewarm_cold_p99_ms",
+    "prewarm_warm_p99_ms",
+    "prewarm_speedup",
+]
+S8_TRUE_CHECKS = [
+    "all_served_ok",
+    "cheap_never_starved",
+    "shed_replay_identical",
+    "deterministic_overload_vs_idle",
+    "deterministic_across_threads",
+    "deterministic_prewarm_on_vs_off",
+    "prewarm_zero_warm_misses",
+]
+
+
+def validate_streaming(record: dict, args) -> list[str]:
+    """s8_ records sweep sustained offered load through the streaming
+    admission loop: per load multiple there must be a complete throughput +
+    queue-depth leg and, per registered tenant, a latency/shed-rate leg
+    (shed rates must be valid ratios); the prewarm contrast metrics must be
+    present; and every inline gate — byte-identical shed replay, overload
+    vs idle digests, thread-count independence, prewarm on-vs-off digests,
+    zero warm-path partition misses, and cheap-class no-starvation — must
+    have passed."""
+    del args
+    name = record["scenario"]
+    problems = []
+    if not isinstance(record["params"], dict) or not isinstance(record["metrics"], dict):
+        return [f"{name}: params/metrics must be objects"]
+    multiples = record["params"].get("offered_multiples")
+    if (
+        not isinstance(multiples, list)
+        or not multiples
+        or not all(isinstance(m, int) and m >= 1 for m in multiples)
+    ):
+        problems.append(
+            f"{name}: params.offered_multiples must be a non-empty list of multiples"
+        )
+        multiples = []
+    tenants = record["params"].get("tenants")
+    if (
+        not isinstance(tenants, list)
+        or not tenants
+        or not all(isinstance(t, str) and t for t in tenants)
+    ):
+        problems.append(f"{name}: params.tenants must be a non-empty list of names")
+        tenants = []
+    metrics = record["metrics"]
+    for mult in multiples:
+        for prefix in S8_LEG_PREFIXES:
+            key = f"{prefix}_x{mult}"
+            value = metrics.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(f"{name}: missing or bad leg metric {key}: {value!r}")
+        for tenant in tenants:
+            for prefix in S8_TENANT_PREFIXES:
+                key = f"{prefix}_x{mult}_{tenant}"
+                value = metrics.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(
+                        f"{name}: missing or bad tenant metric {key}: {value!r}"
+                    )
+                elif prefix == "shed_rate" and value > 1:
+                    problems.append(f"{name}: {key} is not a ratio: {value!r}")
+    for key in S8_PREWARM_METRICS:
+        value = metrics.get(key)
+        if not isinstance(value, (int, float)) or value < 0:
+            problems.append(f"{name}: missing or bad prewarm metric {key}: {value!r}")
+    for key in S8_TRUE_CHECKS:
+        if metrics.get(key) is not True:
+            problems.append(f"{name}: {key} is not true")
+    return problems
+
+
 def validate_record(record: dict, require_ok: bool, args) -> list[str]:
     problems = []
     name = record.get("scenario", "<missing scenario>")
@@ -364,6 +455,8 @@ def validate_record(record: dict, require_ok: bool, args) -> list[str]:
             problems.extend(validate_sharded(record, args))
         if name.lower().startswith("s7_"):
             problems.extend(validate_fault_tolerance(record, args))
+        if name.lower().startswith("s8_"):
+            problems.extend(validate_streaming(record, args))
     return problems
 
 

@@ -102,8 +102,9 @@ struct QueryResult {
   /// covers deterministic content exclusively.
   double latency_ms = 0.0;
 
-  // Admission telemetry (run_admitted fills these; run/run_batch leave them
-  // zero).  Scheduling observations, never content: digest-excluded.
+  // Admission telemetry, filled by both admission entry points — per-call
+  // run_admitted and the StreamingService drain loop (run/run_batch leave
+  // them zero).  Scheduling observations, never content: digest-excluded.
   double queue_ms = 0.0;   ///< wait from admission to wave dispatch
   std::uint32_t wave = 0;  ///< index of the admission wave that ran the query
 

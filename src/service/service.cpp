@@ -19,7 +19,11 @@ namespace {
 
 /// The vertex-disjoint connected parts a shortcut-shaped query runs on:
 /// BFS-Voronoi balls around num_parts (default ~sqrt(n)) seeds grown from a
-/// partition seed drawn from the query's own stream.  Cached: the shared
+/// partition seed drawn from the query's own stream.  Default-shaped
+/// queries (num_parts == 0, pool enabled) map that draw onto a slot of the
+/// snapshot's finite partition pool — GraphSnapshot::pool_seed keys, so the
+/// build()/load()-time prewarm covers exactly this working set; explicit
+/// num_parts keeps the unbounded per-query seed family.  Cached: the shared
 /// artifact keyed by (part_seed, part_count); uncached: the identical pure
 /// function computed privately — bit-equal by construction, verified by the
 /// cached-vs-uncached test fleet.
@@ -28,12 +32,21 @@ std::shared_ptr<const graph::Partition> query_partition(const GraphSnapshot& sna
                                                         bool use_cache) {
   const std::uint32_t n = snap.num_vertices();
   LCS_REQUIRE(n > 0, "query needs a non-empty snapshot");
+  const std::uint32_t pool = snap.options().partition_pool_size;
   std::uint32_t seeds = q.num_parts;
-  if (seeds == 0)
-    seeds = std::max<std::uint32_t>(
-        1, static_cast<std::uint32_t>(std::lround(std::sqrt(static_cast<double>(n)))));
-  seeds = std::min(seeds, n);
-  const std::uint64_t part_seed = stream();
+  std::uint64_t part_seed = 0;
+  if (seeds == 0 && pool > 0) {
+    // One stream draw either way, so pool on/off changes which partition a
+    // query uses but never the rest of its random sequence.
+    part_seed = GraphSnapshot::pool_seed(stream() % pool);
+    seeds = snap.default_part_count();
+  } else {
+    if (seeds == 0)
+      seeds = std::max<std::uint32_t>(
+          1, static_cast<std::uint32_t>(std::lround(std::sqrt(static_cast<double>(n)))));
+    seeds = std::min(seeds, n);
+    part_seed = stream();
+  }
   if (use_cache) return snap.partition(part_seed, seeds);
   return std::make_shared<const graph::Partition>(
       GraphSnapshot::compute_partition(snap.graph(), part_seed, seeds));

@@ -26,6 +26,12 @@
 //    its own slots, so cheap shortcut queries are never starved behind
 //    heavy mincut/MST work.  Scheduling changes only latency and the
 //    queue/wave telemetry; executed result content is identical to run().
+//
+// PR 9 promotes admission from per-call to a persistent loop:
+// service/streaming.hpp wraps a ShortcutService in a StreamingService whose
+// shared cross-batch queue and per-tenant token buckets admit a continuous
+// open-loop arrival stream; its drain waves execute through run() and
+// inherit every purity guarantee above.
 #pragma once
 
 #include <cstdint>

@@ -1,7 +1,9 @@
 #include "service/snapshot.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <vector>
 
 #include "util/check.hpp"
 #include "util/parallel.hpp"
@@ -41,6 +43,7 @@ std::shared_ptr<const GraphSnapshot> GraphSnapshot::build(graph::Graph g, const 
   // path fans its all-pairs BFS out on the pool).  Lazy first access inside
   // a query task computes the same bytes, just serially.
   if (opt.prewarm_diameter && snap->connected_) snap->bracket();
+  if (opt.prewarm_partition_pool) snap->warm_partition_pool();
 
   std::uint64_t h = hash64(0x5eedULL ^ gr.num_vertices());
   for (graph::EdgeId e = 0; e < gr.num_edges(); ++e) {
@@ -134,6 +137,45 @@ std::shared_ptr<const mincut::SparsifiedSample> GraphSnapshot::sparsified_sample
   const SampleKey key{seed, eps_bits};
   return sample_memo_->get_or_compute(
       key, [&] { return mincut::sparsify_edges(g_, weights_, eps, seed); });
+}
+
+std::uint32_t GraphSnapshot::default_part_count() const {
+  const std::uint32_t n = g_.num_vertices();
+  if (n == 0) return 1;
+  const auto r =
+      static_cast<std::uint32_t>(std::lround(std::sqrt(static_cast<double>(n))));
+  return std::min(std::max<std::uint32_t>(1, r), n);
+}
+
+std::uint64_t GraphSnapshot::pool_seed(std::uint64_t slot) {
+  // Salted so pool keys live in their own seed family, disjoint by
+  // construction from anything a per-query RNG stream would draw.
+  return hash64(0x706f6f6c5eedULL ^ (slot + 1));
+}
+
+void GraphSnapshot::warm_partition_pool() const {
+  const std::uint32_t pool = opt_.partition_pool_size;
+  if (pool == 0 || g_.num_vertices() == 0) return;
+  const std::uint32_t parts = default_part_count();
+  std::vector<std::uint64_t> missing;
+  missing.reserve(pool);
+  for (std::uint32_t slot = 0; slot < pool; ++slot) {
+    const std::uint64_t seed = pool_seed(slot);
+    // contains_ready is a stats-free probe: slots a snapshot file already
+    // seeded are skipped without perturbing the memo telemetry the
+    // zero-lookup load gates assert on.
+    if (!partition_memo_->contains_ready(PartitionKey{seed, parts}))
+      missing.push_back(seed);
+  }
+  if (missing.empty()) return;
+  const auto warm_one = [&](std::size_t i) { (void)partition(missing[i], parts); };
+  if (in_parallel_region()) {
+    // parallel_tasks is top-level-only; a nested caller warms serially
+    // (identical bytes, the pool's whole point is that there are few slots).
+    for (std::size_t i = 0; i < missing.size(); ++i) warm_one(i);
+  } else {
+    parallel_tasks(missing.size(), warm_one);
+  }
 }
 
 ArtifactStats GraphSnapshot::artifact_stats() const {

@@ -96,6 +96,18 @@ class GraphSnapshot {
     std::size_t max_cached_bfs_trees = 64;
     std::size_t max_cached_partitions = 64;
     std::size_t max_cached_samples = 64;
+    /// Size of the default partition pool (PR 9).  Queries that carry no
+    /// explicit num_parts draw one of these pool slots deterministically
+    /// (seed = pool_seed(slot), ~sqrt(n) parts) instead of a fresh
+    /// per-query partition seed, so default-shaped traffic works over a
+    /// finite, prewarmable partition set.  0 restores the pre-PR-9
+    /// unique-partition-per-query behavior.
+    std::uint32_t partition_pool_size = 8;
+    /// Materialize the whole pool inside build()/load() (a parallel_tasks
+    /// job at top level) so a cold cache never pays first-query partition
+    /// derivation — the proactive-prewarm half of ROADMAP item 3.  load()
+    /// skips slots the snapshot file already seeded.
+    bool prewarm_partition_pool = true;
   };
 
   /// Freeze `g` into a snapshot.  Top-level entry: the diameter
@@ -171,6 +183,24 @@ class GraphSnapshot {
   /// and what a cached caller must receive bit for bit.
   static graph::Partition compute_partition(const graph::Graph& g, std::uint64_t seed,
                                             std::uint32_t part_count);
+
+  // -- default partition pool (PR 9) -----------------------------------------
+
+  /// Part count of default-shaped queries (no explicit num_parts): ~sqrt(n)
+  /// rounded to nearest, clamped to [1, n].
+  std::uint32_t default_part_count() const;
+
+  /// Seed of partition-pool slot `slot` — a pure function of the slot alone,
+  /// so every service over any snapshot agrees on the pool keys, and the
+  /// cached and uncached query paths derive the identical partition.
+  static std::uint64_t pool_seed(std::uint64_t slot);
+
+  /// Materialize every missing pool entry (partition_pool_size partitions at
+  /// default_part_count()).  Fans out via parallel_tasks at top level and
+  /// runs serially inside a parallel region; slots already cached (e.g.
+  /// seeded from a snapshot file) are skipped without touching the hit/miss
+  /// telemetry.  Idempotent; a no-op when the pool is disabled or n == 0.
+  void warm_partition_pool() const;
 
   /// Snapshot-lifetime artifact-cache telemetry (monotone counters).
   ArtifactStats artifact_stats() const;

@@ -24,6 +24,7 @@ constexpr std::uint32_t kSectionCount = 7;
 
 constexpr std::uint32_t kFlagConnected = 1u << 0;
 constexpr std::uint32_t kFlagBracketExact = 1u << 1;
+constexpr std::uint32_t kFlagPoolPrewarm = 1u << 2;  ///< Options::prewarm_partition_pool
 
 // Fixed section order; ids are 1-based positions.  The bulk sections
 // (1..4) are verbatim in-memory bytes and get mmap'ed in place; the
@@ -62,7 +63,12 @@ struct FileHeader {
   std::uint64_t file_bytes;
   std::uint64_t table_checksum;   ///< over the section table bytes
   std::uint64_t header_checksum;  ///< over this struct with the field zeroed
-  std::uint8_t reserved[8];
+  /// PR 9, carved from the former reserved[8]: Options::partition_pool_size.
+  /// Files written before the field existed carry 0 here — pool disabled —
+  /// so the layout change needs no version bump (checksums cover it either
+  /// way, and 0 was the only value those writers could have stored).
+  std::uint32_t partition_pool_size;
+  std::uint8_t reserved[4];
 };
 static_assert(sizeof(FileHeader) == 128, "header layout is part of the file format");
 static_assert(std::is_trivially_copyable_v<FileHeader>);
@@ -254,7 +260,8 @@ void SnapshotCodec::save(const GraphSnapshot& snap, const std::filesystem::path&
   h.fingerprint = snap.fingerprint_;
   h.num_vertices = g.num_vertices();
   h.num_edges = g.num_edges();
-  h.flags = (snap.connected_ ? kFlagConnected : 0u) | (br.exact ? kFlagBracketExact : 0u);
+  h.flags = (snap.connected_ ? kFlagConnected : 0u) | (br.exact ? kFlagBracketExact : 0u) |
+            (snap.opt_.prewarm_partition_pool ? kFlagPoolPrewarm : 0u);
   h.max_degree = snap.max_degree_;
   h.diameter_lb = br.lb;
   h.diameter_ub = br.ub;
@@ -265,6 +272,7 @@ void SnapshotCodec::save(const GraphSnapshot& snap, const std::filesystem::path&
   h.max_cached_bfs_trees = snap.opt_.max_cached_bfs_trees;
   h.max_cached_partitions = snap.opt_.max_cached_partitions;
   h.max_cached_samples = snap.opt_.max_cached_samples;
+  h.partition_pool_size = snap.opt_.partition_pool_size;
   h.file_bytes = cursor;
   h.table_checksum = checksum_bytes(table, kTableBytes);
   h.header_checksum = 0;
@@ -389,6 +397,8 @@ std::shared_ptr<const GraphSnapshot> SnapshotCodec::load(const std::filesystem::
   snap->opt_.max_cached_bfs_trees = h.max_cached_bfs_trees;
   snap->opt_.max_cached_partitions = h.max_cached_partitions;
   snap->opt_.max_cached_samples = h.max_cached_samples;
+  snap->opt_.partition_pool_size = h.partition_pool_size;
+  snap->opt_.prewarm_partition_pool = (h.flags & kFlagPoolPrewarm) != 0;
   snap->fingerprint_ = h.fingerprint;
   snap->bracket_val_ = GraphSnapshot::DiameterBracket{h.diameter_lb, h.diameter_ub,
                                                       (h.flags & kFlagBracketExact) != 0};
@@ -402,6 +412,10 @@ std::shared_ptr<const GraphSnapshot> SnapshotCodec::load(const std::filesystem::
       OnceMemo<GraphSnapshot::SampleKey, mincut::SparsifiedSample, GraphSnapshot::SampleKeyHash>>(
       snap->opt_.max_cached_samples);
   seed_artifacts(*snap, base, f.table);
+  // Proactive prewarm, after seeding: only pool slots the file did not
+  // carry are computed (contains_ready skips the rest without touching the
+  // stats, so a fully-seeded load still shows zero lookups).
+  if (snap->opt_.prewarm_partition_pool) snap->warm_partition_pool();
   return snap;
 }
 

@@ -145,6 +145,17 @@ class OnceMemo {
     return out;
   }
 
+  /// True when `key` holds a completed value.  A stats-free probe — counted
+  /// as neither hit nor miss, like seed() — so prewarming passes can skip
+  /// slots a loader already seeded without perturbing the telemetry the
+  /// zero-lookup load gates assert on.  In-flight computations report false.
+  bool contains_ready(const Key& key) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(key);
+    return it != map_.end() &&
+           it->second.future.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+  }
+
   /// Pre-populate `key` with an already-materialized value (the snapshot
   /// loader warming a memo from disk).  Counted as neither hit nor miss —
   /// the entry was never computed here — and exempt from capacity eviction

@@ -234,7 +234,14 @@ TEST(GraphSnapshot, LazyDiameterBracketMatchesPrewarmed) {
 }
 
 TEST(GraphSnapshot, ArtifactAccessorsMemoizeOncePerKey) {
-  const auto snap = small_snapshot(31, 120);
+  // Pool prewarm off: this test asserts exact lifetime hit/miss counts, so
+  // the snapshot must start with an empty partition memo.
+  Rng gen(31);
+  GraphSnapshot::Options opt;
+  opt.weight_seed = 31 ^ 0x55ULL;
+  opt.max_weight = 9;
+  opt.prewarm_partition_pool = false;
+  const auto snap = GraphSnapshot::build(graph::connected_gnm(120, 360, gen), opt);
   const auto t1 = snap->bfs_tree(5);
   const auto t2 = snap->bfs_tree(5);
   EXPECT_EQ(t1.get(), t2.get());  // shared bytes, not equal copies
@@ -269,6 +276,64 @@ TEST(GraphSnapshot, CachedArtifactsEqualUncachedPureFunctions) {
       mincut::sparsify_edges(snap->graph(), snap->weights(), 0.5, 91);
   EXPECT_EQ(sample->units, direct_sample.units);
   EXPECT_DOUBLE_EQ(sample->sample_prob, direct_sample.sample_prob);
+}
+
+// --- default partition pool + proactive prewarm (PR 9) -----------------------
+
+TEST(GraphSnapshot, PartitionPoolPrewarmOnVsOffIsBitIdentical) {
+  Rng gen(13);
+  const graph::Graph g = graph::connected_gnm(200, 600, gen);
+  GraphSnapshot::Options warm_opt;
+  warm_opt.weight_seed = 99;
+  GraphSnapshot::Options cold_opt = warm_opt;
+  cold_opt.prewarm_partition_pool = false;
+  const auto warm = GraphSnapshot::build(g, warm_opt);
+  const auto cold = GraphSnapshot::build(g, cold_opt);
+
+  const ShortcutService warm_svc(warm, 5);
+  const ShortcutService cold_svc(cold, 5);
+  std::vector<QueryRequest> batch;
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    QueryRequest q;
+    q.id = 900 + i;
+    q.kind = (i % 2 == 0) ? QueryKind::kShortcutQuality : QueryKind::kShortcutBuild;
+    batch.push_back(q);  // num_parts = 0: the default-pool path
+  }
+
+  // Warm path: the build()-time prewarm covered the whole default pool, so
+  // default-shaped queries never miss the partition memo.
+  const service::ArtifactStats before = warm->artifact_stats();
+  const auto warm_results = warm_svc.run_batch(batch);
+  const service::ArtifactStats after = warm->artifact_stats();
+  EXPECT_EQ(after.partition.misses, before.partition.misses);
+  EXPECT_GT(after.partition.hits, before.partition.hits);
+
+  // Cold path pays first-touch misses but must produce bit-identical
+  // results: prewarming is a latency feature, never a content change.
+  const auto cold_results = cold_svc.run_batch(batch);
+  EXPECT_GT(cold->artifact_stats().partition.misses, 0u);
+  ASSERT_EQ(warm_results.size(), cold_results.size());
+  for (std::size_t i = 0; i < warm_results.size(); ++i)
+    expect_same_result(warm_results[i], cold_results[i]);
+}
+
+TEST(GraphSnapshot, WarmPartitionPoolIsIdempotentAndBounded) {
+  const auto snap = small_snapshot(33, 150);
+  const auto& opt = snap->options();
+  ASSERT_GT(opt.partition_pool_size, 0u);
+  const service::ArtifactStats built = snap->artifact_stats();
+  EXPECT_EQ(built.partition.misses, opt.partition_pool_size);
+  snap->warm_partition_pool();  // every slot is ready: a stats-free no-op
+  const service::ArtifactStats again = snap->artifact_stats();
+  EXPECT_EQ(again.partition.misses, built.partition.misses);
+  EXPECT_EQ(again.partition.hits, built.partition.hits);
+  // The pool key family is a pure function of the slot: any snapshot, any
+  // process, any service agrees on it.
+  EXPECT_NE(GraphSnapshot::pool_seed(0), GraphSnapshot::pool_seed(1));
+  EXPECT_EQ(GraphSnapshot::pool_seed(3), GraphSnapshot::pool_seed(3));
+  const std::uint32_t parts = snap->default_part_count();
+  EXPECT_GE(parts, 1u);
+  EXPECT_LE(parts, snap->num_vertices());
 }
 
 TEST(ShortcutService, CachedVsUncachedBitIdentityAcrossThreadCounts) {

@@ -188,6 +188,43 @@ TEST(SnapshotStore, SavedArtifactsArrivePrewarmed) {
   EXPECT_GT(after.sparsified.hits, 0u);
 }
 
+TEST(SnapshotStore, LoadPrewarmsPartitionPoolMissingFromFile) {
+  TempDir dir("poolwarm");
+  Rng rng(37);
+  const auto built = GraphSnapshot::build(graph::connected_gnm(140, 420, rng));
+  const std::uint32_t pool = built->options().partition_pool_size;
+  ASSERT_GT(pool, 0u);
+  // Drop every cached artifact before saving: the file then carries no
+  // partitions, so the load-time proactive prewarm must rebuild the pool
+  // (the seeded-artifact path is covered by SavedArtifactsArrivePrewarmed,
+  // whose zero-lookup gate also proves the prewarm skips seeded slots).
+  built->clear_artifacts();
+  SnapshotStore store(dir.path);
+  const std::filesystem::path path = store.save(*built);
+  EXPECT_EQ(service::read_snapshot_info(path).saved_partitions, 0u);
+
+  const auto loaded = store.open(built->fingerprint());
+  EXPECT_EQ(loaded->options().partition_pool_size, pool);  // header round-trip
+  EXPECT_TRUE(loaded->options().prewarm_partition_pool);
+  const service::ArtifactStats at_load = loaded->artifact_stats();
+  EXPECT_EQ(at_load.partition.misses, pool);  // the load-time prewarm itself
+  EXPECT_EQ(at_load.partition.hits, 0u);
+
+  // Default-shaped queries land entirely inside the prewarmed pool.
+  const ShortcutService svc(loaded, 5);
+  std::vector<QueryRequest> batch;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    QueryRequest q;
+    q.id = 500 + i;
+    q.kind = (i % 2 == 0) ? QueryKind::kShortcutQuality : QueryKind::kShortcutBuild;
+    batch.push_back(q);
+  }
+  (void)svc.run_batch(batch);
+  const service::ArtifactStats after = loaded->artifact_stats();
+  EXPECT_EQ(after.partition.misses, pool);  // zero misses beyond the prewarm
+  EXPECT_GT(after.partition.hits, 0u);
+}
+
 TEST(SnapshotStore, SaveIsCanonicalAndRoundTripStable) {
   TempDir dir("canon");
   Rng rng(41);

@@ -12,6 +12,7 @@
 //             [--replicas R] [--deadline-ms D] [--retries T] [--shutdown]
 //   lcsrouter --local --store DIR --fingerprint HEX --count N
 //             [--first-id K] [--seed S] [--threads T]
+//             [--tenant NAME [--burst B] [--refill M] [--wave-every K]]
 //
 //   --shard SPEC    a shard endpoint ("unix:/path" / "tcp:host:port");
 //                   repeat for a fleet (placement = hash64(id) % fleet size)
@@ -25,6 +26,19 @@
 //                   (default 0 — block forever, the legacy behavior)
 //   --retries T     max failovers per query (default: try every replica)
 //   --shutdown      after the batch, ask every shard process to exit
+//   --tenant NAME   (--local only) push the batch through a StreamingService
+//                   as tenant NAME instead of run_batch: arrivals are
+//                   admitted or shed against a per-class token bucket, a
+//                   drain wave is pumped after every --wave-every arrivals
+//                   (default 8), and only admitted queries print digest
+//                   lines.  Shed queries print "# shed id=..." comment
+//                   lines.  The schedule is fixed, so the whole output is
+//                   byte-identical across reruns (determinism contract
+//                   point 9) and every admitted digest must match the
+//                   unthrottled --local oracle for the same id.
+//   --burst B       bucket capacity in whole queries per cost class
+//                   (default 4); --refill M milli-tokens credited per
+//                   drained wave (default 500 = one query every 2nd wave)
 //
 // Output: "query id=<id> ok=<0|1> digest=<hex>" per query in batch order,
 // then "batch fingerprint=<hex> seed=<S> count=<N> ok=<K> digest=<hex>".
@@ -42,6 +56,7 @@
 #include "service/service.hpp"
 #include "service/sharded.hpp"
 #include "service/snapshot_store.hpp"
+#include "service/streaming.hpp"
 #include "util/parallel.hpp"
 
 namespace {
@@ -106,6 +121,10 @@ struct Args {
   std::size_t retries = service::kRetryAllReplicas;
   int deadline_ms = 0;
   bool shutdown = false;
+  std::string tenant;
+  unsigned burst = 4;
+  std::uint64_t refill = 500;
+  std::size_t wave_every = 8;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -140,6 +159,14 @@ Args parse_args(int argc, char** argv) {
       a.deadline_ms = static_cast<int>(std::stol(value(i, "--deadline-ms")));
     else if (arg == "--shutdown")
       a.shutdown = true;
+    else if (arg == "--tenant")
+      a.tenant = value(i, "--tenant");
+    else if (arg == "--burst")
+      a.burst = static_cast<unsigned>(std::stoul(value(i, "--burst")));
+    else if (arg == "--refill")
+      a.refill = std::stoull(value(i, "--refill"));
+    else if (arg == "--wave-every")
+      a.wave_every = std::stoull(value(i, "--wave-every"));
     else
       die("unknown option '" + arg + "' (see the header comment for usage)");
   }
@@ -149,6 +176,8 @@ Args parse_args(int argc, char** argv) {
   if (a.local && (a.store.empty() || a.fingerprint.empty()))
     die("--local needs --store and --fingerprint");
   if (a.replicas == 0) die("--replicas must be >= 1");
+  if (!a.tenant.empty() && !a.local) die("--tenant needs --local");
+  if (!a.tenant.empty() && a.wave_every == 0) die("--wave-every must be >= 1");
   return a;
 }
 
@@ -169,6 +198,49 @@ void print_results(const std::vector<service::QueryResult>& results, std::uint64
             << std::endl;
 }
 
+/// --tenant mode: the batch flows through a StreamingService under one
+/// rate-limited tenant.  Manual drain with a fixed pump cadence makes the
+/// whole schedule (and hence the shed set — contract point 9) a pure
+/// function of the flags, so reruns must print byte-identical output.
+void run_streaming(const service::ShortcutService& svc, std::uint64_t fingerprint, const Args& a,
+                   const std::vector<service::QueryRequest>& batch) {
+  service::StreamingOptions opt;
+  opt.drain_thread = false;
+  opt.max_queue = batch.size() + 1;  // shed on budgets, not the queue bound
+  opt.tenants = {service::TenantConfig{a.tenant,
+                                       service::TokenBucketConfig{a.burst, a.refill},
+                                       service::TokenBucketConfig{a.burst, a.refill}}};
+  service::StreamingService stream(svc, opt);
+  std::vector<service::StreamingService::Ticket> admitted;
+  std::vector<std::string> shed_lines;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    service::StreamingService::Ticket t = stream.submit(a.tenant, batch[i]);
+    if (t.admitted())
+      admitted.push_back(std::move(t));
+    else
+      shed_lines.push_back("# shed id=" + std::to_string(batch[i].id) +
+                           " wave=" + std::to_string(t.verdict().admission_wave) + " " +
+                           t.shed_text());
+    if ((i + 1) % a.wave_every == 0) stream.drain_wave();
+  }
+  stream.drain_until_idle();
+  std::vector<service::QueryResult> results;
+  results.reserve(admitted.size());
+  for (const auto& t : admitted) results.push_back(stream.wait(t));
+  print_results(results, fingerprint, a.seed);
+  // Telemetry, never content: "#" comment lines like fleet health.
+  const std::vector<service::TenantStats> stats = stream.tenant_stats();
+  for (const service::TenantStats& s : stats) {
+    std::cout << "# admission tenant=" << s.name << " arrivals=" << s.counters.arrivals
+              << " admitted=" << s.counters.admitted
+              << " shed_rate_limited=" << s.counters.shed_rate_limited
+              << " shed_queue_full=" << s.counters.shed_queue_full << " served=" << s.served
+              << " waves=" << stream.waves_completed() << "\n";
+  }
+  for (const std::string& line : shed_lines) std::cout << line << "\n";
+  std::cout << std::flush;
+}
+
 int run(const Args& a) {
   if (a.threads > 0) set_num_threads(a.threads);
   const std::vector<service::QueryRequest> batch = mixed_batch(a.first_id, a.count);
@@ -178,6 +250,10 @@ int run(const Args& a) {
     const std::uint64_t fingerprint = parse_fingerprint(a.fingerprint);
     if (!store.contains(fingerprint)) die("fingerprint not in store: " + a.fingerprint);
     const service::ShortcutService svc(store.open(fingerprint), a.seed);
+    if (!a.tenant.empty()) {
+      run_streaming(svc, fingerprint, a, batch);
+      return 0;
+    }
     print_results(svc.run_batch(batch), fingerprint, a.seed);
     return 0;
   }
