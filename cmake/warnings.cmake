@@ -2,13 +2,17 @@
 # the project is not built with MSVC).
 add_library(lcs_warnings INTERFACE)
 
+# -Werror=switch is unconditional (not gated on LCS_WERROR): a QueryKind
+# enumerator missing from any kind switch must never compile, or a new kind
+# could silently fall through dispatch/cost-class/wire code.
 target_compile_options(lcs_warnings INTERFACE
   -Wall
   -Wextra
   -Wpedantic
   -Wshadow
   -Wconversion
-  -Wno-sign-conversion)
+  -Wno-sign-conversion
+  -Werror=switch)
 
 if(LCS_WERROR)
   target_compile_options(lcs_warnings INTERFACE -Werror)

@@ -146,7 +146,8 @@ def run_oracle(lcsrouter: pathlib.Path, store: pathlib.Path, fingerprint: str,
     oracle = subprocess.run(
         [str(lcsrouter), "--local", "--store", str(store),
          "--fingerprint", fingerprint, "--count", str(args.count),
-         "--first-id", str(first_id), "--seed", str(args.seed)],
+         "--first-id", str(first_id), "--seed", str(args.seed),
+         "--pp-vertices", str(args.n)],
         capture_output=True, text=True, timeout=args.timeout)
     if oracle.returncode != 0:
         fail(f"oracle (first id {first_id}) exited {oracle.returncode}:\n"
@@ -183,7 +184,8 @@ def run_baseline(tools, fleet: Fleet, store, fingerprint, args) -> None:
     routers = [
         subprocess.Popen(
             [str(tools["lcsrouter"]), *fleet.shard_flags(),
-             "--count", str(args.count), "--first-id", str(first_id)],
+             "--count", str(args.count), "--first-id", str(first_id),
+             "--pp-vertices", str(args.n)],
             stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
         for first_id in first_ids
     ]
@@ -218,6 +220,7 @@ def run_streaming_gate(tools, store, fingerprint, args) -> None:
     cmd = [str(tools["lcsrouter"]), "--local", "--store", str(store),
            "--fingerprint", fingerprint, "--count", str(args.count),
            "--first-id", str(first_id), "--seed", str(args.seed),
+           "--pp-vertices", str(args.n),
            "--tenant", "stress", "--burst", "4", "--refill", "500"]
     runs = []
     for attempt in range(2):
@@ -262,7 +265,8 @@ def run_chaos(tools, fleet: Fleet, store, fingerprint, args) -> None:
 
     def router_cmd(first_id: int) -> list[str]:
         return [str(tools["lcsrouter"]), *replicated,
-                "--count", str(args.count), "--first-id", str(first_id)]
+                "--count", str(args.count), "--first-id", str(first_id),
+                "--pp-vertices", str(args.n)]
 
     # Phase 1 — healthy replicated fleet: replication alone must not change
     # a single digest.

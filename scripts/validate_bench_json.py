@@ -425,6 +425,64 @@ def validate_streaming(record: dict, args) -> list[str]:
     return problems
 
 
+# Per-size metric prefixes every s9_ (point-to-point routing) record must
+# carry for each swept road-network size, plus boolean gates that must be
+# true.  Schema documented in docs/bench.md.
+S9_SIZE_PREFIXES = [
+    "ch_build_ms",
+    "overlay_build_ms",
+    "dijkstra_p50_ms",
+    "dijkstra_p99_ms",
+    "ch_p50_ms",
+    "ch_p99_ms",
+    "assisted_p50_ms",
+    "assisted_p99_ms",
+]
+S9_TRUE_CHECKS = [
+    "all_engines_agree",
+    "all_queries_ok",
+    "ch_p99_beats_dijkstra",
+    "deterministic_across_threads",
+    "deterministic_loaded_vs_built",
+    "deterministic_sharded_vs_local",
+    "deterministic_streaming_vs_direct",
+]
+
+
+def validate_point_to_point(record: dict, args) -> list[str]:
+    """s9_ records race three exact s-t engines over road networks: per
+    swept size there must be a complete build-time + per-engine latency
+    leg, and every inline gate — identical distances from all three
+    engines, CH p99 beating plain Dijkstra at the largest size, and
+    bit-identical digests across threads, loaded-vs-built snapshots,
+    sharded-vs-local placement and streaming-vs-direct admission — must
+    have passed."""
+    del args
+    name = record["scenario"]
+    problems = []
+    if not isinstance(record["params"], dict) or not isinstance(record["metrics"], dict):
+        return [f"{name}: params/metrics must be objects"]
+    sizes = record["params"].get("n_sweep")
+    if (
+        not isinstance(sizes, list)
+        or not sizes
+        or not all(isinstance(n, int) and n >= 2 for n in sizes)
+    ):
+        problems.append(f"{name}: params.n_sweep must be a non-empty list of sizes")
+        sizes = []
+    metrics = record["metrics"]
+    for n in sizes:
+        for prefix in S9_SIZE_PREFIXES:
+            key = f"{prefix}_n{n}"
+            value = metrics.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(f"{name}: missing or bad leg metric {key}: {value!r}")
+    for key in S9_TRUE_CHECKS:
+        if metrics.get(key) is not True:
+            problems.append(f"{name}: {key} is not true")
+    return problems
+
+
 def validate_record(record: dict, require_ok: bool, args) -> list[str]:
     problems = []
     name = record.get("scenario", "<missing scenario>")
@@ -457,6 +515,8 @@ def validate_record(record: dict, require_ok: bool, args) -> list[str]:
             problems.extend(validate_fault_tolerance(record, args))
         if name.lower().startswith("s8_"):
             problems.extend(validate_streaming(record, args))
+        if name.lower().startswith("s9_"):
+            problems.extend(validate_point_to_point(record, args))
     return problems
 
 

@@ -147,6 +147,60 @@ Graph preferential_attachment(std::uint32_t n, std::uint32_t edges_per_vertex, R
   return std::move(b).build();
 }
 
+Graph road_network(std::uint32_t n, Rng& rng) {
+  LCS_REQUIRE(n >= 1, "road network needs a vertex");
+  const auto rows = static_cast<std::uint32_t>(
+      std::max(1.0, std::floor(std::sqrt(static_cast<double>(n)))));
+  const std::uint32_t cols = (n + rows - 1) / rows;
+  GraphBuilder b(n);
+  const auto id = [cols](std::uint32_t r, std::uint32_t c) { return r * cols + c; };
+  const auto exists = [&](std::uint32_t r, std::uint32_t c) {
+    return c < cols && id(r, c) < n;
+  };
+  for (std::uint32_t r = 0; exists(r, 0); ++r) {
+    for (std::uint32_t c = 0; exists(r, c); ++c) {
+      // Spine: every horizontal street plus the column-0 avenue keeps the
+      // network connected no matter how the thinning draws fall.
+      if (exists(r, c + 1)) b.add_edge(id(r, c), id(r, c + 1));
+      if (exists(r + 1, c) && (c == 0 || rng.bernoulli(0.7)))
+        b.add_edge(id(r, c), id(r + 1, c));
+      if (exists(r + 1, c + 1) && rng.bernoulli(0.1))
+        b.add_edge(id(r, c), id(r + 1, c + 1));
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph transit_network(std::uint32_t n, std::uint32_t lines, Rng& rng) {
+  LCS_REQUIRE(n >= 2, "transit network needs at least two stops");
+  LCS_REQUIRE(lines >= 1, "transit network needs a line");
+  const std::uint32_t stops_per_line = std::max(2u, n / lines);
+  GraphBuilder b(n);
+  VertexId next = 0;
+  while (next < n) {
+    const std::uint32_t len = std::min(stops_per_line, n - next);
+    const VertexId first = next;
+    for (std::uint32_t i = 0; i + 1 < len; ++i) b.add_edge(first + i, first + i + 1);
+    if (first > 0) {
+      // Interchange: attach the new line to a random already-built stop.
+      b.add_edge(first, static_cast<VertexId>(rng.uniform(first)));
+      // Occasionally loop the far end back as a second transfer.
+      if (len > 1 && rng.bernoulli(0.3))
+        b.add_edge(first + len - 1, static_cast<VertexId>(rng.uniform(first)));
+    }
+    next += len;
+  }
+  // Sparse express/transfer edges across the whole network.
+  const std::uint32_t extras = n / 16;
+  for (std::uint32_t i = 0; i < extras; ++i) {
+    const auto u = static_cast<VertexId>(rng.uniform(n));
+    auto v = static_cast<VertexId>(rng.uniform(n));
+    if (u == v) v = (v + 1) % n;
+    b.add_edge(u, v);
+  }
+  return std::move(b).build();
+}
+
 Graph layered_random_graph(std::uint32_t n, std::uint32_t diameter, double avg_extra,
                            Rng& rng) {
   LCS_REQUIRE(diameter >= 1, "diameter must be positive");

@@ -37,6 +37,19 @@ Graph connected_gnm(std::uint32_t n, std::uint32_t m, Rng& rng);
 /// O(log n / log log n), heavy-tailed degrees.  Requires n > seed size.
 Graph preferential_attachment(std::uint32_t n, std::uint32_t edges_per_vertex, Rng& rng);
 
+/// Road-network-like graph: a sparse near-planar grid of ~sqrt(n) rows.
+/// All horizontal edges plus the column-0 verticals form a guaranteed
+/// spanning spine; the remaining verticals are kept with probability 0.7
+/// and diagonals appear with probability 0.1.  Connected, average degree
+/// ~3 — the profile the point-to-point routing workload targets.
+Graph road_network(std::uint32_t n, Rng& rng);
+
+/// Public-transit-like graph: `lines` chained stop sequences, each attached
+/// to the already-built network at a random interchange stop (and sometimes
+/// looped back at its far end), plus occasional cross-line transfer edges.
+/// Connected by construction.
+Graph transit_network(std::uint32_t n, std::uint32_t lines, Rng& rng);
+
 /// Random connected graph with diameter exactly `diameter`: vertices are
 /// spread over `diameter + 1` layers (two singleton end layers), and each
 /// vertex connects to >= 1 vertex of the previous layer plus ~avg_extra

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -26,7 +27,28 @@ enum class QueryKind : std::uint8_t {
   kShortcutBuild,    ///< materialize the KP shortcut assignment
   kMst,              ///< shortcut-accelerated Boruvka (Corollary 1.2)
   kMincut,           ///< Karger trials or Karger's sparsified estimator
+  kPointToPoint,     ///< exact s–t distance over the snapshot's CH artifact
 };
+
+/// The one rejection text for an out-of-range kind byte, shared by every
+/// kind switch and by the wire decoder so the corruption matrix can pin it
+/// exactly.  Out-of-range kinds can only originate from untrusted wire
+/// bytes — internal code holds enumerators — hence the "wire:" prefix.
+[[noreturn]] inline void throw_unknown_query_kind(std::uint8_t raw) {
+  throw std::runtime_error("wire: unknown query kind " + std::to_string(raw));
+}
+
+/// Validate a raw kind byte (fails closed via throw_unknown_query_kind).
+inline QueryKind checked_query_kind(std::uint8_t raw) {
+  switch (static_cast<QueryKind>(raw)) {
+    case QueryKind::kShortcutQuality:
+    case QueryKind::kShortcutBuild:
+    case QueryKind::kMst:
+    case QueryKind::kMincut:
+    case QueryKind::kPointToPoint: return static_cast<QueryKind>(raw);
+  }
+  throw_unknown_query_kind(raw);
+}
 
 inline const char* query_kind_name(QueryKind k) {
   switch (k) {
@@ -34,8 +56,9 @@ inline const char* query_kind_name(QueryKind k) {
     case QueryKind::kShortcutBuild: return "shortcut_build";
     case QueryKind::kMst: return "mst";
     case QueryKind::kMincut: return "mincut";
+    case QueryKind::kPointToPoint: return "point_to_point";
   }
-  return "unknown";
+  throw_unknown_query_kind(static_cast<std::uint8_t>(k));  // fail closed
 }
 
 /// Admission cost class of a query: the scheduler gives each class its own
@@ -43,7 +66,7 @@ inline const char* query_kind_name(QueryKind k) {
 /// heavy referee work.  A pure function of the query kind (below), so the
 /// classification itself can never make results scheduling-dependent.
 enum class CostClass : std::uint8_t {
-  kCheap,  ///< shortcut_quality / shortcut_build: one partition + sampling pass
+  kCheap,  ///< shortcut_quality / shortcut_build / point_to_point
   kHeavy,  ///< mst / mincut: simulator rounds or repeated contraction trials
 };
 
@@ -66,17 +89,22 @@ struct QueryRequest {
   // -- mincut knobs ----------------------------------------------------------
   std::uint32_t karger_trials = 0;  ///< > 0: Karger with this many trials
   double eps = 0.5;                 ///< otherwise: sparsified estimator at this eps
+
+  // -- point-to-point knobs --------------------------------------------------
+  std::uint32_t s = 0;  ///< source vertex (kPointToPoint)
+  std::uint32_t t = 0;  ///< target vertex (kPointToPoint)
 };
 
 /// The admission scheduler's cost classification of a request.
 inline CostClass query_cost_class(const QueryRequest& q) {
   switch (q.kind) {
     case QueryKind::kShortcutQuality:
-    case QueryKind::kShortcutBuild: return CostClass::kCheap;
+    case QueryKind::kShortcutBuild:
+    case QueryKind::kPointToPoint: return CostClass::kCheap;
     case QueryKind::kMst:
     case QueryKind::kMincut: return CostClass::kHeavy;
   }
-  return CostClass::kHeavy;
+  throw_unknown_query_kind(static_cast<std::uint8_t>(q.kind));  // fail closed
 }
 
 /// The duplicate-id guard of every batch boundary — ShortcutService's
@@ -114,6 +142,11 @@ struct QueryResult {
   std::uint32_t attempts = 0;          ///< shards this query was actually sent to
   std::uint32_t served_by_replica = 0; ///< preference-list index that answered (0 = primary)
 
+  // Search-effort telemetry (kPointToPoint fills it).  Settled-heap-pop
+  // counts are the workload's cost signal, not its answer: digest-excluded
+  // under the same rule as latency_ms/queue_ms.
+  std::uint64_t settled_nodes = 0;
+
   // Deterministic outcome fields (meaning depends on kind; unused stay 0).
   std::uint64_t congestion = 0;    ///< shortcut queries: Definition-1.1 c
   std::uint64_t dilation = 0;      ///< shortcut queries: Definition-1.1 d (ub)
@@ -121,9 +154,14 @@ struct QueryResult {
   std::uint64_t cardinality = 0;   ///< num large parts / MST edges / cut side size
   std::uint64_t rounds = 0;        ///< CONGEST rounds charged (MST legs)
   std::uint64_t content_hash = 0;  ///< order-sensitive hash of the full structure
+  std::uint32_t s = 0;             ///< point-to-point: echoed source vertex
+  std::uint32_t t = 0;             ///< point-to-point: echoed target vertex
+  std::uint64_t distance = 0;      ///< point-to-point: exact s–t distance
+                                   ///< (sssp::kInfDist when unreachable)
 
   /// Fingerprint of every deterministic field — what the cross-thread,
-  /// cross-order and cross-service checks compare.
+  /// cross-order and cross-service checks compare.  Telemetry stays out:
+  /// latency_ms, queue_ms, wave, attempts, served_by_replica, settled_nodes.
   std::uint64_t digest() const {
     std::uint64_t h = hash64(id ^ (static_cast<std::uint64_t>(kind) << 56));
     h = hash64(h ^ (ok ? 0x6f6bULL : 0x657272ULL));
@@ -134,6 +172,8 @@ struct QueryResult {
     h = hash64(h ^ cardinality);
     h = hash64(h ^ rounds);
     h = hash64(h ^ content_hash);
+    h = hash64(h ^ ((static_cast<std::uint64_t>(s) << 32) | t));
+    h = hash64(h ^ distance);
     return h;
   }
 };

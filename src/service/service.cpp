@@ -156,6 +156,28 @@ void run_mincut(const GraphSnapshot& snap, const QueryRequest& q, Rng& stream, b
   r.content_hash = hash_vertices(cut.side);
 }
 
+void run_point_to_point(const GraphSnapshot& snap, const QueryRequest& q, bool use_cache,
+                        QueryResult& r) {
+  const std::uint32_t n = snap.num_vertices();
+  LCS_REQUIRE(q.s < n && q.t < n, "point-to-point endpoints out of range");
+  // Cached: the snapshot's single CH artifact (possibly seeded from a
+  // snapshot file).  Uncached: the identical pure function of
+  // (graph, weights) computed privately — bit-equal by construction.
+  const std::shared_ptr<const sssp::ChIndex> ch =
+      use_cache ? snap.ch_index()
+                : std::make_shared<const sssp::ChIndex>(
+                      sssp::build_ch(snap.graph(), snap.weights()));
+  const sssp::PointToPointResult res = sssp::ch_query(*ch, q.s, q.t);
+  r.s = q.s;
+  r.t = q.t;
+  r.distance = res.distance;
+  r.value = res.distance;
+  r.cardinality = res.distance == sssp::kInfDist ? 0 : 1;  // reachability bit
+  r.settled_nodes = res.settled;
+  r.content_hash =
+      hash64(hash64((static_cast<std::uint64_t>(q.s) << 32) | q.t) ^ res.distance);
+}
+
 }  // namespace
 
 ShortcutService::ShortcutService(std::shared_ptr<const GraphSnapshot> snapshot,
@@ -188,6 +210,10 @@ QueryResult ShortcutService::execute(const QueryRequest& q) const {
       case QueryKind::kShortcutBuild: run_shortcut_build(*snap_, q, stream, cache, r); break;
       case QueryKind::kMst: run_mst(*snap_, q, stream, r); break;
       case QueryKind::kMincut: run_mincut(*snap_, q, stream, cache, r); break;
+      // Draws nothing from the stream: the answer is a pure function of the
+      // snapshot and (s, t), so the stream exists only to keep the RNG
+      // discipline uniform across kinds.
+      case QueryKind::kPointToPoint: run_point_to_point(*snap_, q, cache, r); break;
     }
     r.ok = true;
   } catch (const std::exception& e) {

@@ -38,6 +38,7 @@ std::shared_ptr<const GraphSnapshot> GraphSnapshot::build(graph::Graph g, const 
   snap->sample_memo_ =
       std::make_unique<OnceMemo<SampleKey, mincut::SparsifiedSample, SampleKeyHash>>(
           opt.max_cached_samples);
+  snap->ch_memo_ = std::make_unique<OnceMemo<std::uint32_t, sssp::ChIndex>>(0);
 
   // Prewarm at the one place guaranteed to be a top-level entry (the exact
   // path fans its all-pairs BFS out on the pool).  Lazy first access inside
@@ -139,6 +140,12 @@ std::shared_ptr<const mincut::SparsifiedSample> GraphSnapshot::sparsified_sample
       key, [&] { return mincut::sparsify_edges(g_, weights_, eps, seed); });
 }
 
+std::shared_ptr<const sssp::ChIndex> GraphSnapshot::ch_index() const {
+  // Single-valued artifact: the key is constant, the compute pure in
+  // (g_, weights_) — a loaded snapshot seeds this entry from the file.
+  return ch_memo_->get_or_compute(0u, [&] { return sssp::build_ch(g_, weights_); });
+}
+
 std::uint32_t GraphSnapshot::default_part_count() const {
   const std::uint32_t n = g_.num_vertices();
   if (n == 0) return 1;
@@ -183,6 +190,7 @@ ArtifactStats GraphSnapshot::artifact_stats() const {
   s.bfs_tree = bfs_memo_->stats();
   s.partition = partition_memo_->stats();
   s.sparsified = sample_memo_->stats();
+  s.ch = ch_memo_->stats();
   return s;
 }
 
@@ -190,6 +198,7 @@ void GraphSnapshot::clear_artifacts() const {
   bfs_memo_->clear();
   partition_memo_->clear();
   sample_memo_->clear();
+  ch_memo_->clear();
 }
 
 }  // namespace lcs::service

@@ -34,6 +34,7 @@
 //   | global BFS tree     | root vertex          | graph::bfs(g, root)          |
 //   | ball partition      | (seed, part_count)   | ball_partition on Rng(seed)  |
 //   | sparsified sample   | (seed, eps)          | mincut::sparsify_edges       |
+//   | CH index            | (none — per snapshot)| sssp::build_ch(g, weights)   |
 //
 // Every compute function is a pure function of (frozen graph, weights, key),
 // so a cache hit returns bit-identical bytes to an uncached re-derivation —
@@ -55,6 +56,7 @@
 #include "graph/partition.hpp"
 #include "graph/weighted.hpp"
 #include "mincut/mincut.hpp"
+#include "sssp/ch.hpp"
 #include "util/once_memo.hpp"
 
 namespace lcs::service {
@@ -64,13 +66,14 @@ struct ArtifactStats {
   MemoStats bfs_tree;
   MemoStats partition;
   MemoStats sparsified;
+  MemoStats ch;
 
   MemoStats total() const {
     MemoStats t;
-    t.hits = bfs_tree.hits + partition.hits + sparsified.hits;
-    t.misses = bfs_tree.misses + partition.misses + sparsified.misses;
-    t.bypasses = bfs_tree.bypasses + partition.bypasses + sparsified.bypasses;
-    t.evictions = bfs_tree.evictions + partition.evictions + sparsified.evictions;
+    t.hits = bfs_tree.hits + partition.hits + sparsified.hits + ch.hits;
+    t.misses = bfs_tree.misses + partition.misses + sparsified.misses + ch.misses;
+    t.bypasses = bfs_tree.bypasses + partition.bypasses + sparsified.bypasses + ch.bypasses;
+    t.evictions = bfs_tree.evictions + partition.evictions + sparsified.evictions + ch.evictions;
     return t;
   }
 };
@@ -124,16 +127,6 @@ class GraphSnapshot {
   /// malformed, truncated or version-mismatched file.
   static std::shared_ptr<const GraphSnapshot> load(const std::filesystem::path& path);
 
-  /// Pre-PR-6 construction names; forward to build().
-  [[deprecated("use GraphSnapshot::build()")]]
-  static std::shared_ptr<const GraphSnapshot> make(graph::Graph g, const Options& opt) {
-    return build(std::move(g), opt);
-  }
-  [[deprecated("use GraphSnapshot::build()")]]
-  static std::shared_ptr<const GraphSnapshot> make(graph::Graph g) {
-    return build(std::move(g));
-  }
-
   const graph::Graph& graph() const { return g_; }
   graph::WeightSpan weights() const { return weights_; }
 
@@ -148,7 +141,7 @@ class GraphSnapshot {
 
   /// Cached unweighted diameter bracket (meaningful only when connected()).
   /// Materialized lazily through the artifact cache; bit-identical whether
-  /// it was prewarmed by make() or computed on first use.
+  /// it was prewarmed by build() or computed on first use.
   std::uint32_t diameter_lb() const { return bracket().lb; }
   std::uint32_t diameter_ub() const { return bracket().ub; }
   bool diameter_is_exact() const { return bracket().exact; }
@@ -178,6 +171,13 @@ class GraphSnapshot {
   /// once per (seed, eps).
   std::shared_ptr<const mincut::SparsifiedSample> sparsified_sample(std::uint64_t seed,
                                                                     double eps) const;
+
+  /// Contraction-hierarchies index over (graph, weights) — the
+  /// point-to-point query artifact.  Single-valued per snapshot (the memo
+  /// key is constant): computed once by sssp::build_ch with default
+  /// ChOptions, shared by every s–t query, serialized with the snapshot and
+  /// seeded back on load().
+  std::shared_ptr<const sssp::ChIndex> ch_index() const;
 
   /// The pure function behind partition(): what an uncached caller computes
   /// and what a cached caller must receive bit for bit.
@@ -277,6 +277,7 @@ class GraphSnapshot {
       partition_memo_;
   mutable std::unique_ptr<OnceMemo<SampleKey, mincut::SparsifiedSample, SampleKeyHash>>
       sample_memo_;
+  mutable std::unique_ptr<OnceMemo<std::uint32_t, sssp::ChIndex>> ch_memo_;
 };
 
 }  // namespace lcs::service

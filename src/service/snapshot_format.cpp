@@ -20,7 +20,7 @@ namespace {
 constexpr char kMagic[8] = {'L', 'C', 'S', 'S', 'N', 'A', 'P', '1'};
 constexpr std::uint32_t kEndianTag = 0x01020304u;  // bytes 04 03 02 01 on disk
 constexpr std::uint64_t kAlign = 64;
-constexpr std::uint32_t kSectionCount = 7;
+constexpr std::uint32_t kSectionCount = 8;
 
 constexpr std::uint32_t kFlagConnected = 1u << 0;
 constexpr std::uint32_t kFlagBracketExact = 1u << 1;
@@ -28,7 +28,8 @@ constexpr std::uint32_t kFlagPoolPrewarm = 1u << 2;  ///< Options::prewarm_parti
 
 // Fixed section order; ids are 1-based positions.  The bulk sections
 // (1..4) are verbatim in-memory bytes and get mmap'ed in place; the
-// artifact sections (5..7) are decoded into the caches at load.
+// artifact sections (5..8) are decoded into the caches at load.  Section 8
+// (the CH index) arrived with format v2.
 enum SectionId : std::uint32_t {
   kSecOffsets = 1,
   kSecAdjacency = 2,
@@ -37,6 +38,7 @@ enum SectionId : std::uint32_t {
   kSecBfsTrees = 5,
   kSecPartitions = 6,
   kSecSamples = 7,
+  kSecChIndex = 8,
 };
 
 /// 128-byte fixed header.  Every multi-byte field is little-endian; the
@@ -157,6 +159,7 @@ class SnapshotCodec {
   static ByteBuf encode_bfs_trees(const GraphSnapshot& snap);
   static ByteBuf encode_partitions(const GraphSnapshot& snap);
   static ByteBuf encode_samples(const GraphSnapshot& snap);
+  static ByteBuf encode_ch_index(const GraphSnapshot& snap);
   static void seed_artifacts(GraphSnapshot& snap, const std::byte* base,
                              const SectionRecord* table);
 };
@@ -218,6 +221,30 @@ ByteBuf SnapshotCodec::encode_samples(const GraphSnapshot& snap) {
   return buf;
 }
 
+ByteBuf SnapshotCodec::encode_ch_index(const GraphSnapshot& snap) {
+  // The artifact is single-valued (constant memo key 0), so the count is 0
+  // or 1; arcs are encoded field-by-field because ChArc carries padding.
+  const auto entries = snap.ch_memo_->ready_entries();
+  ByteBuf buf;
+  buf.u64(entries.size());
+  for (const auto& [key, ch] : entries) {
+    LCS_CHECK(key == 0 && ch->n == snap.g_.num_vertices() &&
+                  ch->rank.size() == ch->n && ch->up_offsets.size() == std::size_t{ch->n} + 1 &&
+                  ch->up_arcs.size() == ch->up_offsets[ch->n],
+              "snapshot: cached CH index has unexpected shape");
+    buf.u32(ch->n);
+    buf.u64(ch->num_shortcuts);
+    buf.raw(ch->rank.data(), std::size_t{ch->n} * 4);
+    buf.raw(ch->up_offsets.data(), (std::size_t{ch->n} + 1) * 8);
+    buf.u64(ch->up_arcs.size());
+    for (const sssp::ChArc& arc : ch->up_arcs) {
+      buf.u32(arc.to);
+      buf.u64(arc.len);
+    }
+  }
+  return buf;
+}
+
 void SnapshotCodec::save(const GraphSnapshot& snap, const std::filesystem::path& path) {
   const graph::Graph& g = snap.g_;
   // The bracket is part of the file (loaded snapshots answer diameter
@@ -228,6 +255,7 @@ void SnapshotCodec::save(const GraphSnapshot& snap, const std::filesystem::path&
   const ByteBuf bfs_buf = encode_bfs_trees(snap);
   const ByteBuf part_buf = encode_partitions(snap);
   const ByteBuf sample_buf = encode_samples(snap);
+  const ByteBuf ch_buf = encode_ch_index(snap);
 
   struct Payload {
     const void* data;
@@ -241,7 +269,7 @@ void SnapshotCodec::save(const GraphSnapshot& snap, const std::filesystem::path&
       {offs.data(), offs.size_bytes()},      {adj.data(), adj.size_bytes()},
       {edges.data(), edges.size_bytes()},    {w.data(), w.size_bytes()},
       {bfs_buf.data(), bfs_buf.size()},      {part_buf.data(), part_buf.size()},
-      {sample_buf.data(), sample_buf.size()}};
+      {sample_buf.data(), sample_buf.size()}, {ch_buf.data(), ch_buf.size()}};
 
   SectionRecord table[kSectionCount] = {};
   std::uint64_t cursor = align_up(sizeof(FileHeader) + kTableBytes);
@@ -365,6 +393,33 @@ void SnapshotCodec::seed_artifacts(GraphSnapshot& snap, const std::byte* base,
     }
     if (!r.done()) bad("trailing artifact bytes");
   }
+  {
+    ByteReader r = artifact_reader(base + table[kSecChIndex - 1].offset,
+                                   table[kSecChIndex - 1].length);
+    const std::uint64_t count = r.u64();
+    if (count > 1) bad("artifact key out of range");
+    for (std::uint64_t i = 0; i < count; ++i) {
+      sssp::ChIndex ch;
+      ch.n = r.u32();
+      if (ch.n != n) bad("artifact key out of range");
+      ch.num_shortcuts = r.u64();
+      ch.rank.resize(ch.n);
+      r.raw(ch.rank.data(), std::uint64_t{ch.n} * 4);
+      ch.up_offsets.resize(std::size_t{ch.n} + 1);
+      r.raw(ch.up_offsets.data(), (std::uint64_t{ch.n} + 1) * 8);
+      const std::uint64_t arcs = r.u64();
+      if (ch.up_offsets[ch.n] != arcs || (ch.n > 0 && ch.up_offsets[0] != 0))
+        bad("artifact key out of range");
+      ch.up_arcs.resize(arcs);
+      for (sssp::ChArc& arc : ch.up_arcs) {
+        arc.to = r.u32();
+        arc.len = r.u64();
+        if (arc.to >= n) bad("artifact key out of range");
+      }
+      snap.ch_memo_->seed(0u, std::make_shared<const sssp::ChIndex>(std::move(ch)));
+    }
+    if (!r.done()) bad("trailing artifact bytes");
+  }
 }
 
 std::shared_ptr<const GraphSnapshot> SnapshotCodec::load(const std::filesystem::path& path) {
@@ -411,6 +466,7 @@ std::shared_ptr<const GraphSnapshot> SnapshotCodec::load(const std::filesystem::
   snap->sample_memo_ = std::make_unique<
       OnceMemo<GraphSnapshot::SampleKey, mincut::SparsifiedSample, GraphSnapshot::SampleKeyHash>>(
       snap->opt_.max_cached_samples);
+  snap->ch_memo_ = std::make_unique<OnceMemo<std::uint32_t, sssp::ChIndex>>(0);
   seed_artifacts(*snap, base, f.table);
   // Proactive prewarm, after seeding: only pool slots the file did not
   // carry are computed (contains_ready skips the rest without touching the
@@ -446,6 +502,7 @@ SnapshotFileInfo read_snapshot_info(const std::filesystem::path& path) {
   info.saved_bfs_trees = count_of(kSecBfsTrees);
   info.saved_partitions = count_of(kSecPartitions);
   info.saved_samples = count_of(kSecSamples);
+  info.saved_ch_indexes = count_of(kSecChIndex);
   return info;
 }
 

@@ -1,10 +1,11 @@
-// On-disk snapshot format v1: versioned, checksummed, mmap-friendly.
+// On-disk snapshot format v2: versioned, checksummed, mmap-friendly.
 //
 // A snapshot file is the byte image of one frozen GraphSnapshot — the CSR
 // graph arrays, the edge weights, the diameter bracket, and every completed
-// artifact-cache entry (BFS trees, ball partitions, sparsified samples) at
-// save time.  The layout (docs/snapshot_format.md) is a fixed 128-byte
-// header, a section table, and 64-byte-aligned little-endian sections, each
+// artifact-cache entry (BFS trees, ball partitions, sparsified samples, and
+// since v2 the contraction-hierarchies index) at save time.  The layout
+// (docs/snapshot_format.md) is a fixed 128-byte header, a section table,
+// and 64-byte-aligned little-endian sections, each
 // independently checksummed.  The bulk sections (CSR arrays, weights) are
 // stored exactly as their in-memory representation, so loading is mmap plus
 // checksum verification: the loaded snapshot's graph and weights are spans
@@ -32,7 +33,7 @@
 
 namespace lcs::service {
 
-inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
 
 /// Header summary of a snapshot file — what `lcsingest --info` and store
 /// listings print.  Reading it validates the header and section table (not
@@ -48,9 +49,10 @@ struct SnapshotFileInfo {
   std::uint64_t saved_bfs_trees = 0;
   std::uint64_t saved_partitions = 0;
   std::uint64_t saved_samples = 0;
+  std::uint64_t saved_ch_indexes = 0;  ///< 0 or 1 (the artifact is single-valued)
 };
 
-/// Write `snap` to `path` in the canonical v1 layout: sections in fixed
+/// Write `snap` to `path` in the canonical v2 layout: sections in fixed
 /// order, artifact entries sorted by key, so saving the same snapshot state
 /// twice produces identical bytes.  Writes a temp file and renames, so a
 /// crash never leaves a half-written snapshot under the final name.

@@ -15,15 +15,9 @@ ByteReader wire_reader(const std::byte* data, std::size_t size) {
   return ByteReader(data, size, "rpc: wire ");
 }
 
-QueryKind decode_kind(std::uint8_t raw) {
-  switch (static_cast<QueryKind>(raw)) {
-    case QueryKind::kShortcutQuality:
-    case QueryKind::kShortcutBuild:
-    case QueryKind::kMst:
-    case QueryKind::kMincut: return static_cast<QueryKind>(raw);
-  }
-  bad("unknown query kind " + std::to_string(raw));
-}
+// Kind bytes are validated by checked_query_kind (query.hpp), which fails
+// closed with the exact "wire: unknown query kind <k>" text the corruption
+// matrix pins.
 
 /// The count prefix bounds the decode loop; cap it by what the payload
 /// could possibly hold so a corrupted count cannot drive a huge reserve.
@@ -51,20 +45,22 @@ std::vector<std::byte> encode_requests(const std::vector<QueryRequest>& requests
     buf.u32(q.num_parts);
     buf.u32(q.karger_trials);
     buf.f64(q.eps);
+    buf.u32(q.s);
+    buf.u32(q.t);
   }
   return buf.take();
 }
 
 std::vector<QueryRequest> decode_requests(const std::byte* data, std::size_t size) {
   ByteReader r = wire_reader(data, size);
-  constexpr std::uint64_t kRequestBytes = 8 + 1 + 1 + 4 + 8 + 4 + 4 + 8;
+  constexpr std::uint64_t kRequestBytes = 8 + 1 + 1 + 4 + 8 + 4 + 4 + 8 + 4 + 4;
   const std::uint64_t count = decode_count(r, kRequestBytes);
   std::vector<QueryRequest> out;
   out.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     QueryRequest q;
     q.id = r.u64();
-    q.kind = decode_kind(r.u8());
+    q.kind = checked_query_kind(r.u8());
     const bool has_diameter = r.u8() != 0;
     const std::uint32_t diameter = r.u32();
     if (has_diameter) q.diameter = diameter;
@@ -72,6 +68,8 @@ std::vector<QueryRequest> decode_requests(const std::byte* data, std::size_t siz
     q.num_parts = r.u32();
     q.karger_trials = r.u32();
     q.eps = r.f64();
+    q.s = r.u32();
+    q.t = r.u32();
     out.push_back(q);
   }
   check_drained(r);
@@ -96,20 +94,24 @@ std::vector<std::byte> encode_results(const std::vector<QueryResult>& results) {
     buf.u64(res.cardinality);
     buf.u64(res.rounds);
     buf.u64(res.content_hash);
+    buf.u32(res.s);
+    buf.u32(res.t);
+    buf.u64(res.distance);
+    buf.u64(res.settled_nodes);
   }
   return buf.take();
 }
 
 std::vector<QueryResult> decode_results(const std::byte* data, std::size_t size) {
   ByteReader r = wire_reader(data, size);
-  constexpr std::uint64_t kResultMinBytes = 8 + 1 + 1 + 8 + 8 + 8 + 4 + 6 * 8;
+  constexpr std::uint64_t kResultMinBytes = 8 + 1 + 1 + 8 + 8 + 8 + 4 + 6 * 8 + 4 + 4 + 8 + 8;
   const std::uint64_t count = decode_count(r, kResultMinBytes);
   std::vector<QueryResult> out;
   out.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     QueryResult res;
     res.id = r.u64();
-    res.kind = decode_kind(r.u8());
+    res.kind = checked_query_kind(r.u8());
     res.ok = r.u8() != 0;
     const std::uint64_t error_bytes = r.u64();
     if (error_bytes > r.remaining()) bad("wire count exceeds payload");
@@ -124,6 +126,10 @@ std::vector<QueryResult> decode_results(const std::byte* data, std::size_t size)
     res.cardinality = r.u64();
     res.rounds = r.u64();
     res.content_hash = r.u64();
+    res.s = r.u32();
+    res.t = r.u32();
+    res.distance = r.u64();
+    res.settled_nodes = r.u64();
     out.push_back(std::move(res));
   }
   check_drained(r);

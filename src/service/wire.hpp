@@ -5,19 +5,22 @@
 // The encoding is canonical — fixed-width little-endian fields in struct
 // order, a u64 count up front, no padding — so the same logical batch
 // always produces the same payload bytes and therefore the same frame
-// checksum.  Decoding is strict: unknown query kinds and trailing bytes
-// are rejected with deterministic "rpc: ..." errors, mirroring the frame
-// layer's discipline one level up.
+// checksum.  Decoding is strict: truncation and trailing bytes are rejected
+// with deterministic "rpc: ..." errors, and an out-of-range kind byte fails
+// closed with the shared "wire: unknown query kind <k>" text of
+// checked_query_kind (query.hpp).
 //
 // Layout (v1, guarded by the frame header's protocol version):
 //   requests:  count u64, then per request
 //     id u64, kind u8, has_diameter u8, diameter u32,
-//     beta f64, num_parts u32, karger_trials u32, eps f64
+//     beta f64, num_parts u32, karger_trials u32, eps f64,
+//     s u32, t u32
 //   results:   count u64, then per result
 //     id u64, kind u8, ok u8, error (u64 length + bytes),
 //     latency_ms f64, queue_ms f64, wave u32,
 //     congestion u64, dilation u64, value u64, cardinality u64,
-//     rounds u64, content_hash u64
+//     rounds u64, content_hash u64, s u32, t u32,
+//     distance u64, settled_nodes u64
 #pragma once
 
 #include <cstddef>
@@ -32,7 +35,8 @@ namespace lcs::service {
 std::vector<std::byte> encode_requests(const std::vector<QueryRequest>& requests);
 
 /// Decode a kRunBatch payload.  Throws std::runtime_error("rpc: ...") on
-/// truncation, unknown query kind, or trailing bytes.
+/// truncation or trailing bytes, "wire: unknown query kind <k>" on an
+/// out-of-range kind byte.
 std::vector<QueryRequest> decode_requests(const std::byte* data, std::size_t size);
 
 /// Encode a result vector as a kResults payload.

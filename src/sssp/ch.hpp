@@ -1,0 +1,101 @@
+// Point-to-point s–t distance engines: plain bidirectional Dijkstra (the
+// oracle), contraction hierarchies (preprocessing + bidirectional upward
+// query), and a shortcut-assisted bidirectional search that overlays "jump"
+// edges derived from the KP shortcut sets of Corollary 4.2.
+//
+// All three engines are exact: on every (graph, weights, s, t) they return
+// byte-identical distances.  The CH witness search is settle- and
+// hop-limited; hitting a limit errs toward inserting an extra shortcut,
+// which can only add arcs whose length equals a true path length, so
+// exactness is preserved.  Jump-overlay edges carry the shortest-path
+// distance *inside* the augmented part subgraph G[S_i] ∪ H_i, which is
+// always >= the true distance in G, so bidirectional Dijkstra over
+// G + overlay also stays exact while meeting in the middle earlier.
+//
+// Everything here is deterministic in its inputs alone: ties are broken by
+// vertex id, no RNG is consumed, and rebuilding an index from the same
+// (graph, weights) yields identical vectors — which is what lets the CH
+// index live in the snapshot artifact cache and serialize canonically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/shortcut.hpp"
+#include "graph/partition.hpp"
+#include "sssp/sssp.hpp"
+
+namespace lcs::sssp {
+
+/// Result of one s–t query: exact distance (kInfDist when t is unreachable
+/// from s) plus the number of settled heap pops, the work/latency telemetry
+/// the bench scenarios compare across engines.
+struct PointToPointResult {
+  std::uint64_t distance = kInfDist;
+  std::uint64_t settled = 0;
+};
+
+/// Plain bidirectional Dijkstra over G — the oracle engine.
+PointToPointResult bidirectional_dijkstra(const Graph& g, WeightSpan w, VertexId s,
+                                          VertexId t);
+
+/// One upward arc of the hierarchy: `to` has strictly higher rank than the
+/// arc's owner; `len` is a true shortest-path length in G.
+struct ChArc {
+  VertexId to = 0;
+  std::uint64_t len = 0;
+
+  bool operator==(const ChArc&) const = default;
+};
+
+struct ChOptions {
+  /// Witness searches stop after settling this many vertices; exceeding the
+  /// limit conservatively inserts the candidate shortcut.
+  std::uint32_t witness_settle_limit = 64;
+  /// Hop bound for witness paths (0 = unbounded).
+  std::uint32_t witness_hop_limit = 16;
+};
+
+/// The preprocessed hierarchy: a contraction order (rank) and, per vertex,
+/// the arcs to higher-ranked neighbours in CSR form.  Arcs are sorted by
+/// (owner, to) so the structure is canonical for serialization.
+struct ChIndex {
+  std::uint32_t n = 0;
+  std::vector<std::uint32_t> rank;        ///< rank[v] in [0, n), unique
+  std::vector<std::uint64_t> up_offsets;  ///< size n+1
+  std::vector<ChArc> up_arcs;             ///< grouped by owner, sorted by `to`
+  std::uint64_t num_shortcuts = 0;        ///< arcs not present as edges of G
+
+  bool operator==(const ChIndex&) const = default;
+};
+
+/// Contract all vertices in edge-difference order (lazy priority queue,
+/// deleted-neighbour tiebreak, then vertex id), inserting witness-checked
+/// shortcuts.  Deterministic in (g, w, opt).
+ChIndex build_ch(const Graph& g, WeightSpan w, const ChOptions& opt = {});
+
+/// Bidirectional upward search over the hierarchy.  Exact.
+PointToPointResult ch_query(const ChIndex& ch, VertexId s, VertexId t);
+
+/// Jump edges distilled from a KP shortcut assignment: for each part S_i
+/// with leader u and every v in S_i reachable inside G[S_i] ∪ H_i, arcs
+/// u<->v of length dist_{G[S_i] ∪ H_i}(u, v).  Stored CSR per vertex,
+/// sorted by (owner, to).
+struct ShortcutOverlay {
+  std::uint32_t n = 0;
+  std::vector<std::uint64_t> offsets;  ///< size n+1
+  std::vector<ChArc> arcs;
+  std::uint64_t num_jumps = 0;         ///< directed jump arc count (== arcs.size())
+};
+
+ShortcutOverlay build_shortcut_overlay(const Graph& g, WeightSpan w,
+                                       const graph::Partition& parts,
+                                       const core::ShortcutSet& sc);
+
+/// Bidirectional Dijkstra over G plus the overlay's jump arcs.  Exact,
+/// because every jump length is >= the true distance in G.
+PointToPointResult assisted_query(const Graph& g, WeightSpan w,
+                                  const ShortcutOverlay& overlay, VertexId s,
+                                  VertexId t);
+
+}  // namespace lcs::sssp

@@ -76,6 +76,37 @@ TEST(Generators, ConnectedGnmRejectsInfeasible) {
   EXPECT_THROW(connected_gnm(10, 100, rng), std::invalid_argument);  // too many
 }
 
+TEST(Generators, RoadNetworkIsConnectedDeterministicAndSized) {
+  for (const std::uint32_t n : {2u, 7u, 80u, 300u}) {
+    Rng rng(n);
+    const Graph g = road_network(n, rng);
+    EXPECT_EQ(g.num_vertices(), n);
+    EXPECT_TRUE(is_connected(g)) << "n=" << n;
+    // Sparse like a road grid: average degree stays small.
+    EXPECT_LE(g.num_edges(), 3u * n);
+    Rng replay(n);
+    const Graph again = road_network(n, replay);
+    EXPECT_EQ(again.num_edges(), g.num_edges());
+    for (VertexId v = 0; v < n; ++v)
+      ASSERT_EQ(again.degree(v), g.degree(v)) << "n=" << n << " v=" << v;
+  }
+}
+
+TEST(Generators, TransitNetworkIsConnectedDeterministicAndSized) {
+  for (const std::uint32_t n : {2u, 11u, 70u, 240u}) {
+    Rng rng(n ^ 5);
+    const std::uint32_t lines = std::max(1u, n / 14);
+    const Graph g = transit_network(n, lines, rng);
+    EXPECT_EQ(g.num_vertices(), n);
+    EXPECT_TRUE(is_connected(g)) << "n=" << n;
+    Rng replay(n ^ 5);
+    const Graph again = transit_network(n, lines, replay);
+    EXPECT_EQ(again.num_edges(), g.num_edges());
+    for (VertexId v = 0; v < n; ++v)
+      ASSERT_EQ(again.degree(v), g.degree(v)) << "n=" << n << " v=" << v;
+  }
+}
+
 TEST(Generators, LayeredRandomGraphDiameterExact) {
   Rng rng(9);
   for (const std::uint32_t d : {3u, 4u, 5u, 6u, 8u}) {

@@ -463,6 +463,12 @@ std::vector<service::QueryRequest> sample_requests() {
   b.eps = 0.75;
   b.diameter = 11;
   batch.push_back(b);
+  service::QueryRequest c;
+  c.id = 9;
+  c.kind = service::QueryKind::kPointToPoint;
+  c.s = 4;
+  c.t = 31;
+  batch.push_back(c);
   return batch;
 }
 
@@ -479,6 +485,8 @@ TEST(RpcWire, RequestsRoundTrip) {
     EXPECT_EQ(out[i].diameter, batch[i].diameter);
     EXPECT_EQ(out[i].karger_trials, batch[i].karger_trials);
     EXPECT_EQ(out[i].eps, batch[i].eps);
+    EXPECT_EQ(out[i].s, batch[i].s);
+    EXPECT_EQ(out[i].t, batch[i].t);
   }
 }
 
@@ -504,14 +512,26 @@ TEST(RpcWire, ResultsRoundTripIncludingDigest) {
   results[1].kind = service::QueryKind::kMincut;
   results[1].ok = false;
   results[1].error = "mincut needs a connected graph";
+  results.emplace_back();
+  results[2].id = 3;
+  results[2].kind = service::QueryKind::kPointToPoint;
+  results[2].ok = true;
+  results[2].s = 12;
+  results[2].t = 60;
+  results[2].distance = 0xdeadbeefULL;
+  results[2].settled_nodes = 450;
   const std::vector<std::byte> bytes = service::encode_results(results);
   const auto out = service::decode_results(bytes.data(), bytes.size());
-  ASSERT_EQ(out.size(), 2u);
-  for (std::size_t i = 0; i < 2; ++i) {
+  ASSERT_EQ(out.size(), results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
     EXPECT_EQ(out[i].digest(), results[i].digest()) << "result " << i;
     EXPECT_EQ(out[i].latency_ms, results[i].latency_ms);
     EXPECT_EQ(out[i].error, results[i].error);
   }
+  EXPECT_EQ(out[2].s, 12u);
+  EXPECT_EQ(out[2].t, 60u);
+  EXPECT_EQ(out[2].distance, 0xdeadbeefULL);
+  EXPECT_EQ(out[2].settled_nodes, 450u);
 }
 
 TEST(RpcWire, MalformedPayloadsAreRejectedDeterministically) {
@@ -541,14 +561,32 @@ TEST(RpcWire, MalformedPayloadsAreRejectedDeterministically) {
     EXPECT_STREQ(e.what(), "rpc: wire count exceeds payload");
   }
 
-  // Unknown query kind (offset: count u64 + id u64 = byte 16).
-  std::vector<std::byte> bad_kind = bytes;
-  bad_kind[16] = std::byte{200};
+  // Unknown query kind (offset: count u64 + id u64 = byte 16).  The decoder
+  // fails closed through checked_query_kind with its exact error text.
+  for (const std::uint8_t raw : {std::uint8_t{5}, std::uint8_t{200}, std::uint8_t{255}}) {
+    std::vector<std::byte> bad_kind = bytes;
+    bad_kind[16] = std::byte{raw};
+    try {
+      (void)service::decode_requests(bad_kind.data(), bad_kind.size());
+      FAIL() << "unknown kind accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_EQ(std::string(e.what()), "wire: unknown query kind " + std::to_string(raw));
+    }
+  }
+
+  // The same corruption in a result payload is rejected identically (the
+  // result kind byte also sits right after count u64 + id u64).
+  service::QueryResult res;
+  res.id = 4;
+  res.kind = service::QueryKind::kPointToPoint;
+  res.ok = true;
+  std::vector<std::byte> result_bytes = service::encode_results({res});
+  result_bytes[16] = std::byte{7};
   try {
-    (void)service::decode_requests(bad_kind.data(), bad_kind.size());
+    (void)service::decode_results(result_bytes.data(), result_bytes.size());
     FAIL() << "unknown kind accepted";
   } catch (const std::runtime_error& e) {
-    EXPECT_STREQ(e.what(), "rpc: unknown query kind 200");
+    EXPECT_STREQ(e.what(), "wire: unknown query kind 7");
   }
 }
 

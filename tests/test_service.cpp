@@ -13,6 +13,7 @@
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "service/service.hpp"
+#include "sssp/sssp.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -39,9 +40,13 @@ std::vector<QueryRequest> mixed_batch(std::uint32_t count) {
   for (std::uint32_t i = 0; i < count; ++i) {
     QueryRequest q;
     q.id = 100 + i;
-    q.kind = static_cast<QueryKind>(i % 4);
+    q.kind = static_cast<QueryKind>(i % 5);
     q.beta = (i % 3 == 0) ? 0.5 : 1.0;
     q.karger_trials = (i % 8 == 3) ? 8 : 0;
+    // Endpoints stay below the smallest fixture (n = 300) so every batch
+    // member is well-formed against every snapshot in this file.
+    q.s = (i * 37 + 1) % 100;
+    q.t = (i * 61 + 13) % 100;
     batch.push_back(q);
   }
   return batch;
@@ -58,6 +63,9 @@ void expect_same_result(const QueryResult& a, const QueryResult& b) {
   EXPECT_EQ(a.cardinality, b.cardinality);
   EXPECT_EQ(a.rounds, b.rounds);
   EXPECT_EQ(a.content_hash, b.content_hash);
+  EXPECT_EQ(a.s, b.s);
+  EXPECT_EQ(a.t, b.t);
+  EXPECT_EQ(a.distance, b.distance);
   EXPECT_EQ(a.digest(), b.digest());
 }
 
@@ -437,6 +445,105 @@ TEST(ShortcutService, QueryErrorsAreCapturedAndDeterministic) {
   EXPECT_FALSE(ref.error.empty());
   set_num_threads(4);
   expect_same_result(svc.run_batch({q})[0], ref);
+}
+
+TEST(ShortcutService, PointToPointMatchesSingleSourceOracle) {
+  const auto snap = small_snapshot();
+  const ShortcutService svc(snap, 3);
+  Rng pick(77);
+  std::vector<QueryRequest> batch;
+  for (std::uint32_t i = 0; i < 24; ++i) {
+    QueryRequest q;
+    q.id = 500 + i;
+    q.kind = QueryKind::kPointToPoint;
+    q.s = pick.uniform(snap->num_vertices());
+    q.t = pick.uniform(snap->num_vertices());
+    batch.push_back(q);
+  }
+  const std::vector<QueryResult> got = svc.run_batch(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(got[i].ok) << got[i].error;
+    const sssp::SsspResult ref =
+        sssp::dijkstra(snap->graph(), snap->weights(), batch[i].s);
+    EXPECT_EQ(got[i].distance, ref.dist[batch[i].t]);
+    EXPECT_EQ(got[i].s, batch[i].s);
+    EXPECT_EQ(got[i].t, batch[i].t);
+    EXPECT_EQ(got[i].value, got[i].distance);
+    EXPECT_EQ(got[i].cardinality, 1u);  // connected fixture: always reachable
+    EXPECT_GT(got[i].settled_nodes, 0u);
+  }
+}
+
+TEST(ShortcutService, PointToPointOutOfRangeEndpointsFailDeterministically) {
+  const auto snap = small_snapshot();
+  const ShortcutService svc(snap, 3);
+  QueryRequest q;
+  q.id = 9001;
+  q.kind = QueryKind::kPointToPoint;
+  q.s = snap->num_vertices();  // one past the end
+  q.t = 0;
+
+  ThreadOverrideGuard guard;
+  set_num_threads(1);
+  const QueryResult ref = svc.run_batch({q})[0];
+  EXPECT_FALSE(ref.ok);
+  EXPECT_FALSE(ref.error.empty());
+  set_num_threads(4);
+  expect_same_result(svc.run_batch({q})[0], ref);
+}
+
+TEST(QueryResultDigest, PinsTheTelemetryExclusionSet) {
+  // The determinism contract compares digests across threads, shards, and
+  // processes, so the digest must cover every deterministic field and no
+  // telemetry field.  This test pins both sets: loosening the exclusion set
+  // (digesting telemetry) breaks cross-replica gates; widening it (dropping
+  // a content field) lets corruption slip past them.
+  QueryResult r;
+  r.id = 42;
+  r.kind = QueryKind::kPointToPoint;
+  r.ok = true;
+  r.error = "";
+  r.congestion = 3;
+  r.dilation = 4;
+  r.value = 700;
+  r.cardinality = 1;
+  r.rounds = 9;
+  r.content_hash = 0xabcdefULL;
+  r.s = 11;
+  r.t = 29;
+  r.distance = 700;
+  const std::uint64_t base = r.digest();
+
+  // Telemetry: excluded — mutating it must not move the digest.
+  {
+    QueryResult m = r;
+    m.latency_ms = 123.5;
+    m.queue_ms = 9.25;
+    m.wave = 7;
+    m.attempts = 3;
+    m.served_by_replica = 1;
+    m.settled_nodes = 5555;
+    EXPECT_EQ(m.digest(), base);
+  }
+  // Content: included — each field alone must move the digest.
+  const auto differs = [&](auto mutate) {
+    QueryResult m = r;
+    mutate(m);
+    return m.digest() != base;
+  };
+  EXPECT_TRUE(differs([](QueryResult& m) { m.id ^= 1; }));
+  EXPECT_TRUE(differs([](QueryResult& m) { m.kind = QueryKind::kMincut; }));
+  EXPECT_TRUE(differs([](QueryResult& m) { m.ok = false; }));
+  EXPECT_TRUE(differs([](QueryResult& m) { m.error = "boom"; }));
+  EXPECT_TRUE(differs([](QueryResult& m) { m.congestion ^= 1; }));
+  EXPECT_TRUE(differs([](QueryResult& m) { m.dilation ^= 1; }));
+  EXPECT_TRUE(differs([](QueryResult& m) { m.value ^= 1; }));
+  EXPECT_TRUE(differs([](QueryResult& m) { m.cardinality ^= 1; }));
+  EXPECT_TRUE(differs([](QueryResult& m) { m.rounds ^= 1; }));
+  EXPECT_TRUE(differs([](QueryResult& m) { m.content_hash ^= 1; }));
+  EXPECT_TRUE(differs([](QueryResult& m) { m.s ^= 1; }));
+  EXPECT_TRUE(differs([](QueryResult& m) { m.t ^= 1; }));
+  EXPECT_TRUE(differs([](QueryResult& m) { m.distance ^= 1; }));
 }
 
 }  // namespace

@@ -56,11 +56,12 @@ std::vector<QueryRequest> mixed_batch(std::size_t count, std::uint64_t first_id 
   for (std::size_t i = 0; i < count; ++i) {
     QueryRequest q;
     q.id = first_id + i;
-    switch (i % 4) {
+    switch (i % 5) {
       case 0: q.kind = QueryKind::kShortcutQuality; break;
       case 1: q.kind = QueryKind::kShortcutBuild; break;
       case 2: q.kind = QueryKind::kMst; break;
-      default: q.kind = QueryKind::kMincut; break;
+      case 3: q.kind = QueryKind::kMincut; break;
+      default: q.kind = QueryKind::kPointToPoint; break;
     }
     q.beta = 0.5 + 0.25 * static_cast<double>(i % 3);
     if (q.kind == QueryKind::kMincut) {
@@ -69,6 +70,9 @@ std::vector<QueryRequest> mixed_batch(std::size_t count, std::uint64_t first_id 
       else
         q.eps = 0.5;
     }
+    // Endpoints below the fixture size (n = 160); harmless for other kinds.
+    q.s = static_cast<std::uint32_t>((i * 37 + 1) % 160);
+    q.t = static_cast<std::uint32_t>((i * 61 + 13) % 160);
     batch.push_back(q);
   }
   return batch;
@@ -419,6 +423,50 @@ TEST(ShardedService, ReplicatedFailoverNeverChangesDigests) {
       }
       EXPECT_GT(failed_over, 0u) << "victim " << victim << " never had traffic to fail over";
       EXPECT_FALSE(router.health()[victim].up);
+    }
+  }
+}
+
+// Determinism-contract points 7 and 8 for the s–t kind specifically: an
+// all-kPointToPoint batch digests identically through every placement
+// (1/2/4 shards) and through R=2 failover with any single victim, at 1, 2
+// and 8 threads, versus the single-process oracle.
+TEST(ShardedService, PointToPointPlacementAndFailoverMatchOracle) {
+  const auto snap = test_snapshot();
+  std::vector<QueryRequest> batch;
+  Rng pick(31);
+  for (std::uint32_t i = 0; i < 24; ++i) {
+    QueryRequest q;
+    q.id = 7000 + i;
+    q.kind = QueryKind::kPointToPoint;
+    q.s = static_cast<std::uint32_t>(pick.uniform(snap->num_vertices()));
+    q.t = static_cast<std::uint32_t>(pick.uniform(snap->num_vertices()));
+    batch.push_back(q);
+  }
+  const ShortcutService plain(snap, kSeed);
+  const std::vector<std::uint64_t> expected = digests(plain.run_batch(batch));
+  for (const QueryResult& r : plain.run_batch(batch)) ASSERT_TRUE(r.ok) << r.error;
+
+  service::RouterOptions replicated;
+  replicated.replicas = 2;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ThreadOverrideGuard guard;
+    set_num_threads(threads);
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      const ShardRouter router = local_router(snap, shards);
+      EXPECT_EQ(digests(router.run_batch(batch)), expected)
+          << shards << " shards at " << threads << " threads diverged";
+    }
+    for (std::size_t victim = 0; victim < 3; ++victim) {
+      std::vector<LocalShard*> fleet;
+      const ShardRouter router = replicated_router(snap, 3, replicated, &fleet);
+      fleet[victim]->kill();
+      const std::vector<QueryResult> results = router.run_batch(batch);
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        ASSERT_TRUE(results[i].ok) << "victim " << victim << ": " << results[i].error;
+        EXPECT_EQ(results[i].digest(), expected[i])
+            << "failover changed s-t digest of id " << results[i].id;
+      }
     }
   }
 }

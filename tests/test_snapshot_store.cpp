@@ -78,6 +78,15 @@ std::vector<QueryRequest> mixed_batch(std::uint32_t n) {
   add(QueryKind::kMst, 0, 0, 0.5);
   add(QueryKind::kMincut, 0, 2, 0.5);
   add(QueryKind::kMincut, 0, 0, 0.7);
+  // Two s–t queries so the round-trip grid gates the CH artifact too.
+  for (const std::uint32_t salt : {3u, 11u}) {
+    QueryRequest q;
+    q.id = 9100 + batch.size();
+    q.kind = QueryKind::kPointToPoint;
+    q.s = salt % n;
+    q.t = (salt * 7 + 1) % n;
+    batch.push_back(q);
+  }
   return batch;
 }
 
@@ -173,6 +182,7 @@ TEST(SnapshotStore, SavedArtifactsArrivePrewarmed) {
   EXPECT_EQ(info.fingerprint, built->fingerprint());
   EXPECT_GT(info.saved_partitions, 0u);
   EXPECT_GT(info.saved_samples, 0u);
+  EXPECT_EQ(info.saved_ch_indexes, 1u);
 
   // Replaying the batch on the loaded snapshot is all cache hits: the
   // artifact-stats equivalent of "pre-warmed instead of lazily memoized".
@@ -184,8 +194,31 @@ TEST(SnapshotStore, SavedArtifactsArrivePrewarmed) {
   const service::ArtifactStats after = loaded->artifact_stats();
   EXPECT_EQ(after.partition.misses, 0u);
   EXPECT_EQ(after.sparsified.misses, 0u);
+  EXPECT_EQ(after.ch.misses, 0u);
   EXPECT_GT(after.partition.hits, 0u);
   EXPECT_GT(after.sparsified.hits, 0u);
+  EXPECT_GT(after.ch.hits, 0u);
+}
+
+TEST(SnapshotStore, ChIndexRoundTripsStructurallyIntact) {
+  // The CH artifact is the one whose rebuild is most expensive relative to
+  // its serialized size, so the save/load path must hand back the exact
+  // structure, not an equivalent one: ranks, offsets, and every arc.
+  TempDir dir("ch-roundtrip");
+  Rng rng(67);
+  const auto built = GraphSnapshot::build(graph::road_network(220, rng));
+  const auto direct = built->ch_index();  // materialize before save
+
+  SnapshotStore store(dir.path);
+  const std::filesystem::path path = store.save(*built);
+  EXPECT_EQ(service::read_snapshot_info(path).saved_ch_indexes, 1u);
+
+  const auto loaded = store.open(built->fingerprint());
+  EXPECT_EQ(loaded->artifact_stats().ch.lookups(), 0u);
+  const auto seeded = loaded->ch_index();
+  EXPECT_EQ(*seeded, *direct);  // structural identity, via ChIndex::operator==
+  EXPECT_EQ(loaded->artifact_stats().ch.misses, 0u);
+  EXPECT_EQ(loaded->artifact_stats().ch.hits, 1u);
 }
 
 TEST(SnapshotStore, LoadPrewarmsPartitionPoolMissingFromFile) {

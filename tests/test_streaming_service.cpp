@@ -220,9 +220,11 @@ std::vector<FuzzEvent> fuzz_schedule(std::uint64_t seed, std::uint64_t id_base,
       e.tenant = tenants[rng() % 3];
       QueryRequest q;
       q.id = next_id++;
-      q.kind = static_cast<QueryKind>(rng() % 4);
+      q.kind = static_cast<QueryKind>(rng() % 5);
       q.beta = (rng() % 2 == 0) ? 0.5 : 1.0;
       q.karger_trials = (rng() % 8 == 3) ? 6 : 0;
+      q.s = static_cast<std::uint32_t>(rng() % 120);  // fixture is n = 120
+      q.t = static_cast<std::uint32_t>(rng() % 120);
       e.req = q;
     }
     out.push_back(e);
@@ -367,6 +369,51 @@ TEST(StreamingService, ConcurrentSubmittersReplayIdentically) {
   EXPECT_EQ(arrivals, static_cast<std::uint64_t>(kThreads) * kPerThread);
   EXPECT_EQ(admitted, served);
   EXPECT_EQ(svc.queue_depth(), 0u);
+}
+
+// Determinism-contract point 9 for the s–t kind specifically: routing an
+// all-kPointToPoint stream through admission (generous budgets — nothing
+// shed) yields digests bit-identical to a direct run_batch over the same
+// requests, at 1, 2 and 8 threads.
+TEST(StreamingService, PointToPointAdmissionMatchesDirectBatch) {
+  const auto snap = small_snapshot();
+  StreamingOptions opt;
+  opt.drain_thread = false;  // manual pump below
+  opt.cheap_slots = 4;
+  opt.heavy_slots = 1;
+  opt.tenants = {TenantConfig{"gold", TokenBucketConfig{64, 100000},
+                              TokenBucketConfig{8, 100000}}};
+  std::vector<QueryRequest> batch;
+  Rng pick(53);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    QueryRequest q;
+    q.id = 40000 + i;
+    q.kind = QueryKind::kPointToPoint;
+    q.s = static_cast<std::uint32_t>(pick.uniform(snap->num_vertices()));
+    q.t = static_cast<std::uint32_t>(pick.uniform(snap->num_vertices()));
+    batch.push_back(q);
+  }
+  const ShortcutService direct(snap, 7);
+  const std::vector<QueryResult> want = direct.run_batch(batch);
+
+  ThreadOverrideGuard guard;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    set_num_threads(threads);
+    StreamingService svc(ShortcutService(snap, 7), opt);
+    std::vector<StreamingService::Ticket> tickets;
+    for (const QueryRequest& q : batch) {
+      StreamingService::Ticket t = svc.submit("gold", q);
+      ASSERT_TRUE(t.admitted()) << t.shed_text();
+      tickets.push_back(std::move(t));
+    }
+    svc.drain_until_idle();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const QueryResult got = svc.wait(tickets[i]);
+      ASSERT_TRUE(got.ok) << got.error;
+      EXPECT_EQ(got.digest(), want[i].digest())
+          << "id " << batch[i].id << " at " << threads << " threads";
+    }
+  }
 }
 
 // --- service misuse + lifecycle ----------------------------------------------

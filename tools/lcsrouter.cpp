@@ -18,6 +18,9 @@
 //                   repeat for a fleet (placement = hash64(id) % fleet size)
 //   --count N       queries in the batch (ids first-id .. first-id+N-1,
 //                   kinds round-robin over quality/build/mst/mincut)
+//   --pp-vertices N snapshot vertex count; when > 0 the round-robin gains a
+//                   fifth kind, point_to_point, with s/t derived from the
+//                   query id modulo N (default 0 — the four legacy kinds)
 //   --first-id K    base query id (default 1000) — disjoint ranges let
 //                   concurrent supervising batches stay duplicate-free
 //   --replicas R    preference-list length per query (default 1 — the
@@ -82,19 +85,22 @@ std::uint64_t parse_fingerprint(const std::string& s) {
 }
 
 /// The deterministic mixed workload both modes run: a pure function of
-/// (first_id, count), so a sharded run and a --local oracle over the same
-/// snapshot and seed must print identical digests.
-std::vector<service::QueryRequest> mixed_batch(std::uint64_t first_id, std::size_t count) {
+/// (first_id, count, pp_vertices), so a sharded run and a --local oracle
+/// over the same snapshot and seed must print identical digests.
+std::vector<service::QueryRequest> mixed_batch(std::uint64_t first_id, std::size_t count,
+                                               std::uint32_t pp_vertices) {
+  const std::size_t kinds = pp_vertices > 0 ? 5 : 4;
   std::vector<service::QueryRequest> batch;
   batch.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     service::QueryRequest q;
     q.id = first_id + i;
-    switch (i % 4) {
+    switch (i % kinds) {
       case 0: q.kind = service::QueryKind::kShortcutQuality; break;
       case 1: q.kind = service::QueryKind::kShortcutBuild; break;
       case 2: q.kind = service::QueryKind::kMst; break;
-      default: q.kind = service::QueryKind::kMincut; break;
+      case 3: q.kind = service::QueryKind::kMincut; break;
+      default: q.kind = service::QueryKind::kPointToPoint; break;
     }
     q.beta = 0.5 + 0.25 * static_cast<double>(i % 3);
     if (q.kind == service::QueryKind::kMincut) {
@@ -102,6 +108,9 @@ std::vector<service::QueryRequest> mixed_batch(std::uint64_t first_id, std::size
         q.karger_trials = 8;
       else
         q.eps = 0.4 + 0.1 * static_cast<double>(i % 2);
+    } else if (q.kind == service::QueryKind::kPointToPoint) {
+      q.s = static_cast<std::uint32_t>(hash64(q.id) % pp_vertices);
+      q.t = static_cast<std::uint32_t>(hash64(q.id ^ 0x70ULL) % pp_vertices);
     }
     batch.push_back(q);
   }
@@ -115,6 +124,7 @@ struct Args {
   std::string fingerprint;
   std::size_t count = 0;
   std::uint64_t first_id = 1000;
+  std::uint32_t pp_vertices = 0;
   std::uint64_t seed = 1;
   unsigned threads = 0;
   std::size_t replicas = 1;
@@ -147,6 +157,8 @@ Args parse_args(int argc, char** argv) {
       a.count = std::stoull(value(i, "--count"));
     else if (arg == "--first-id")
       a.first_id = std::stoull(value(i, "--first-id"));
+    else if (arg == "--pp-vertices")
+      a.pp_vertices = static_cast<std::uint32_t>(std::stoul(value(i, "--pp-vertices")));
     else if (arg == "--seed")
       a.seed = std::stoull(value(i, "--seed"));
     else if (arg == "--threads")
@@ -243,7 +255,8 @@ void run_streaming(const service::ShortcutService& svc, std::uint64_t fingerprin
 
 int run(const Args& a) {
   if (a.threads > 0) set_num_threads(a.threads);
-  const std::vector<service::QueryRequest> batch = mixed_batch(a.first_id, a.count);
+  const std::vector<service::QueryRequest> batch =
+      mixed_batch(a.first_id, a.count, a.pp_vertices);
 
   if (a.local) {
     service::SnapshotStore store(a.store);
